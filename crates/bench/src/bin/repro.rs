@@ -1,0 +1,283 @@
+//! `repro` — regenerates every table and figure of the NB-SMT paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p nbsmt-bench --release --bin repro -- <experiment> [--full]
+//! ```
+//!
+//! where `<experiment>` is one of `fig1`, `table1`, `table2`, `fig7`,
+//! `table3`, `table4`, `fig8`, `fig9`, `table5`, `fig10`, `energy`,
+//! `mlperf`, or `all`. `--full` runs the full-scale configuration used for
+//! EXPERIMENTS.md (slower); the default quick scale exercises the same code
+//! with smaller sample counts.
+
+use std::env;
+
+use nbsmt_bench::experiments::accuracy::{
+    fig10_pruning, fig7_robustness, mlperf_mobilenet, table3_policies, table4_comparison,
+    table5_slowdown, AccuracyBench,
+};
+use nbsmt_bench::experiments::hw_exp::table2_rows;
+use nbsmt_bench::experiments::zoo_exp::{
+    energy_savings, fig1_utilization, fig8_mse_vs_sparsity, fig9_utilization_gain,
+    table1_inventory,
+};
+use nbsmt_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full { Scale::Full } else { Scale::Quick };
+    let experiment = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    let known = [
+        "fig1", "table1", "table2", "fig7", "table3", "table4", "fig8", "fig9", "table5",
+        "fig10", "energy", "mlperf", "all",
+    ];
+    if !known.contains(&experiment.as_str()) {
+        eprintln!("unknown experiment '{experiment}'. Known: {known:?}");
+        std::process::exit(2);
+    }
+
+    println!("# NB-SMT / SySMT reproduction — experiment: {experiment} (scale: {scale:?})\n");
+
+    let wants = |name: &str| experiment == name || experiment == "all";
+
+    if wants("table1") {
+        run_table1();
+    }
+    if wants("fig1") {
+        run_fig1(scale);
+    }
+    if wants("table2") {
+        run_table2();
+    }
+    if wants("fig8") {
+        run_fig8(scale);
+    }
+    if wants("fig9") {
+        run_fig9(scale);
+    }
+    if wants("energy") {
+        run_energy(scale);
+    }
+    if wants("mlperf") {
+        run_mlperf();
+    }
+
+    // Accuracy experiments share a single trained SynthNet.
+    let needs_accuracy = ["fig7", "table3", "table4", "table5", "fig10"]
+        .iter()
+        .any(|e| wants(e));
+    if needs_accuracy {
+        println!("Training SynthNet (accuracy substrate, see DESIGN.md substitution 1)…");
+        let bench = AccuracyBench::prepare(scale, 2024);
+        println!(
+            "SynthNet FP32 accuracy: {:.2}% | A8W8 accuracy: {:.2}%\n",
+            bench.fp32_accuracy() * 100.0,
+            bench.int8_accuracy() * 100.0
+        );
+        if wants("fig7") {
+            run_fig7(&bench);
+        }
+        if wants("table3") {
+            run_table3(&bench);
+        }
+        if wants("table4") {
+            run_table4(&bench);
+        }
+        if wants("table5") {
+            run_table5(&bench);
+        }
+        if wants("fig10") {
+            run_fig10(&bench, scale);
+        }
+    }
+}
+
+fn run_table1() {
+    println!("## Table I — evaluated CNN models (per-image MAC operations)\n");
+    println!("{:<14} {:>12} {:>12}", "Model", "CONV [GMAC]", "FC [MMAC]");
+    for row in table1_inventory() {
+        println!(
+            "{:<14} {:>12.2} {:>12.1}",
+            row.model, row.conv_gmacs, row.fc_mmacs
+        );
+    }
+    println!();
+}
+
+fn run_fig1(scale: Scale) {
+    println!("## Fig. 1 — MAC utilization breakdown during CNN inference\n");
+    println!(
+        "{:<14} {:>12} {:>20} {:>8}",
+        "Model", "Utilized", "Partially utilized", "Idle"
+    );
+    for row in fig1_utilization(scale) {
+        println!(
+            "{:<14} {:>11.1}% {:>19.1}% {:>7.1}%",
+            row.model,
+            row.fully_utilized * 100.0,
+            row.partially_utilized * 100.0,
+            row.idle * 100.0
+        );
+    }
+    println!();
+}
+
+fn run_table2() {
+    println!("## Table II — design parameters, power, and area\n");
+    println!(
+        "{:<10} {:>12} {:>14} {:>12} {:>10} {:>10} {:>10}",
+        "Design", "GMAC/s", "P@80% [mW]", "Area [mm2]", "Area [x]", "PE [um2]", "MAC [um2]"
+    );
+    for row in table2_rows() {
+        println!(
+            "{:<10} {:>12.0} {:>14.0} {:>12.3} {:>10.2} {:>10.0} {:>10.0}",
+            row.design,
+            row.throughput_gmacs,
+            row.power_mw_at_80,
+            row.total_area_mm2,
+            row.area_ratio,
+            row.pe_area_um2,
+            row.mac_area_um2
+        );
+    }
+    println!();
+}
+
+fn run_fig7(bench: &AccuracyBench) {
+    println!("## Fig. 7 — whole-model robustness to on-the-fly precision reduction\n");
+    println!("{:<8} {:>10}", "Point", "Top-1 [%]");
+    for row in fig7_robustness(bench) {
+        println!("{:<8} {:>10.2}", row.point, row.accuracy * 100.0);
+    }
+    println!();
+}
+
+fn run_table3(bench: &AccuracyBench) {
+    println!("## Table III — 2T SySMT sharing policies (no reordering)\n");
+    println!("{:<12} {:>10}", "Policy", "Top-1 [%]");
+    for row in table3_policies(bench) {
+        println!("{:<12} {:>10.2}", row.policy, row.accuracy * 100.0);
+    }
+    println!();
+}
+
+fn run_table4(bench: &AccuracyBench) {
+    println!("## Table IV — 2T SySMT vs post-training quantization comparators\n");
+    println!("{:<28} {:>10}", "Method", "Top-1 [%]");
+    for row in table4_comparison(bench) {
+        println!("{:<28} {:>10.2}", row.method, row.accuracy * 100.0);
+    }
+    println!();
+}
+
+fn run_fig8(scale: Scale) {
+    println!("## Fig. 8 — per-layer MSE vs activation sparsity (GoogLeNet proxy, 2T)\n");
+    println!(
+        "{:<26} {:>10} {:>16} {:>16}",
+        "Layer", "Sparsity", "MSE w/o reorder", "MSE w/ reorder"
+    );
+    for p in fig8_mse_vs_sparsity(scale) {
+        println!(
+            "{:<26} {:>9.1}% {:>16.3e} {:>16.3e}",
+            p.layer,
+            p.sparsity * 100.0,
+            p.mse_without_reorder,
+            p.mse_with_reorder
+        );
+    }
+    println!();
+}
+
+fn run_fig9(scale: Scale) {
+    println!("## Fig. 9 — utilization improvement vs sparsity (GoogLeNet proxy, 2T)\n");
+    println!(
+        "{:<26} {:>10} {:>17} {:>16} {:>10}",
+        "Layer", "Sparsity", "Gain w/o reorder", "Gain w/ reorder", "Eq. 8"
+    );
+    for p in fig9_utilization_gain(scale) {
+        println!(
+            "{:<26} {:>9.1}% {:>17.3} {:>16.3} {:>10.3}",
+            p.layer,
+            p.sparsity * 100.0,
+            p.gain_without_reorder,
+            p.gain_with_reorder,
+            p.analytic_gain
+        );
+    }
+    println!();
+}
+
+fn run_table5(bench: &AccuracyBench) {
+    println!("## Table V — 4T SySMT with high-MSE layers slowed to 2T\n");
+    println!("{:<14} {:>10} {:>10}", "Layers @2T", "Top-1 [%]", "Speedup");
+    for row in table5_slowdown(bench) {
+        println!(
+            "{:<14} {:>10.2} {:>9.2}x",
+            row.layers_at_2t,
+            row.accuracy * 100.0,
+            row.speedup
+        );
+    }
+    println!();
+}
+
+fn run_fig10(bench: &AccuracyBench, scale: Scale) {
+    println!("## Fig. 10 — accuracy vs 4T speedup for pruned models\n");
+    println!(
+        "{:<10} {:>12} {:>10} {:>10}",
+        "Pruned", "Layers @2T", "Top-1 [%]", "Speedup"
+    );
+    for p in fig10_pruning(bench, scale) {
+        println!(
+            "{:<10} {:>12} {:>10.2} {:>9.2}x",
+            format!("{:.0}%", p.pruned * 100.0),
+            p.layers_at_2t,
+            p.accuracy * 100.0,
+            p.speedup
+        );
+    }
+    println!();
+}
+
+fn run_energy(scale: Scale) {
+    println!("## §V-A — energy savings of SySMT over the conventional array\n");
+    println!("{:<14} {:>10} {:>10}", "Model", "2T saving", "4T saving");
+    let rows = energy_savings(scale);
+    let mut avg2 = 0.0;
+    let mut avg4 = 0.0;
+    for row in &rows {
+        println!(
+            "{:<14} {:>9.1}% {:>9.1}%",
+            row.model,
+            row.saving_2t * 100.0,
+            row.saving_4t * 100.0
+        );
+        avg2 += row.saving_2t;
+        avg4 += row.saving_4t;
+    }
+    println!(
+        "{:<14} {:>9.1}% {:>9.1}%\n",
+        "Average",
+        avg2 / rows.len() as f64 * 100.0,
+        avg4 / rows.len() as f64 * 100.0
+    );
+}
+
+fn run_mlperf() {
+    println!("## §V-B MLPerf — MobileNet-v1 operating point (pointwise @2T, depthwise @1T)\n");
+    let row = mlperf_mobilenet();
+    println!(
+        "{}: speedup {:.2}x with {:.1}% of MACs executed at two threads\n",
+        row.model,
+        row.speedup,
+        row.fraction_at_2t * 100.0
+    );
+}

@@ -1,0 +1,9 @@
+//! Experiment implementations, one function per table / figure of the paper.
+//!
+//! The mapping between paper artefacts and functions is documented in
+//! DESIGN.md §5 (the per-experiment index); results are recorded in
+//! EXPERIMENTS.md.
+
+pub mod accuracy;
+pub mod hw_exp;
+pub mod zoo_exp;

@@ -1,0 +1,21 @@
+//! # nbsmt-bench
+//!
+//! The benchmark harness of the NB-SMT / SySMT reproduction: one experiment
+//! function per table and figure of the paper, the [`engine::NbSmtEngine`]
+//! bridge that plugs the NB-SMT emulation into quantized model execution,
+//! and the `repro` binary that prints each regenerated table.
+//!
+//! Run `cargo run -p nbsmt-bench --release --bin repro -- all` to regenerate
+//! every table and figure, or pass an individual experiment id (`fig1`,
+//! `table3`, …). Criterion benches under `benches/` time the same experiment
+//! kernels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod experiments;
+pub mod scale;
+
+pub use engine::{NbSmtEngine, NbSmtEngineConfig};
+pub use scale::Scale;

@@ -1,0 +1,90 @@
+//! Experiment scale control.
+//!
+//! Every experiment can run at a reduced scale (for unit tests and quick
+//! smoke runs) or at full scale (for the published numbers in
+//! EXPERIMENTS.md). The scale only affects sample counts — never the code
+//! paths being exercised.
+
+use serde::{Deserialize, Serialize};
+
+/// How much work an experiment performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Small sample counts: seconds per experiment, used by tests and
+    /// Criterion benches.
+    Quick,
+    /// The sample counts used to produce EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// SynthNet training samples per class.
+    pub fn train_per_class(self) -> usize {
+        match self {
+            Scale::Quick => 24,
+            Scale::Full => 80,
+        }
+    }
+
+    /// SynthNet held-out samples per class.
+    pub fn test_per_class(self) -> usize {
+        match self {
+            Scale::Quick => 12,
+            Scale::Full => 40,
+        }
+    }
+
+    /// SynthNet training epochs.
+    pub fn epochs(self) -> usize {
+        match self {
+            Scale::Quick => 6,
+            Scale::Full => 12,
+        }
+    }
+
+    /// Cap on synthesized GEMM rows per zoo layer.
+    pub fn max_rows(self) -> usize {
+        match self {
+            Scale::Quick => 64,
+            Scale::Full => 192,
+        }
+    }
+
+    /// Cap on synthesized GEMM columns per zoo layer.
+    pub fn max_cols(self) -> usize {
+        match self {
+            Scale::Quick => 32,
+            Scale::Full => 96,
+        }
+    }
+
+    /// Column stride used when enumerating MAC pairs of large layers.
+    pub fn col_stride(self) -> usize {
+        match self {
+            Scale::Quick => 4,
+            Scale::Full => 1,
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::Quick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_is_larger_everywhere() {
+        assert!(Scale::Full.train_per_class() > Scale::Quick.train_per_class());
+        assert!(Scale::Full.test_per_class() > Scale::Quick.test_per_class());
+        assert!(Scale::Full.epochs() > Scale::Quick.epochs());
+        assert!(Scale::Full.max_rows() > Scale::Quick.max_rows());
+        assert!(Scale::Full.max_cols() > Scale::Quick.max_cols());
+        assert!(Scale::Full.col_stride() < Scale::Quick.col_stride());
+        assert_eq!(Scale::default(), Scale::Quick);
+    }
+}

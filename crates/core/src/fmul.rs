@@ -1,0 +1,326 @@
+//! Flexible multiplier units (fMUL).
+//!
+//! Section IV-C1 of the paper shows how an unsigned-8b × signed-8b
+//! multiplication can be decomposed into two 5b×8b signed multiplications
+//! plus a shift (Eq. 4), and further into two 4b×4b unsigned and two 5b×4b
+//! signed multiplications (Eq. 5). Adding independent shift controls to those
+//! narrow multipliers yields a unit that can execute either one 8b-8b
+//! multiplication, two independent 4b-8b multiplications, or four independent
+//! 4b-4b multiplications per cycle — the datapath that lets SySMT "squeeze"
+//! 2 or 4 threads into one PE.
+//!
+//! The implementations here are bit-exact models of those decompositions:
+//! the wide product is *never* computed directly in the decomposed modes, so
+//! the tests that compare against a plain wide multiplication genuinely
+//! verify the hardware equations.
+
+use serde::{Deserialize, Serialize};
+
+/// One 4-bit-operand multiplication request for the dual (2-threaded) mode:
+/// an unsigned activation nibble against a full signed 8-bit weight, with an
+/// optional post-multiplication shift when the nibble represents the
+/// operand's rounded MSBs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DualLane {
+    /// Unsigned 4-bit operand (0..=15), already reduced by the PE logic.
+    pub x_nibble: u8,
+    /// Full signed 8-bit second operand.
+    pub w: i8,
+    /// When `true`, the product is shifted left by 4 (the nibble carries the
+    /// operand's MSBs).
+    pub shift: bool,
+}
+
+/// One 4-bit × 4-bit multiplication request for the quad (4-threaded) mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuadLane {
+    /// Unsigned 4-bit activation nibble (0..=15).
+    pub x_nibble: u8,
+    /// Signed 4-bit weight nibble (−8..=7).
+    pub w_nibble: i8,
+    /// Shift applied because the activation nibble carries MSBs (adds 4).
+    pub x_shift: bool,
+    /// Shift applied because the weight nibble carries MSBs (adds 4).
+    pub w_shift: bool,
+}
+
+/// The 2-threaded flexible multiplier built from two 5b×8b signed
+/// multipliers (Fig. 6 / Eq. 4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlexMultiplier;
+
+impl FlexMultiplier {
+    /// Creates a flexible multiplier.
+    pub fn new() -> Self {
+        FlexMultiplier
+    }
+
+    /// The narrow 5b×8b signed multiplier primitive: `{0, nibble} · w`.
+    ///
+    /// The nibble is zero-extended to 5 bits so it is always interpreted as a
+    /// non-negative two's-complement value, exactly as in Eq. 4.
+    fn narrow_mul(nibble: u8, w: i8) -> i32 {
+        debug_assert!(nibble <= 0x0F, "narrow multiplier takes a 4-bit operand");
+        (nibble as i32) * (w as i32)
+    }
+
+    /// Executes a single unsigned-8b × signed-8b multiplication using the
+    /// Eq. 4 decomposition: `(x_msb·w) << 4 + (x_lsb·w)`.
+    pub fn mul_single(&self, x: u8, w: i8) -> i32 {
+        let msb = x >> 4;
+        let lsb = x & 0x0F;
+        (Self::narrow_mul(msb, w) << 4) + Self::narrow_mul(lsb, w)
+    }
+
+    /// Executes two independent 4b×8b multiplications, one per lane, each
+    /// optionally shifted left by 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when a lane nibble exceeds 4 bits.
+    pub fn mul_dual(&self, lanes: [DualLane; 2]) -> [i32; 2] {
+        let mut out = [0i32; 2];
+        for (o, lane) in out.iter_mut().zip(lanes.iter()) {
+            let p = Self::narrow_mul(lane.x_nibble, lane.w);
+            *o = if lane.shift { p << 4 } else { p };
+        }
+        out
+    }
+}
+
+/// The 4-threaded flexible multiplier built from two 4b×4b unsigned and two
+/// 5b×4b signed multipliers (Eq. 5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlexMultiplier4;
+
+impl FlexMultiplier4 {
+    /// Creates a 4-threaded flexible multiplier.
+    pub fn new() -> Self {
+        FlexMultiplier4
+    }
+
+    /// The 5b×4b signed primitive: `{0, x_nibble} · w_nibble` where the
+    /// weight nibble is signed.
+    fn narrow_signed(x_nibble: u8, w_nibble: i8) -> i32 {
+        debug_assert!(x_nibble <= 0x0F);
+        debug_assert!((-8..=7).contains(&w_nibble));
+        (x_nibble as i32) * (w_nibble as i32)
+    }
+
+    /// The 4b×4b unsigned primitive.
+    fn narrow_unsigned(x_nibble: u8, w_nibble: u8) -> i32 {
+        debug_assert!(x_nibble <= 0x0F);
+        debug_assert!(w_nibble <= 0x0F);
+        (x_nibble as i32) * (w_nibble as i32)
+    }
+
+    /// Executes a single unsigned-8b × signed-8b multiplication using the
+    /// Eq. 5 decomposition:
+    /// `(x_msb·w_msb) << 8 + (x_msb·w_lsb) << 4 + (x_lsb·w_msb) << 4 + x_lsb·w_lsb`,
+    /// where the weight MSB nibble is signed (it carries the sign bit) and
+    /// the weight LSB nibble is unsigned.
+    pub fn mul_single(&self, x: u8, w: i8) -> i32 {
+        let x_msb = x >> 4;
+        let x_lsb = x & 0x0F;
+        // Arithmetic shift keeps the sign: for w = -0bSxxx_yyyy this yields
+        // the signed high nibble in two's complement.
+        let w_msb = w >> 4;
+        let w_lsb = (w as u8) & 0x0F;
+        (Self::narrow_signed(x_msb, w_msb) << 8)
+            + (Self::narrow_unsigned(x_msb, w_lsb) << 4)
+            + (Self::narrow_signed(x_lsb, w_msb) << 4)
+            + Self::narrow_unsigned(x_lsb, w_lsb)
+    }
+
+    /// Executes two independent 4b×8b multiplications by pairing the
+    /// narrow multipliers (each lane uses one signed and one unsigned
+    /// primitive), matching the 2-threaded mode of the generalized unit.
+    pub fn mul_dual(&self, lanes: [DualLane; 2]) -> [i32; 2] {
+        let mut out = [0i32; 2];
+        for (o, lane) in out.iter_mut().zip(lanes.iter()) {
+            let w_msb = lane.w >> 4;
+            let w_lsb = (lane.w as u8) & 0x0F;
+            let p = (Self::narrow_signed(lane.x_nibble, w_msb) << 4)
+                + Self::narrow_unsigned(lane.x_nibble, w_lsb);
+            *o = if lane.shift { p << 4 } else { p };
+        }
+        out
+    }
+
+    /// Executes four independent 4b×4b multiplications, one per lane, each
+    /// shifted according to which nibbles the operands carry.
+    pub fn mul_quad(&self, lanes: [QuadLane; 4]) -> [i32; 4] {
+        let mut out = [0i32; 4];
+        for (o, lane) in out.iter_mut().zip(lanes.iter()) {
+            let p = Self::narrow_signed(lane.x_nibble, lane.w_nibble);
+            let shift = 4 * (lane.x_shift as u32 + lane.w_shift as u32);
+            *o = p << shift;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq4_single_mode_is_exact_for_all_inputs() {
+        let fmul = FlexMultiplier::new();
+        for x in 0..=255u8 {
+            for w in i8::MIN..=i8::MAX {
+                assert_eq!(fmul.mul_single(x, w), x as i32 * w as i32, "x={x} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn eq5_single_mode_is_exact_for_all_inputs() {
+        let fmul = FlexMultiplier4::new();
+        for x in 0..=255u8 {
+            for w in i8::MIN..=i8::MAX {
+                assert_eq!(fmul.mul_single(x, w), x as i32 * w as i32, "x={x} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn dual_mode_computes_independent_products() {
+        let fmul = FlexMultiplier::new();
+        let out = fmul.mul_dual([
+            DualLane {
+                x_nibble: 3,
+                w: 23,
+                shift: true,
+            },
+            DualLane {
+                x_nibble: 11,
+                w: -14,
+                shift: true,
+            },
+        ]);
+        // Paper Fig. 2a: 3·23 << 4 = 1104 and 11·242 << 4 = 42592 (unsigned
+        // weight example; here the second lane uses a signed weight).
+        assert_eq!(out[0], (3 * 23) << 4);
+        assert_eq!(out[1], (11 * -14) << 4);
+    }
+
+    #[test]
+    fn dual_mode_without_shift_matches_narrow_product() {
+        let fmul = FlexMultiplier::new();
+        let out = fmul.mul_dual([
+            DualLane {
+                x_nibble: 14,
+                w: 23,
+                shift: false,
+            },
+            DualLane {
+                x_nibble: 2,
+                w: -14,
+                shift: false,
+            },
+        ]);
+        assert_eq!(out, [14 * 23, -28]);
+    }
+
+    #[test]
+    fn dual_modes_of_both_units_agree() {
+        let f2 = FlexMultiplier::new();
+        let f4 = FlexMultiplier4::new();
+        for x_nib in 0..=15u8 {
+            for w in [-128i8, -77, -1, 0, 1, 55, 127] {
+                for shift in [false, true] {
+                    let lanes = [
+                        DualLane {
+                            x_nibble: x_nib,
+                            w,
+                            shift,
+                        },
+                        DualLane {
+                            x_nibble: 15 - x_nib,
+                            w: w.wrapping_neg(),
+                            shift: !shift,
+                        },
+                    ];
+                    assert_eq!(f2.mul_dual(lanes), f4.mul_dual(lanes));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig2e_example() {
+        // Fig. 2e: first thread uses its rounded MSBs (1110b = 14) against
+        // w = 0001_0111b = 23 with a shift; second thread uses its LSBs
+        // (0010b = 2) against w = -14 (the paper uses unsigned 242; the signed
+        // datapath here uses the signed weight convention).
+        let fmul = FlexMultiplier::new();
+        let out = fmul.mul_dual([
+            DualLane {
+                x_nibble: 0b1110,
+                w: 0b0001_0111,
+                shift: true,
+            },
+            DualLane {
+                x_nibble: 0b0010,
+                w: 0b0111_1001,
+                shift: false,
+            },
+        ]);
+        assert_eq!(out[0], 322 << 4);
+        assert_eq!(out[1], 2 * 0b0111_1001);
+    }
+
+    #[test]
+    fn quad_mode_shifts_compose() {
+        let fmul = FlexMultiplier4::new();
+        let out = fmul.mul_quad([
+            QuadLane {
+                x_nibble: 5,
+                w_nibble: 3,
+                x_shift: false,
+                w_shift: false,
+            },
+            QuadLane {
+                x_nibble: 5,
+                w_nibble: 3,
+                x_shift: true,
+                w_shift: false,
+            },
+            QuadLane {
+                x_nibble: 5,
+                w_nibble: -3,
+                x_shift: false,
+                w_shift: true,
+            },
+            QuadLane {
+                x_nibble: 5,
+                w_nibble: -3,
+                x_shift: true,
+                w_shift: true,
+            },
+        ]);
+        assert_eq!(out, [15, 15 << 4, -15 << 4, -15 << 8]);
+    }
+
+    #[test]
+    fn quad_mode_reconstructs_reduced_products() {
+        // A 4-thread collision reduces x to round(x/16) (MSB path) and keeps
+        // a narrow weight as-is (LSB path): the product approximates x*w with
+        // bounded error.
+        let fmul = FlexMultiplier4::new();
+        let x: u8 = 178;
+        let w: i8 = 6;
+        let lane = QuadLane {
+            x_nibble: 11, // round(178/16)
+            w_nibble: w,
+            x_shift: true,
+            w_shift: false,
+        };
+        let out = fmul.mul_quad([lane, lane, lane, lane]);
+        let exact = x as i32 * w as i32;
+        let approx = out[0];
+        assert_eq!(approx, 11 * 6 * 16);
+        assert!((exact - approx).abs() <= 8 * 6);
+    }
+}

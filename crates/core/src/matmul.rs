@@ -1,0 +1,515 @@
+//! Functional NB-SMT matrix-multiplication emulation.
+//!
+//! This is the numerical core of the reproduction: it computes the output of
+//! a quantized layer exactly as a SySMT array would, including every
+//! collision decision, precision reduction, and shift, but without simulating
+//! the spatial grid cycle by cycle. The emulation operates on the same
+//! integer grid as the hardware, so the error it introduces relative to the
+//! error-free quantized matmul is exactly the error the hardware would
+//! introduce. It is what the accuracy experiments (Tables III–V, Figs. 7–10)
+//! run on.
+
+use serde::{Deserialize, Serialize};
+
+use nbsmt_quant::qtensor::{QuantMatrix, QuantWeightMatrix};
+use nbsmt_sparsity::reorder::ColumnOrder;
+use nbsmt_tensor::error::TensorError;
+use nbsmt_tensor::tensor::Matrix;
+
+use crate::pe::{PeStats, SmtPe2, SmtPe4, ThreadInput};
+use crate::policy::SharingPolicy;
+use crate::ThreadCount;
+
+/// Configuration of an NB-SMT matmul emulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NbSmtMatmulConfig {
+    /// Number of threads sharing each PE.
+    pub threads: ThreadCount,
+    /// Sharing policy (which sparsity / data-width paths are exploited).
+    pub policy: SharingPolicy,
+    /// When `true`, the K dimension is reordered with the statistical
+    /// column arrangement of §IV-B before being split between threads.
+    pub reorder: bool,
+}
+
+impl NbSmtMatmulConfig {
+    /// The paper's default 2-threaded configuration (S+A with reordering).
+    pub fn two_threads() -> Self {
+        NbSmtMatmulConfig {
+            threads: ThreadCount::Two,
+            policy: SharingPolicy::S_A,
+            reorder: true,
+        }
+    }
+
+    /// The paper's default 4-threaded configuration.
+    pub fn four_threads() -> Self {
+        NbSmtMatmulConfig {
+            threads: ThreadCount::Four,
+            policy: SharingPolicy::S_A,
+            reorder: true,
+        }
+    }
+}
+
+impl Default for NbSmtMatmulConfig {
+    fn default() -> Self {
+        Self::two_threads()
+    }
+}
+
+/// Result of emulating one layer's matmul under NB-SMT.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NbSmtOutput {
+    /// The dequantized output matrix (scaled by the activation scale and the
+    /// per-kernel weight scales).
+    pub output: Matrix<f32>,
+    /// Aggregated PE statistics over every output element and step.
+    pub stats: PeStats,
+}
+
+/// NB-SMT matmul emulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NbSmtMatmul {
+    config: NbSmtMatmulConfig,
+}
+
+impl NbSmtMatmul {
+    /// Creates an emulator with the given configuration.
+    pub fn new(config: NbSmtMatmulConfig) -> Self {
+        NbSmtMatmul { config }
+    }
+
+    /// The emulator configuration.
+    pub fn config(&self) -> &NbSmtMatmulConfig {
+        &self.config
+    }
+
+    /// Emulates `X (M×K) · W (K×N)` under NB-SMT and returns the dequantized
+    /// output together with PE statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimensionMismatch`] when the reduction
+    /// dimensions differ.
+    pub fn execute(
+        &self,
+        x: &QuantMatrix,
+        w: &QuantWeightMatrix,
+    ) -> Result<NbSmtOutput, TensorError> {
+        if x.cols() != w.rows() {
+            return Err(TensorError::DimensionMismatch {
+                op: "nbsmt matmul",
+                lhs: vec![x.rows(), x.cols()],
+                rhs: vec![w.rows(), w.cols()],
+            });
+        }
+
+        // Optional statistical reordering of the K dimension (activations'
+        // columns and the matching weight rows).
+        let (x_owned, w_owned);
+        let (x, w) = if self.config.reorder && self.config.threads.count() > 1 {
+            let order = ColumnOrder::from_permutation(
+                nbsmt_sparsity::reorder::reorder_for_threads(x, self.config.threads.count())
+                    .as_slice()
+                    .to_vec(),
+            );
+            x_owned = order.apply_to_activation(x);
+            w_owned = order.apply_to_weights(w);
+            (&x_owned, &w_owned)
+        } else {
+            (x, w)
+        };
+
+        match self.config.threads {
+            ThreadCount::One => self.execute_single(x, w),
+            ThreadCount::Two => self.execute_two(x, w),
+            ThreadCount::Four => self.execute_four(x, w),
+        }
+    }
+
+    /// Single-threaded (baseline) execution: the error-free quantized matmul
+    /// with baseline utilization statistics.
+    fn execute_single(
+        &self,
+        x: &QuantMatrix,
+        w: &QuantWeightMatrix,
+    ) -> Result<NbSmtOutput, TensorError> {
+        let (m, k, n) = (x.rows(), x.cols(), w.cols());
+        let xv = x.values().as_slice();
+        let wv = w.values().as_slice();
+        let mut out = vec![0.0_f32; m * n];
+        let mut stats = PeStats::default();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc: i64 = 0;
+                let mut busy = 0u64;
+                for p in 0..k {
+                    let xval = xv[i * k + p];
+                    let wval = wv[p * n + j];
+                    if xval != 0 && wval != 0 {
+                        busy += 1;
+                        acc += xval as i64 * wval as i64;
+                    }
+                }
+                out[i * n + j] = acc as f32 * x.scale() * w.scale(j);
+                stats.cycles += k as u64;
+                stats.busy_cycles += busy;
+                stats.active_thread_slots += busy;
+            }
+        }
+        Ok(NbSmtOutput {
+            output: Matrix::from_vec(out, m, n)?,
+            stats,
+        })
+    }
+
+    /// 2-threaded execution: the K dimension is split in half, both halves
+    /// stream through the shared PE in parallel (Eq. 2/3).
+    fn execute_two(
+        &self,
+        x: &QuantMatrix,
+        w: &QuantWeightMatrix,
+    ) -> Result<NbSmtOutput, TensorError> {
+        let (m, k, n) = (x.rows(), x.cols(), w.cols());
+        let pe = SmtPe2::new(self.config.policy);
+        let xv = x.values().as_slice();
+        let wv = w.values().as_slice();
+        let half = k.div_ceil(2);
+        let mut out = vec![0.0_f32; m * n];
+        let mut stats = PeStats::default();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc: i64 = 0;
+                for s in 0..half {
+                    let p0 = s;
+                    let p1 = half + s;
+                    let t0 = ThreadInput::new(xv[i * k + p0], wv[p0 * n + j]);
+                    let t1 = if p1 < k {
+                        ThreadInput::new(xv[i * k + p1], wv[p1 * n + j])
+                    } else {
+                        ThreadInput::new(0, 0)
+                    };
+                    let r = pe.cycle([t0, t1]);
+                    acc += r.total();
+                    stats.cycles += 1;
+                    if r.stats.busy {
+                        stats.busy_cycles += 1;
+                    }
+                    if r.stats.active_threads > 1 {
+                        stats.collision_cycles += 1;
+                    }
+                    stats.active_thread_slots += r.stats.active_threads as u64;
+                    stats.reduced_thread_slots += r.stats.reduced_threads as u64;
+                }
+                out[i * n + j] = acc as f32 * x.scale() * w.scale(j);
+            }
+        }
+        Ok(NbSmtOutput {
+            output: Matrix::from_vec(out, m, n)?,
+            stats,
+        })
+    }
+
+    /// 4-threaded execution: the K dimension is split into four segments.
+    fn execute_four(
+        &self,
+        x: &QuantMatrix,
+        w: &QuantWeightMatrix,
+    ) -> Result<NbSmtOutput, TensorError> {
+        let (m, k, n) = (x.rows(), x.cols(), w.cols());
+        let pe = SmtPe4::new(self.config.policy);
+        let xv = x.values().as_slice();
+        let wv = w.values().as_slice();
+        let seg = k.div_ceil(4);
+        let mut out = vec![0.0_f32; m * n];
+        let mut stats = PeStats::default();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc: i64 = 0;
+                for s in 0..seg {
+                    let mut threads = [ThreadInput::new(0, 0); 4];
+                    for (t, thread) in threads.iter_mut().enumerate() {
+                        let p = t * seg + s;
+                        if p < k {
+                            *thread = ThreadInput::new(xv[i * k + p], wv[p * n + j]);
+                        }
+                    }
+                    let r = pe.cycle(threads);
+                    acc += r.total();
+                    stats.cycles += 1;
+                    if r.stats.busy {
+                        stats.busy_cycles += 1;
+                    }
+                    if r.stats.active_threads > 1 {
+                        stats.collision_cycles += 1;
+                    }
+                    stats.active_thread_slots += r.stats.active_threads as u64;
+                    stats.reduced_thread_slots += r.stats.reduced_threads as u64;
+                }
+                out[i * n + j] = acc as f32 * x.scale() * w.scale(j);
+            }
+        }
+        Ok(NbSmtOutput {
+            output: Matrix::from_vec(out, m, n)?,
+            stats,
+        })
+    }
+}
+
+/// Computes the error-free dequantized reference output of a quantized layer
+/// (what the conventional systolic array produces).
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] when the reduction dimensions
+/// differ.
+pub fn reference_output(
+    x: &QuantMatrix,
+    w: &QuantWeightMatrix,
+) -> Result<Matrix<f32>, TensorError> {
+    nbsmt_quant::quantize::quantized_matmul(x, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbsmt_tensor::random::{SynthesisConfig, TensorSynthesizer};
+
+    /// Builds a random quantized layer for testing.
+    fn random_layer(
+        seed: u64,
+        m: usize,
+        k: usize,
+        n: usize,
+        sparsity: f64,
+    ) -> (QuantMatrix, QuantWeightMatrix) {
+        let mut synth = TensorSynthesizer::new(seed);
+        let x_f = synth.tensor(&SynthesisConfig::activation(1.0, sparsity), &[m, k]);
+        let w_f = synth.tensor(&SynthesisConfig::weight(0.3, 0.0), &[k, n]);
+        let x = nbsmt_quant::quantize::quantize_activations(
+            &Matrix::from_vec(x_f.into_vec(), m, k).unwrap(),
+            &nbsmt_quant::scheme::QuantScheme::activation_a8(),
+            None,
+        );
+        let w = nbsmt_quant::quantize::quantize_weights(
+            &Matrix::from_vec(w_f.into_vec(), k, n).unwrap(),
+            &nbsmt_quant::scheme::QuantScheme::weight_w8(),
+        );
+        (x, w)
+    }
+
+    fn relative_mse(a: &Matrix<f32>, b: &Matrix<f32>) -> f64 {
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            num += ((x - y) as f64).powi(2);
+            den += (*y as f64).powi(2);
+        }
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+
+    #[test]
+    fn single_thread_matches_reference_exactly() {
+        let (x, w) = random_layer(1, 12, 30, 8, 0.5);
+        let emu = NbSmtMatmul::new(NbSmtMatmulConfig {
+            threads: ThreadCount::One,
+            policy: SharingPolicy::S_A,
+            reorder: false,
+        });
+        let out = emu.execute(&x, &w).unwrap();
+        let reference = reference_output(&x, &w).unwrap();
+        for (a, b) in out.output.as_slice().iter().zip(reference.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+        assert_eq!(out.stats.reduced_thread_slots, 0);
+    }
+
+    #[test]
+    fn two_threads_with_all_narrow_values_is_exact() {
+        // When every activation fits in 4 bits there are no lossy reductions.
+        let m = 6;
+        let k = 20;
+        let n = 5;
+        let x = QuantMatrix::new(
+            Matrix::from_vec((0..m * k).map(|i| (i % 16) as u8).collect(), m, k).unwrap(),
+            1.0,
+        );
+        let w = QuantWeightMatrix::with_uniform_scale(
+            Matrix::from_vec((0..k * n).map(|i| ((i % 255) as i16 - 127) as i8).collect(), k, n)
+                .unwrap(),
+            1.0,
+        );
+        let emu = NbSmtMatmul::new(NbSmtMatmulConfig {
+            threads: ThreadCount::Two,
+            policy: SharingPolicy::S_A,
+            reorder: false,
+        });
+        let out = emu.execute(&x, &w).unwrap();
+        let reference = reference_output(&x, &w).unwrap();
+        for (a, b) in out.output.as_slice().iter().zip(reference.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        assert_eq!(out.stats.reduced_thread_slots, 0);
+    }
+
+    #[test]
+    fn two_threads_error_is_small_relative_to_signal() {
+        let (x, w) = random_layer(2, 16, 64, 12, 0.5);
+        let emu = NbSmtMatmul::new(NbSmtMatmulConfig {
+            threads: ThreadCount::Two,
+            policy: SharingPolicy::S_A,
+            reorder: false,
+        });
+        let out = emu.execute(&x, &w).unwrap();
+        let reference = reference_output(&x, &w).unwrap();
+        let rel = relative_mse(&out.output, &reference);
+        assert!(rel < 0.02, "relative MSE {rel} too large for 2T");
+        assert!(out.stats.cycles > 0);
+        assert!(out.stats.collision_cycles > 0);
+    }
+
+    #[test]
+    fn four_threads_error_is_larger_than_two_threads() {
+        let (x, w) = random_layer(3, 16, 64, 12, 0.4);
+        let reference = reference_output(&x, &w).unwrap();
+        let rel2 = {
+            let emu = NbSmtMatmul::new(NbSmtMatmulConfig {
+                threads: ThreadCount::Two,
+                policy: SharingPolicy::S_A,
+                reorder: false,
+            });
+            relative_mse(&emu.execute(&x, &w).unwrap().output, &reference)
+        };
+        let rel4 = {
+            let emu = NbSmtMatmul::new(NbSmtMatmulConfig {
+                threads: ThreadCount::Four,
+                policy: SharingPolicy::S_A,
+                reorder: false,
+            });
+            relative_mse(&emu.execute(&x, &w).unwrap().output, &reference)
+        };
+        assert!(rel4 >= rel2, "4T error {rel4} should exceed 2T error {rel2}");
+        assert!(rel4 < 0.2, "4T error {rel4} should still be bounded");
+    }
+
+    #[test]
+    fn sparsity_policy_reduces_error_versus_naive() {
+        let (x, w) = random_layer(4, 12, 48, 10, 0.6);
+        let reference = reference_output(&x, &w).unwrap();
+        let run = |policy: SharingPolicy| {
+            let emu = NbSmtMatmul::new(NbSmtMatmulConfig {
+                threads: ThreadCount::Two,
+                policy,
+                reorder: false,
+            });
+            relative_mse(&emu.execute(&x, &w).unwrap().output, &reference)
+        };
+        let naive = run(SharingPolicy::NAIVE);
+        let s = run(SharingPolicy::S);
+        let s_a = run(SharingPolicy::S_A);
+        assert!(s <= naive, "S ({s}) should not exceed naive ({naive})");
+        assert!(s_a <= s, "S+A ({s_a}) should not exceed S ({s})");
+    }
+
+    #[test]
+    fn reordering_does_not_increase_error() {
+        let (x, w) = random_layer(5, 20, 64, 10, 0.55);
+        let reference = reference_output(&x, &w).unwrap();
+        let run = |reorder: bool| {
+            let emu = NbSmtMatmul::new(NbSmtMatmulConfig {
+                threads: ThreadCount::Two,
+                policy: SharingPolicy::S_A,
+                reorder,
+            });
+            let out = emu.execute(&x, &w).unwrap();
+            (relative_mse(&out.output, &reference), out.stats)
+        };
+        let (mse_plain, stats_plain) = run(false);
+        let (mse_reorder, stats_reorder) = run(true);
+        assert!(
+            mse_reorder <= mse_plain * 1.05 + 1e-12,
+            "reordering should not increase error: {mse_reorder} vs {mse_plain}"
+        );
+        // Reordering trades collisions for singles, so reductions go down.
+        assert!(stats_reorder.reduced_thread_slots <= stats_plain.reduced_thread_slots);
+    }
+
+    #[test]
+    fn cycle_count_is_half_for_two_threads() {
+        let (x, w) = random_layer(6, 8, 40, 6, 0.5);
+        let one = NbSmtMatmul::new(NbSmtMatmulConfig {
+            threads: ThreadCount::One,
+            policy: SharingPolicy::S_A,
+            reorder: false,
+        })
+        .execute(&x, &w)
+        .unwrap();
+        let two = NbSmtMatmul::new(NbSmtMatmulConfig {
+            threads: ThreadCount::Two,
+            policy: SharingPolicy::S_A,
+            reorder: false,
+        })
+        .execute(&x, &w)
+        .unwrap();
+        let four = NbSmtMatmul::new(NbSmtMatmulConfig {
+            threads: ThreadCount::Four,
+            policy: SharingPolicy::S_A,
+            reorder: false,
+        })
+        .execute(&x, &w)
+        .unwrap();
+        assert_eq!(one.stats.cycles, 8 * 6 * 40);
+        assert_eq!(two.stats.cycles, 8 * 6 * 20);
+        assert_eq!(four.stats.cycles, 8 * 6 * 10);
+    }
+
+    #[test]
+    fn utilization_improves_with_thread_count() {
+        let (x, w) = random_layer(7, 10, 60, 8, 0.6);
+        let util = |threads: ThreadCount| {
+            NbSmtMatmul::new(NbSmtMatmulConfig {
+                threads,
+                policy: SharingPolicy::S_A,
+                reorder: false,
+            })
+            .execute(&x, &w)
+            .unwrap()
+            .stats
+            .utilization()
+        };
+        let u1 = util(ThreadCount::One);
+        let u2 = util(ThreadCount::Two);
+        assert!(u2 > u1, "2T utilization {u2} should exceed 1T {u1}");
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let x = QuantMatrix::zeros(2, 3, 1.0);
+        let w = QuantWeightMatrix::with_uniform_scale(Matrix::zeros(4, 2), 1.0);
+        let emu = NbSmtMatmul::new(NbSmtMatmulConfig::two_threads());
+        assert!(emu.execute(&x, &w).is_err());
+    }
+
+    #[test]
+    fn odd_reduction_dimension_is_padded_correctly() {
+        // K = 7 is not divisible by 2 or 4; padding threads with zeros must
+        // not change the result versus the reference beyond reduction error.
+        let (x, w) = random_layer(8, 4, 7, 3, 0.0);
+        let reference = reference_output(&x, &w).unwrap();
+        for threads in [ThreadCount::Two, ThreadCount::Four] {
+            let emu = NbSmtMatmul::new(NbSmtMatmulConfig {
+                threads,
+                policy: SharingPolicy::S_A,
+                reorder: false,
+            });
+            let out = emu.execute(&x, &w).unwrap();
+            let rel = relative_mse(&out.output, &reference);
+            assert!(rel < 0.05, "threads={threads:?} rel={rel}");
+        }
+    }
+}

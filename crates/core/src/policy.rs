@@ -1,0 +1,199 @@
+//! Resource-sharing policies: which forms of sparsity and data-width
+//! variability the SySMT PE exploits before falling back to lossy precision
+//! reduction.
+//!
+//! Table III of the paper evaluates the following options for the 2-threaded
+//! SySMT (the same knobs apply to 4 threads):
+//!
+//! * **S** — exploit 8-bit sparsity: a thread with a zero operand releases
+//!   the MAC unit to the other thread (Fig. 2b),
+//! * **A** (**W**) — exploit activation (weight) data-width: a thread whose
+//!   activation (weight) already fits in 4 bits takes the error-free LSB
+//!   path; otherwise its activation (weight) is reduced on demand (Fig. 2c),
+//! * **Aw** (**aW**) — additionally consider the *other* operand's width and
+//!   swap which operand enters the 4-bit multiplier port when that avoids a
+//!   reduction (Fig. 2d),
+//! * combinations such as **S+A** (used for most models) and **S+W** (used
+//!   for ResNet-50, which is more robust to weight reduction).
+
+use serde::{Deserialize, Serialize};
+
+/// Which operand a policy reduces when a thread collision forces a precision
+/// reduction, and whether the other operand's width is considered first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WidthMode {
+    /// Never check data width: on a collision the primary operand is always
+    /// rounded to its 4-bit MSBs (the "S"-only behaviour).
+    None,
+    /// Check the activation width; reduce the activation when it does not
+    /// fit (option **A**).
+    Activation,
+    /// Check the weight width; reduce the weight when it does not fit
+    /// (option **W**).
+    Weight,
+    /// Check the activation width first, then try swapping the weight into
+    /// the 4-bit port before reducing the activation (option **Aw**).
+    ActivationThenSwap,
+    /// Check the weight width first, then try swapping the activation into
+    /// the 4-bit port before reducing the weight (option **aW**).
+    WeightThenSwap,
+}
+
+impl WidthMode {
+    /// Returns `true` when the mode reduces activations on a miss.
+    pub fn reduces_activation(self) -> bool {
+        matches!(
+            self,
+            WidthMode::None | WidthMode::Activation | WidthMode::ActivationThenSwap
+        )
+    }
+
+    /// Returns `true` when the mode considers the secondary operand before
+    /// reducing (the swap variants of Fig. 2d).
+    pub fn allows_swap(self) -> bool {
+        matches!(self, WidthMode::ActivationThenSwap | WidthMode::WeightThenSwap)
+    }
+}
+
+/// A complete sharing policy: the sparsity flag plus the width mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SharingPolicy {
+    /// Exploit 8-bit sparsity (zero operands release the MAC).
+    pub exploit_sparsity: bool,
+    /// Data-width handling on thread collisions.
+    pub width: WidthMode,
+}
+
+impl SharingPolicy {
+    /// **S**: sparsity only.
+    pub const S: SharingPolicy = SharingPolicy {
+        exploit_sparsity: true,
+        width: WidthMode::None,
+    };
+    /// **A**: activation data-width only.
+    pub const A: SharingPolicy = SharingPolicy {
+        exploit_sparsity: false,
+        width: WidthMode::Activation,
+    };
+    /// **W**: weight data-width only.
+    pub const W: SharingPolicy = SharingPolicy {
+        exploit_sparsity: false,
+        width: WidthMode::Weight,
+    };
+    /// **Aw**: activation and weight data-width, reducing activations.
+    pub const AW: SharingPolicy = SharingPolicy {
+        exploit_sparsity: false,
+        width: WidthMode::ActivationThenSwap,
+    };
+    /// **aW**: activation and weight data-width, reducing weights.
+    pub const A_W: SharingPolicy = SharingPolicy {
+        exploit_sparsity: false,
+        width: WidthMode::WeightThenSwap,
+    };
+    /// **S+A**: the default policy used for most models in the paper.
+    pub const S_A: SharingPolicy = SharingPolicy {
+        exploit_sparsity: true,
+        width: WidthMode::Activation,
+    };
+    /// **S+W**: the policy used for ResNet-50.
+    pub const S_W: SharingPolicy = SharingPolicy {
+        exploit_sparsity: true,
+        width: WidthMode::Weight,
+    };
+    /// **S+Aw**.
+    pub const S_AW: SharingPolicy = SharingPolicy {
+        exploit_sparsity: true,
+        width: WidthMode::ActivationThenSwap,
+    };
+    /// **S+aW**.
+    pub const S_A_W: SharingPolicy = SharingPolicy {
+        exploit_sparsity: true,
+        width: WidthMode::WeightThenSwap,
+    };
+    /// The pure precision-reduction baseline (no sparsity, no width checks):
+    /// every collision rounds the activations. Equivalent to the worst-case
+    /// whole-model A4W8 quantization of Fig. 7.
+    pub const NAIVE: SharingPolicy = SharingPolicy {
+        exploit_sparsity: false,
+        width: WidthMode::None,
+    };
+
+    /// All the named policies from Table III (activation family).
+    pub fn table3_activation_family() -> Vec<(&'static str, SharingPolicy)> {
+        vec![
+            ("S", Self::S),
+            ("A", Self::A),
+            ("Aw", Self::AW),
+            ("S+A", Self::S_A),
+            ("S+Aw", Self::S_AW),
+        ]
+    }
+
+    /// All the named policies from Table III (weight family, used for
+    /// ResNet-50).
+    pub fn table3_weight_family() -> Vec<(&'static str, SharingPolicy)> {
+        vec![
+            ("S", Self::S),
+            ("W", Self::W),
+            ("aW", Self::A_W),
+            ("S+W", Self::S_W),
+            ("S+aW", Self::S_A_W),
+        ]
+    }
+
+    /// Short label for the policy ("S+A", …).
+    pub fn label(&self) -> &'static str {
+        match (self.exploit_sparsity, self.width) {
+            (true, WidthMode::None) => "S",
+            (false, WidthMode::Activation) => "A",
+            (false, WidthMode::Weight) => "W",
+            (false, WidthMode::ActivationThenSwap) => "Aw",
+            (false, WidthMode::WeightThenSwap) => "aW",
+            (true, WidthMode::Activation) => "S+A",
+            (true, WidthMode::Weight) => "S+W",
+            (true, WidthMode::ActivationThenSwap) => "S+Aw",
+            (true, WidthMode::WeightThenSwap) => "S+aW",
+            (false, WidthMode::None) => "naive",
+        }
+    }
+}
+
+impl Default for SharingPolicy {
+    /// The paper's default operating policy, S+A.
+    fn default() -> Self {
+        Self::S_A
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for (name, p) in SharingPolicy::table3_activation_family() {
+            assert_eq!(p.label(), name);
+        }
+        for (name, p) in SharingPolicy::table3_weight_family() {
+            assert_eq!(p.label(), name);
+        }
+        assert_eq!(SharingPolicy::NAIVE.label(), "naive");
+        assert_eq!(SharingPolicy::default().label(), "S+A");
+    }
+
+    #[test]
+    fn width_mode_predicates() {
+        assert!(WidthMode::None.reduces_activation());
+        assert!(WidthMode::Activation.reduces_activation());
+        assert!(!WidthMode::Weight.reduces_activation());
+        assert!(WidthMode::ActivationThenSwap.allows_swap());
+        assert!(WidthMode::WeightThenSwap.allows_swap());
+        assert!(!WidthMode::Activation.allows_swap());
+    }
+
+    #[test]
+    fn families_have_five_members() {
+        assert_eq!(SharingPolicy::table3_activation_family().len(), 5);
+        assert_eq!(SharingPolicy::table3_weight_family().len(), 5);
+    }
+}

@@ -1,0 +1,223 @@
+//! Energy model (Eq. 6 of the paper).
+//!
+//! The energy of layer `l` is `E_l = (MAC_l / Throughput) · P_l`, where
+//! `MAC_l` is the number of MAC operations in the layer, `Throughput` is the
+//! design's peak MAC rate, and `P_l` is the power drawn at the layer's
+//! utilization. The model energy is the sum over all layers, and the paper
+//! reports the energy *saving* of SySMT relative to the conventional array.
+
+use serde::{Deserialize, Serialize};
+
+use crate::power::power_model;
+use crate::table2::{design_parameters, DesignPoint};
+
+/// Per-layer input to the energy model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerEnergyInput {
+    /// MAC operations of the layer.
+    pub mac_ops: u64,
+    /// Array utilization while executing the layer on the design being
+    /// evaluated.
+    pub utilization: f64,
+    /// Number of threads the layer runs with on the SySMT design (1, 2, or
+    /// 4); the effective throughput of a layer running slower than the
+    /// design's maximum thread count scales down proportionally.
+    pub threads: usize,
+}
+
+/// Energy model for one design point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    point: DesignPoint,
+}
+
+impl EnergyModel {
+    /// Creates an energy model for a design point.
+    pub fn new(point: DesignPoint) -> Self {
+        EnergyModel { point }
+    }
+
+    /// The design point being modeled.
+    pub fn point(&self) -> DesignPoint {
+        self.point
+    }
+
+    /// Energy of one layer in millijoules (Eq. 6).
+    ///
+    /// The layer's effective throughput is the design's peak throughput
+    /// scaled by `threads / design_threads` (a 4T design running a layer at
+    /// 2 threads streams it at half rate).
+    pub fn layer_energy_mj(&self, layer: &LayerEnergyInput) -> f64 {
+        let params = design_parameters(self.point);
+        let design_threads = self.point.threads();
+        let thread_fraction =
+            layer.threads.clamp(1, design_threads) as f64 / design_threads as f64;
+        let throughput_macs_per_s = params.throughput_gmacs * 1e9 * thread_fraction;
+        let seconds = layer.mac_ops as f64 / throughput_macs_per_s;
+        let power_w = power_model(self.point).power_mw(layer.utilization) / 1e3;
+        seconds * power_w * 1e3
+    }
+
+    /// Total energy of a model (sum over layers), in millijoules.
+    pub fn model_energy_mj(&self, layers: &[LayerEnergyInput]) -> f64 {
+        layers.iter().map(|l| self.layer_energy_mj(l)).sum()
+    }
+}
+
+/// Energy comparison of a SySMT design against the baseline array for the
+/// same model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyComparison {
+    /// Baseline array energy in mJ.
+    pub baseline_mj: f64,
+    /// SySMT energy in mJ.
+    pub sysmt_mj: f64,
+}
+
+impl EnergyComparison {
+    /// Fractional energy saving of SySMT over the baseline (0.33 = 33 %).
+    pub fn saving(&self) -> f64 {
+        if self.baseline_mj == 0.0 {
+            0.0
+        } else {
+            1.0 - self.sysmt_mj / self.baseline_mj
+        }
+    }
+}
+
+/// Computes the energy comparison between the baseline array and a SySMT
+/// design for a model described by per-layer MAC counts and utilizations.
+///
+/// `baseline_layers` carries each layer's utilization on the conventional
+/// array (threads is ignored and treated as 1); `sysmt_layers` carries the
+/// utilization and per-layer thread count on the SySMT design. Both slices
+/// must describe the same layers in the same order.
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths.
+pub fn compare_energy(
+    sysmt_point: DesignPoint,
+    baseline_layers: &[LayerEnergyInput],
+    sysmt_layers: &[LayerEnergyInput],
+) -> EnergyComparison {
+    assert_eq!(
+        baseline_layers.len(),
+        sysmt_layers.len(),
+        "layer lists must match"
+    );
+    let baseline_model = EnergyModel::new(DesignPoint::Baseline);
+    let sysmt_model = EnergyModel::new(sysmt_point);
+    let baseline_mj = baseline_layers
+        .iter()
+        .map(|l| {
+            baseline_model.layer_energy_mj(&LayerEnergyInput {
+                threads: 1,
+                ..*l
+            })
+        })
+        .sum();
+    let sysmt_mj = sysmt_model.model_energy_mj(sysmt_layers);
+    EnergyComparison {
+        baseline_mj,
+        sysmt_mj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_energy_follows_eq6() {
+        let model = EnergyModel::new(DesignPoint::Baseline);
+        let layer = LayerEnergyInput {
+            mac_ops: 256_000_000,
+            utilization: 0.4,
+            threads: 1,
+        };
+        // 256e6 MACs / 256 GMACS = 1 ms; at 277 mW that is 0.277 mJ.
+        let e = model.layer_energy_mj(&layer);
+        assert!((e - 0.277).abs() < 1e-6, "energy {e}");
+    }
+
+    #[test]
+    fn two_thread_energy_saving_matches_paper_shape() {
+        // A layer with 40% baseline utilization runs at ~80% utilization on a
+        // 2T SySMT in half the time; the paper reports ~33% average saving.
+        let baseline = vec![LayerEnergyInput {
+            mac_ops: 1_000_000_000,
+            utilization: 0.4,
+            threads: 1,
+        }];
+        let sysmt = vec![LayerEnergyInput {
+            mac_ops: 1_000_000_000,
+            utilization: 0.8,
+            threads: 2,
+        }];
+        let cmp = compare_energy(DesignPoint::Sysmt2T, &baseline, &sysmt);
+        let saving = cmp.saving();
+        assert!(
+            saving > 0.15 && saving < 0.45,
+            "2T energy saving {saving} out of the expected band"
+        );
+    }
+
+    #[test]
+    fn slowed_layers_consume_more_energy_on_sysmt() {
+        let layer_fast = LayerEnergyInput {
+            mac_ops: 500_000_000,
+            utilization: 0.7,
+            threads: 4,
+        };
+        let layer_slow = LayerEnergyInput {
+            threads: 2,
+            ..layer_fast
+        };
+        let model = EnergyModel::new(DesignPoint::Sysmt4T);
+        assert!(model.layer_energy_mj(&layer_slow) > model.layer_energy_mj(&layer_fast));
+    }
+
+    #[test]
+    fn model_energy_sums_layers() {
+        let model = EnergyModel::new(DesignPoint::Baseline);
+        let layers = vec![
+            LayerEnergyInput {
+                mac_ops: 100_000_000,
+                utilization: 0.5,
+                threads: 1,
+            },
+            LayerEnergyInput {
+                mac_ops: 200_000_000,
+                utilization: 0.3,
+                threads: 1,
+            },
+        ];
+        let total = model.model_energy_mj(&layers);
+        let sum: f64 = layers.iter().map(|l| model.layer_energy_mj(l)).sum();
+        assert!((total - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saving_handles_zero_baseline() {
+        let cmp = EnergyComparison {
+            baseline_mj: 0.0,
+            sysmt_mj: 1.0,
+        };
+        assert_eq!(cmp.saving(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer lists must match")]
+    fn compare_energy_rejects_mismatched_layers() {
+        compare_energy(
+            DesignPoint::Sysmt2T,
+            &[],
+            &[LayerEnergyInput {
+                mac_ops: 1,
+                utilization: 0.5,
+                threads: 2,
+            }],
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! # nbsmt-hw
+//!
+//! Analytic area, power, and energy model for the SySMT evaluation,
+//! calibrated to the paper's published 45 nm synthesis results (Table II).
+//!
+//! * [`table2`] — the design parameters of the baseline 16×16 systolic array
+//!   and the 2T / 4T SySMT cores (area, throughput, power at 80 %
+//!   utilization),
+//! * [`power`] — a utilization-dependent linear power model fitted to the
+//!   published operating points, plus the synthetic utilization testbench,
+//! * [`energy`] — the Eq. 6 per-layer energy model and baseline-vs-SySMT
+//!   comparisons.
+//!
+//! ```
+//! use nbsmt_hw::energy::{EnergyModel, LayerEnergyInput};
+//! use nbsmt_hw::table2::DesignPoint;
+//!
+//! let model = EnergyModel::new(DesignPoint::Baseline);
+//! let layer = LayerEnergyInput { mac_ops: 256_000_000, utilization: 0.4, threads: 1 };
+//! // 1 ms at 277 mW ≈ 0.277 mJ.
+//! assert!((model.layer_energy_mj(&layer) - 0.277).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod power;
+pub mod table2;
+
+pub use energy::{compare_energy, EnergyComparison, EnergyModel, LayerEnergyInput};
+pub use power::{power_model, utilization_sweep, PowerModel};
+pub use table2::{design_parameters, DesignParameters, DesignPoint};

@@ -1,0 +1,164 @@
+//! Design parameters of the evaluated cores (Table II of the paper).
+//!
+//! The paper synthesizes a 16×16 output-stationary systolic array and its
+//! 2-threaded and 4-threaded SySMT variants at 45 nm / 500 MHz with Synopsys
+//! Design Compiler and extracts area and power with Cadence Innovus. Those
+//! tools are not available offline, so this module carries the published
+//! Table II numbers as the calibration points of an analytic model
+//! (see DESIGN.md, substitution 2); everything derived from them (power vs
+//! utilization, per-layer energy, energy savings) is computed by this crate
+//! rather than copied.
+
+use serde::{Deserialize, Serialize};
+
+/// The three evaluated design points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DesignPoint {
+    /// The conventional 16×16 output-stationary systolic array.
+    Baseline,
+    /// The 2-threaded SySMT.
+    Sysmt2T,
+    /// The 4-threaded SySMT.
+    Sysmt4T,
+}
+
+impl DesignPoint {
+    /// Number of threads per PE.
+    pub fn threads(self) -> usize {
+        match self {
+            DesignPoint::Baseline => 1,
+            DesignPoint::Sysmt2T => 2,
+            DesignPoint::Sysmt4T => 4,
+        }
+    }
+
+    /// Display label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            DesignPoint::Baseline => "SA",
+            DesignPoint::Sysmt2T => "2T SySMT",
+            DesignPoint::Sysmt4T => "4T SySMT",
+        }
+    }
+
+    /// All design points in Table II order.
+    pub fn all() -> [DesignPoint; 3] {
+        [
+            DesignPoint::Baseline,
+            DesignPoint::Sysmt2T,
+            DesignPoint::Sysmt4T,
+        ]
+    }
+}
+
+/// Physical design parameters of one design point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignParameters {
+    /// Array dimension (16 for the paper's evaluation).
+    pub array_size: usize,
+    /// Clock frequency in MHz.
+    pub frequency_mhz: f64,
+    /// Peak throughput in GMAC/s (scaled by the thread count for SySMT).
+    pub throughput_gmacs: f64,
+    /// Power at 80 % utilization, in mW (the Table II operating point).
+    pub power_mw_at_80: f64,
+    /// Total core area in mm².
+    pub total_area_mm2: f64,
+    /// Single PE area in µm² (registers, control, MAC).
+    pub pe_area_um2: f64,
+    /// MAC unit area in µm² (two-stage pipeline including registers).
+    pub mac_area_um2: f64,
+}
+
+/// Returns the Table II design parameters for a design point.
+pub fn design_parameters(point: DesignPoint) -> DesignParameters {
+    match point {
+        DesignPoint::Baseline => DesignParameters {
+            array_size: 16,
+            frequency_mhz: 500.0,
+            throughput_gmacs: 256.0,
+            power_mw_at_80: 320.0,
+            total_area_mm2: 0.220,
+            pe_area_um2: 853.0,
+            mac_area_um2: 591.0,
+        },
+        DesignPoint::Sysmt2T => DesignParameters {
+            array_size: 16,
+            frequency_mhz: 500.0,
+            throughput_gmacs: 512.0,
+            power_mw_at_80: 429.0,
+            total_area_mm2: 0.317,
+            pe_area_um2: 1233.0,
+            mac_area_um2: 786.0,
+        },
+        DesignPoint::Sysmt4T => DesignParameters {
+            array_size: 16,
+            frequency_mhz: 500.0,
+            throughput_gmacs: 1024.0,
+            power_mw_at_80: 723.0,
+            total_area_mm2: 0.545,
+            pe_area_um2: 2122.0,
+            mac_area_um2: 1102.0,
+        },
+    }
+}
+
+impl DesignParameters {
+    /// Area overhead of this design relative to the baseline array.
+    pub fn area_ratio_vs_baseline(&self) -> f64 {
+        self.total_area_mm2 / design_parameters(DesignPoint::Baseline).total_area_mm2
+    }
+
+    /// Number of PEs in the array.
+    pub fn pe_count(&self) -> usize {
+        self.array_size * self.array_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_counts_and_labels() {
+        assert_eq!(DesignPoint::Baseline.threads(), 1);
+        assert_eq!(DesignPoint::Sysmt2T.threads(), 2);
+        assert_eq!(DesignPoint::Sysmt4T.threads(), 4);
+        assert_eq!(DesignPoint::Sysmt2T.label(), "2T SySMT");
+        assert_eq!(DesignPoint::all().len(), 3);
+    }
+
+    #[test]
+    fn throughput_scales_with_threads() {
+        let base = design_parameters(DesignPoint::Baseline);
+        for point in DesignPoint::all() {
+            let p = design_parameters(point);
+            assert!(
+                (p.throughput_gmacs - base.throughput_gmacs * point.threads() as f64).abs() < 1e-9
+            );
+            assert_eq!(p.pe_count(), 256);
+        }
+    }
+
+    #[test]
+    fn area_ratios_match_paper_headline() {
+        // Paper abstract: 2T SySMT consumes 1.4x the area, 4T about 2.5x.
+        let r2 = design_parameters(DesignPoint::Sysmt2T).area_ratio_vs_baseline();
+        let r4 = design_parameters(DesignPoint::Sysmt4T).area_ratio_vs_baseline();
+        assert!((r2 - 1.44).abs() < 0.05, "2T area ratio {r2}");
+        assert!((r4 - 2.48).abs() < 0.05, "4T area ratio {r4}");
+    }
+
+    #[test]
+    fn per_pe_area_is_consistent_with_total() {
+        // 256 PEs at the quoted per-PE area account for most of (and never
+        // exceed) the total core area.
+        for point in DesignPoint::all() {
+            let p = design_parameters(point);
+            let pe_total_mm2 = p.pe_area_um2 * p.pe_count() as f64 / 1e6;
+            assert!(pe_total_mm2 <= p.total_area_mm2 * 1.05);
+            assert!(pe_total_mm2 >= p.total_area_mm2 * 0.5);
+            assert!(p.mac_area_um2 < p.pe_area_um2);
+        }
+    }
+}

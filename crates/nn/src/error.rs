@@ -1,0 +1,72 @@
+//! Error type for the neural-network framework.
+
+use std::error::Error;
+use std::fmt;
+
+use nbsmt_tensor::error::TensorError;
+
+/// Error returned by model construction, inference, and training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A layer received an input of an unexpected shape.
+    ShapeMismatch {
+        /// The layer that rejected its input.
+        layer: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The model configuration is inconsistent (e.g. empty model, label out
+    /// of range).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::ShapeMismatch { layer, detail } => {
+                write!(f, "shape mismatch in {layer}: {detail}")
+            }
+            NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = NnError::from(TensorError::InvalidArgument("bad".into()));
+        assert!(e.to_string().contains("tensor error"));
+        assert!(e.source().is_some());
+
+        let e = NnError::ShapeMismatch {
+            layer: "conv1".into(),
+            detail: "expected 3 channels".into(),
+        };
+        assert!(e.to_string().contains("conv1"));
+        assert!(e.source().is_none());
+
+        let e = NnError::InvalidConfig("empty model".into());
+        assert!(e.to_string().contains("empty model"));
+    }
+}

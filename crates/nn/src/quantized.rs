@@ -1,0 +1,535 @@
+//! Quantized model execution with a pluggable GEMM engine.
+//!
+//! The paper simulates SySMT by mapping every convolution to a matrix
+//! multiplication and replacing that multiplication with the NB-SMT
+//! emulation. This module mirrors that flow: a trained floating-point
+//! [`Model`] is calibrated (per-layer activation ranges, per-kernel weight
+//! scales, batch-norm recalibration) and then executed layer by layer with
+//! the conv/linear GEMMs delegated to a [`GemmEngine`]. The engine is the
+//! integration point for `nbsmt-core`: the reference engine reproduces the
+//! error-free 8-bit baseline, while an NB-SMT engine injects exactly the
+//! error the hardware would.
+
+use nbsmt_quant::observer::MinMaxObserver;
+use nbsmt_quant::qtensor::{QuantMatrix, QuantWeightMatrix};
+use nbsmt_quant::quantize::{
+    quantize_activations, quantize_weights, quantized_matmul, reduce_activation_matrix,
+    reduce_weight_matrix,
+};
+use nbsmt_quant::scheme::{OperatingPoint, QuantScheme};
+use nbsmt_tensor::ops::{self, Conv2dParams};
+use nbsmt_tensor::tensor::{Matrix, Tensor};
+
+use crate::error::NnError;
+use crate::layers::{Conv2d, Linear};
+use crate::model::{forward_layer, Layer, Model};
+
+/// A matrix-multiplication engine used to execute quantized compute layers.
+///
+/// Implementations receive the quantized activation matrix and the quantized
+/// weight matrix of one layer and return the dequantized output matrix. The
+/// `layer_index` identifies the compute layer (0-based over compute layers
+/// only), which lets engines apply per-layer thread counts.
+pub trait GemmEngine {
+    /// Executes one layer's GEMM.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when dimensions mismatch or the engine fails.
+    fn gemm(
+        &mut self,
+        layer_index: usize,
+        x: &QuantMatrix,
+        w: &QuantWeightMatrix,
+    ) -> Result<Matrix<f32>, NnError>;
+}
+
+/// The error-free 8-bit reference engine (the conventional systolic array).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceEngine;
+
+impl GemmEngine for ReferenceEngine {
+    fn gemm(
+        &mut self,
+        _layer_index: usize,
+        x: &QuantMatrix,
+        w: &QuantWeightMatrix,
+    ) -> Result<Matrix<f32>, NnError> {
+        Ok(quantized_matmul(x, w)?)
+    }
+}
+
+/// An engine that statically reduces activations and/or weights to 4 bits
+/// before the error-free multiplication — the whole-model robustness points
+/// of Fig. 7 (A4W8, A8W4, A4W4).
+#[derive(Debug, Clone, Copy)]
+pub struct ReducedPrecisionEngine {
+    /// The operating point to emulate.
+    pub point: OperatingPoint,
+}
+
+impl GemmEngine for ReducedPrecisionEngine {
+    fn gemm(
+        &mut self,
+        _layer_index: usize,
+        x: &QuantMatrix,
+        w: &QuantWeightMatrix,
+    ) -> Result<Matrix<f32>, NnError> {
+        let x = reduce_activation_matrix(x, self.point.activation_bits);
+        let w = reduce_weight_matrix(w, self.point.weight_bits);
+        Ok(quantized_matmul(&x, &w)?)
+    }
+}
+
+/// Calibration data for one compute layer.
+#[derive(Debug, Clone, PartialEq)]
+struct LayerCalibration {
+    /// Averaged (min, max) of the layer's input activations.
+    input_range: (f32, f32),
+}
+
+/// A quantized view of a trained model, ready to execute with any
+/// [`GemmEngine`].
+#[derive(Debug, Clone)]
+pub struct QuantizedModel {
+    model: Model,
+    calibrations: Vec<LayerCalibration>,
+    activation_scheme: QuantScheme,
+    weight_scheme: QuantScheme,
+}
+
+impl QuantizedModel {
+    /// Calibrates a trained model on a batch of representative inputs: the
+    /// paper's "quick statistics gathering run" (averaged min/max per layer,
+    /// batch-norm recalibration happens on the float model beforehand).
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors; fails on models without compute
+    /// layers.
+    pub fn calibrate(model: &Model, calibration_inputs: &[Tensor<f32>]) -> Result<Self, NnError> {
+        if model.compute_layer_count() == 0 {
+            return Err(NnError::InvalidConfig(
+                "model has no conv/linear layers to quantize".into(),
+            ));
+        }
+        if calibration_inputs.is_empty() {
+            return Err(NnError::InvalidConfig("no calibration inputs".into()));
+        }
+        let mut observers: Vec<MinMaxObserver> =
+            vec![MinMaxObserver::new(); model.compute_layer_count()];
+        for input in calibration_inputs {
+            let (layer_inputs, _) = model.forward_collect(input)?;
+            let mut compute_idx = 0usize;
+            for (layer, layer_input) in model.layers().iter().zip(layer_inputs.iter()) {
+                if layer.is_compute_layer() {
+                    observers[compute_idx].observe(layer_input.as_slice());
+                    compute_idx += 1;
+                }
+            }
+        }
+        let calibrations = observers
+            .iter()
+            .map(|o| LayerCalibration {
+                input_range: o.averaged_range(),
+            })
+            .collect();
+        Ok(QuantizedModel {
+            model: model.clone(),
+            calibrations,
+            activation_scheme: QuantScheme::activation_a8(),
+            weight_scheme: QuantScheme::weight_w8(),
+        })
+    }
+
+    /// The underlying floating-point model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Number of quantized compute layers.
+    pub fn compute_layer_count(&self) -> usize {
+        self.calibrations.len()
+    }
+
+    /// Quantizes the weights of compute layer `index` (0-based over compute
+    /// layers) into the GEMM layout, returning `(weights, conv_geometry)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the index is out of range.
+    pub fn quantized_weights(
+        &self,
+        index: usize,
+    ) -> Result<(QuantWeightMatrix, Option<Conv2dParams>), NnError> {
+        let mut compute_idx = 0usize;
+        for layer in self.model.layers() {
+            if !layer.is_compute_layer() {
+                continue;
+            }
+            if compute_idx == index {
+                return match layer {
+                    Layer::Conv2d(conv) => {
+                        let wmat = ops::filters_to_matrix(&conv.weight, &conv.params, 0)?;
+                        let w = quantize_weights(&wmat.try_into()?, &self.weight_scheme);
+                        Ok((w, Some(conv.params)))
+                    }
+                    Layer::Linear(lin) => {
+                        let w = quantize_weights(
+                            &lin.weight.clone().try_into()?,
+                            &self.weight_scheme,
+                        );
+                        Ok((w, None))
+                    }
+                    _ => unreachable!("is_compute_layer guarantees conv or linear"),
+                };
+            }
+            compute_idx += 1;
+        }
+        Err(NnError::InvalidConfig(format!(
+            "compute layer index {index} out of range"
+        )))
+    }
+
+    /// Executes the quantized model on a batch of inputs with the given GEMM
+    /// engine, returning the output logits.
+    ///
+    /// Non-compute layers (ReLU, pooling, batch norm, flatten) run in floating
+    /// point between the quantized GEMMs, exactly as the paper's PyTorch
+    /// simulation does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer and engine errors.
+    pub fn forward_with<E: GemmEngine>(
+        &self,
+        input: &Tensor<f32>,
+        engine: &mut E,
+    ) -> Result<Tensor<f32>, NnError> {
+        let mut x = input.clone();
+        let mut compute_idx = 0usize;
+        for layer in self.model.layers() {
+            match layer {
+                Layer::Conv2d(conv) => {
+                    x = self.run_conv(conv, &x, compute_idx, engine)?;
+                    compute_idx += 1;
+                }
+                Layer::Linear(lin) => {
+                    x = self.run_linear(lin, &x, compute_idx, engine)?;
+                    compute_idx += 1;
+                }
+                other => {
+                    x = forward_layer(other, &x)?;
+                }
+            }
+        }
+        Ok(x)
+    }
+
+    /// Classification accuracy of the quantized model under the given engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer and engine errors.
+    pub fn accuracy_with<E: GemmEngine>(
+        &self,
+        images: &Tensor<f32>,
+        labels: &[usize],
+        engine: &mut E,
+    ) -> Result<f64, NnError> {
+        let logits = self.forward_with(images, engine)?;
+        let preds = Model::argmax(&logits);
+        if labels.is_empty() {
+            return Ok(0.0);
+        }
+        Ok(preds
+            .iter()
+            .zip(labels.iter())
+            .filter(|(p, l)| p == l)
+            .count() as f64
+            / labels.len() as f64)
+    }
+
+    /// Collects the quantized `(X, W)` GEMM operands of every compute layer
+    /// for one input batch. This is the layer-trace interface used by the
+    /// per-layer MSE and utilization experiments (Figs. 8 and 9).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn layer_traces(
+        &self,
+        input: &Tensor<f32>,
+    ) -> Result<Vec<(QuantMatrix, QuantWeightMatrix)>, NnError> {
+        let mut traces = Vec::new();
+        let mut x = input.clone();
+        let mut compute_idx = 0usize;
+        for layer in self.model.layers() {
+            match layer {
+                Layer::Conv2d(conv) => {
+                    let (qx, qw) = self.conv_operands(conv, &x, compute_idx)?;
+                    traces.push((qx, qw));
+                    x = conv.forward(&x)?;
+                    compute_idx += 1;
+                }
+                Layer::Linear(lin) => {
+                    let (qx, qw) = self.linear_operands(lin, &x, compute_idx)?;
+                    traces.push((qx, qw));
+                    x = lin.forward(&x)?;
+                    compute_idx += 1;
+                }
+                other => {
+                    x = forward_layer(other, &x)?;
+                }
+            }
+        }
+        Ok(traces)
+    }
+
+    fn conv_operands(
+        &self,
+        conv: &Conv2d,
+        input: &Tensor<f32>,
+        compute_idx: usize,
+    ) -> Result<(QuantMatrix, QuantWeightMatrix), NnError> {
+        let cols = ops::im2col(input, &conv.params, 0)?;
+        let range = self.calibrations[compute_idx].input_range;
+        let qx = quantize_activations(&cols.try_into()?, &self.activation_scheme, Some(range));
+        let wmat = ops::filters_to_matrix(&conv.weight, &conv.params, 0)?;
+        let qw = quantize_weights(&wmat.try_into()?, &self.weight_scheme);
+        Ok((qx, qw))
+    }
+
+    fn linear_operands(
+        &self,
+        lin: &Linear,
+        input: &Tensor<f32>,
+        compute_idx: usize,
+    ) -> Result<(QuantMatrix, QuantWeightMatrix), NnError> {
+        let range = self.calibrations[compute_idx].input_range;
+        let qx = quantize_activations(
+            &input.clone().try_into()?,
+            &self.activation_scheme,
+            Some(range),
+        );
+        let qw = quantize_weights(&lin.weight.clone().try_into()?, &self.weight_scheme);
+        Ok((qx, qw))
+    }
+
+    fn run_conv<E: GemmEngine>(
+        &self,
+        conv: &Conv2d,
+        input: &Tensor<f32>,
+        compute_idx: usize,
+        engine: &mut E,
+    ) -> Result<Tensor<f32>, NnError> {
+        if conv.params.groups != 1 {
+            // Depthwise/grouped convolutions are executed in float; the paper
+            // likewise runs MobileNet's depthwise convolutions at one thread.
+            return conv.forward(input);
+        }
+        let dims = input.shape().dims();
+        let (n, h, w) = (dims[0], dims[2], dims[3]);
+        let oh = conv.params.output_size(h);
+        let ow = conv.params.output_size(w);
+        let (qx, qw) = self.conv_operands(conv, input, compute_idx)?;
+        let gemm = engine.gemm(compute_idx, &qx, &qw)?;
+        let mut gemm_t: Tensor<f32> = gemm.into();
+        // Add bias per output channel.
+        {
+            let oc = conv.params.out_channels;
+            let s = gemm_t.as_mut_slice();
+            for r in 0..n * oh * ow {
+                for c in 0..oc {
+                    s[r * oc + c] += conv.bias[c];
+                }
+            }
+        }
+        Ok(ops::col2im(&gemm_t, n, conv.params.out_channels, oh, ow)?)
+    }
+
+    fn run_linear<E: GemmEngine>(
+        &self,
+        lin: &Linear,
+        input: &Tensor<f32>,
+        compute_idx: usize,
+        engine: &mut E,
+    ) -> Result<Tensor<f32>, NnError> {
+        let (qx, qw) = self.linear_operands(lin, input, compute_idx)?;
+        let gemm = engine.gemm(compute_idx, &qx, &qw)?;
+        let mut out: Tensor<f32> = gemm.into();
+        let s = out.as_mut_slice();
+        let n = input.shape().dim(0);
+        for r in 0..n {
+            for c in 0..lin.out_features {
+                s[r * lin.out_features + c] += lin.bias[c];
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Flatten, MaxPool2, Relu};
+    use nbsmt_tensor::random::{SynthesisConfig, TensorSynthesizer};
+
+    fn small_model(seed: u64) -> Model {
+        let mut synth = TensorSynthesizer::new(seed);
+        let mut m = Model::new("quant-test");
+        m.push(Layer::Conv2d(Conv2d::new(
+            Conv2dParams::new(1, 4, 3, 1, 1),
+            &mut synth,
+        )))
+        .push(Layer::Relu(Relu))
+        .push(Layer::MaxPool2(MaxPool2))
+        .push(Layer::Flatten(Flatten))
+        .push(Layer::Linear(Linear::new(4 * 4 * 4, 3, &mut synth)));
+        m
+    }
+
+    fn inputs(seed: u64, n: usize) -> Tensor<f32> {
+        let mut synth = TensorSynthesizer::new(seed);
+        synth.tensor(&SynthesisConfig::activation(1.0, 0.3), &[n, 1, 8, 8])
+    }
+
+    #[test]
+    fn calibration_requires_compute_layers_and_inputs() {
+        let m = small_model(1);
+        assert!(QuantizedModel::calibrate(&m, &[]).is_err());
+        let empty = Model::new("empty");
+        assert!(QuantizedModel::calibrate(&empty, &[inputs(2, 1)]).is_err());
+        let q = QuantizedModel::calibrate(&m, &[inputs(2, 4)]).unwrap();
+        assert_eq!(q.compute_layer_count(), 2);
+    }
+
+    #[test]
+    fn reference_engine_tracks_float_model_closely() {
+        let m = small_model(3);
+        let calib = inputs(4, 8);
+        let q = QuantizedModel::calibrate(&m, &[calib]).unwrap();
+        let test = inputs(5, 6);
+        let float_out = m.forward(&test).unwrap();
+        let quant_out = q.forward_with(&test, &mut ReferenceEngine).unwrap();
+        assert_eq!(float_out.shape().dims(), quant_out.shape().dims());
+        // 8-bit quantization error should be small relative to the logits:
+        // bounded worst case, and small on average.
+        let mut max_rel = 0.0_f32;
+        let mut mean_rel = 0.0_f32;
+        for (a, b) in quant_out.as_slice().iter().zip(float_out.as_slice()) {
+            let rel = (a - b).abs() / (b.abs() + 1.0);
+            max_rel = max_rel.max(rel);
+            mean_rel += rel;
+        }
+        mean_rel /= quant_out.numel() as f32;
+        assert!(max_rel < 0.5, "max relative deviation {max_rel}");
+        assert!(mean_rel < 0.1, "mean relative deviation {mean_rel}");
+    }
+
+    #[test]
+    fn argmax_agreement_between_float_and_quantized() {
+        let m = small_model(7);
+        let q = QuantizedModel::calibrate(&m, &[inputs(8, 8)]).unwrap();
+        let test = inputs(9, 16);
+        let float_preds = Model::argmax(&m.forward(&test).unwrap());
+        let quant_preds = Model::argmax(&q.forward_with(&test, &mut ReferenceEngine).unwrap());
+        let agree = float_preds
+            .iter()
+            .zip(quant_preds.iter())
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(
+            agree as f64 / float_preds.len() as f64 >= 0.8,
+            "only {agree}/{} predictions agree",
+            float_preds.len()
+        );
+    }
+
+    #[test]
+    fn reduced_precision_engine_degrades_gracefully() {
+        let m = small_model(11);
+        let q = QuantizedModel::calibrate(&m, &[inputs(12, 8)]).unwrap();
+        let test = inputs(13, 8);
+        let baseline = q.forward_with(&test, &mut ReferenceEngine).unwrap();
+        let mut a4 = ReducedPrecisionEngine {
+            point: OperatingPoint::A4W8,
+        };
+        let reduced = q.forward_with(&test, &mut a4).unwrap();
+        // Outputs differ (precision was reduced) but stay in the same ballpark.
+        let mut total_dev = 0.0_f64;
+        for (a, b) in reduced.as_slice().iter().zip(baseline.as_slice()) {
+            total_dev += (a - b).abs() as f64;
+        }
+        assert!(total_dev > 0.0, "A4W8 must differ from A8W8");
+        let mean_dev = total_dev / baseline.numel() as f64;
+        let mean_mag = baseline
+            .as_slice()
+            .iter()
+            .map(|v| v.abs() as f64)
+            .sum::<f64>()
+            / baseline.numel() as f64;
+        assert!(mean_dev < mean_mag, "A4W8 deviation should stay bounded");
+    }
+
+    #[test]
+    fn a4w4_is_noisier_than_a4w8() {
+        let m = small_model(17);
+        let q = QuantizedModel::calibrate(&m, &[inputs(18, 8)]).unwrap();
+        let test = inputs(19, 8);
+        let baseline = q.forward_with(&test, &mut ReferenceEngine).unwrap();
+        let dev = |point: OperatingPoint| {
+            let mut engine = ReducedPrecisionEngine { point };
+            let out = q.forward_with(&test, &mut engine).unwrap();
+            out.as_slice()
+                .iter()
+                .zip(baseline.as_slice())
+                .map(|(a, b)| ((a - b) as f64).powi(2))
+                .sum::<f64>()
+        };
+        let a4w8 = dev(OperatingPoint::A4W8);
+        let a4w4 = dev(OperatingPoint::A4W4);
+        assert!(a4w4 >= a4w8, "A4W4 ({a4w4}) should be at least as noisy as A4W8 ({a4w8})");
+    }
+
+    #[test]
+    fn layer_traces_expose_every_compute_layer() {
+        let m = small_model(23);
+        let q = QuantizedModel::calibrate(&m, &[inputs(24, 4)]).unwrap();
+        let traces = q.layer_traces(&inputs(25, 2)).unwrap();
+        assert_eq!(traces.len(), 2);
+        // Conv trace: rows = N*OH*OW = 2*8*8, cols = C*K*K = 9.
+        assert_eq!(traces[0].0.rows(), 2 * 8 * 8);
+        assert_eq!(traces[0].0.cols(), 9);
+        assert_eq!(traces[0].1.rows(), 9);
+        assert_eq!(traces[0].1.cols(), 4);
+        // Linear trace: rows = N, cols = 64.
+        assert_eq!(traces[1].0.rows(), 2);
+        assert_eq!(traces[1].0.cols(), 64);
+    }
+
+    #[test]
+    fn quantized_weights_accessor() {
+        let m = small_model(29);
+        let q = QuantizedModel::calibrate(&m, &[inputs(30, 4)]).unwrap();
+        let (w0, conv_params) = q.quantized_weights(0).unwrap();
+        assert_eq!(w0.cols(), 4);
+        assert!(conv_params.is_some());
+        let (w1, none) = q.quantized_weights(1).unwrap();
+        assert_eq!(w1.cols(), 3);
+        assert!(none.is_none());
+        assert!(q.quantized_weights(2).is_err());
+    }
+
+    #[test]
+    fn accuracy_with_engine_runs() {
+        let m = small_model(31);
+        let q = QuantizedModel::calibrate(&m, &[inputs(32, 4)]).unwrap();
+        let test = inputs(33, 5);
+        let acc = q
+            .accuracy_with(&test, &[0, 1, 2, 0, 1], &mut ReferenceEngine)
+            .unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+        assert_eq!(q.accuracy_with(&test, &[], &mut ReferenceEngine).unwrap(), 0.0);
+    }
+}

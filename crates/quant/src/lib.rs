@@ -1,0 +1,42 @@
+//! # nbsmt-quant
+//!
+//! Quantization substrate for the NB-SMT / SySMT reproduction.
+//!
+//! The paper quantizes its CNNs with simple 8-bit uniform min-max
+//! quantization — symmetric unsigned per-layer scales for activations and
+//! symmetric signed per-kernel scales for weights — and then relies on
+//! on-the-fly 4-bit precision reduction inside the SySMT processing elements
+//! when threads collide. This crate provides all of those pieces:
+//!
+//! * [`scheme`] — bit widths, signedness, granularity, operating points
+//!   (A8W8 / A4W8 / A8W4 / A4W4),
+//! * [`observer`] — averaging min/max calibration observers,
+//! * [`quantize`] — quantize / dequantize / integer matmul / whole-matrix
+//!   further reduction (Fig. 7),
+//! * [`qtensor`] — quantized activation & weight containers,
+//! * [`reduce`] — the bit-level nibble rounding/truncation primitives used by
+//!   the PEs (§III-C),
+//! * [`aciq`] — the analytic-clipping comparator quantizer standing in for
+//!   ACIQ/LBQ in Table IV (see DESIGN.md).
+//!
+//! ```
+//! use nbsmt_quant::reduce::{reduce_unsigned, NibbleSelect};
+//!
+//! // 46 does not fit in 4 bits: it is rounded to 3*16=48 and truncated.
+//! let r = reduce_unsigned(46);
+//! assert_eq!(r.nibble, 3);
+//! assert_eq!(r.select, NibbleSelect::Msb);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aciq;
+pub mod observer;
+pub mod qtensor;
+pub mod quantize;
+pub mod reduce;
+pub mod scheme;
+
+pub use qtensor::{QuantMatrix, QuantTensor, QuantWeightMatrix};
+pub use scheme::{BitWidth, OperatingPoint, QuantScheme};

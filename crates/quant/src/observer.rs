@@ -1,0 +1,165 @@
+//! Range observers used for post-training calibration.
+//!
+//! Before executing a CNN, the paper runs a "quick statistics gathering run"
+//! on a random subset of the training set, averaging the per-layer min/max
+//! values (§V-A). [`MinMaxObserver`] implements exactly that averaging
+//! observer; [`AbsMaxObserver`] is the per-channel variant used for weights.
+
+use serde::{Deserialize, Serialize};
+
+/// Averaging min/max observer for per-tensor (per-layer) activation ranges.
+///
+/// Each call to [`MinMaxObserver::observe`] records the batch minimum and
+/// maximum; [`MinMaxObserver::averaged_range`] returns the running averages,
+/// which is how the paper derives activation scales.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxObserver {
+    sum_min: f64,
+    sum_max: f64,
+    batches: u64,
+}
+
+impl MinMaxObserver {
+    /// Creates an empty observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes one batch of values.
+    ///
+    /// Empty batches are ignored.
+    pub fn observe(&mut self, values: &[f32]) {
+        if values.is_empty() {
+            return;
+        }
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in values {
+            if v < lo {
+                lo = v;
+            }
+            if v > hi {
+                hi = v;
+            }
+        }
+        self.sum_min += lo as f64;
+        self.sum_max += hi as f64;
+        self.batches += 1;
+    }
+
+    /// Number of batches observed so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Returns the averaged `(min, max)` range over all observed batches.
+    ///
+    /// Returns `(0.0, 0.0)` when nothing has been observed.
+    pub fn averaged_range(&self) -> (f32, f32) {
+        if self.batches == 0 {
+            (0.0, 0.0)
+        } else {
+            (
+                (self.sum_min / self.batches as f64) as f32,
+                (self.sum_max / self.batches as f64) as f32,
+            )
+        }
+    }
+}
+
+/// Per-channel absolute-maximum observer for weight ranges.
+///
+/// Weights are static, so a single pass suffices; the observer keeps the
+/// maximum magnitude seen per output channel (kernel).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AbsMaxObserver {
+    per_channel: Vec<f32>,
+}
+
+impl AbsMaxObserver {
+    /// Creates an observer for `channels` output channels.
+    pub fn new(channels: usize) -> Self {
+        AbsMaxObserver {
+            per_channel: vec![0.0; channels],
+        }
+    }
+
+    /// Number of channels tracked.
+    pub fn channels(&self) -> usize {
+        self.per_channel.len()
+    }
+
+    /// Observes the weights of one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn observe_channel(&mut self, channel: usize, values: &[f32]) {
+        assert!(channel < self.per_channel.len(), "channel out of range");
+        let m = values.iter().fold(0.0_f32, |acc, &v| acc.max(v.abs()));
+        if m > self.per_channel[channel] {
+            self.per_channel[channel] = m;
+        }
+    }
+
+    /// Absolute maximum magnitude for `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn abs_max(&self, channel: usize) -> f32 {
+        self.per_channel[channel]
+    }
+
+    /// Absolute maxima for all channels.
+    pub fn abs_maxes(&self) -> &[f32] {
+        &self.per_channel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_max_averages_across_batches() {
+        let mut obs = MinMaxObserver::new();
+        obs.observe(&[0.0, 1.0, 2.0]);
+        obs.observe(&[-1.0, 3.0]);
+        let (lo, hi) = obs.averaged_range();
+        assert!((lo - (-0.5)).abs() < 1e-6);
+        assert!((hi - 2.5).abs() < 1e-6);
+        assert_eq!(obs.batches(), 2);
+    }
+
+    #[test]
+    fn empty_batches_are_ignored() {
+        let mut obs = MinMaxObserver::new();
+        obs.observe(&[]);
+        assert_eq!(obs.batches(), 0);
+        assert_eq!(obs.averaged_range(), (0.0, 0.0));
+        obs.observe(&[1.0]);
+        obs.observe(&[]);
+        assert_eq!(obs.batches(), 1);
+        assert_eq!(obs.averaged_range(), (1.0, 1.0));
+    }
+
+    #[test]
+    fn abs_max_tracks_per_channel() {
+        let mut obs = AbsMaxObserver::new(2);
+        obs.observe_channel(0, &[0.5, -2.0, 1.0]);
+        obs.observe_channel(1, &[0.1, 0.2]);
+        obs.observe_channel(0, &[-1.5]);
+        assert_eq!(obs.abs_max(0), 2.0);
+        assert_eq!(obs.abs_max(1), 0.2);
+        assert_eq!(obs.abs_maxes(), &[2.0, 0.2]);
+        assert_eq!(obs.channels(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel out of range")]
+    fn abs_max_panics_on_bad_channel() {
+        let mut obs = AbsMaxObserver::new(1);
+        obs.observe_channel(1, &[1.0]);
+    }
+}

@@ -1,0 +1,277 @@
+//! Magnitude-based weight pruning.
+//!
+//! The paper's 4-threaded evaluation (Fig. 10) prunes ResNet-18 with "simple
+//! magnitude-based pruning that iteratively prunes a certain percentage of
+//! the model weights followed by retraining". This module provides the
+//! pruning operator (global and per-tensor), an iterative schedule, and
+//! masks that keep pruned weights at zero across retraining steps.
+
+use serde::{Deserialize, Serialize};
+
+/// A binary pruning mask over a flat weight buffer.
+///
+/// `true` entries are kept, `false` entries are pruned (forced to zero).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PruneMask {
+    keep: Vec<bool>,
+}
+
+impl PruneMask {
+    /// Creates a mask that keeps every weight.
+    pub fn keep_all(len: usize) -> Self {
+        PruneMask {
+            keep: vec![true; len],
+        }
+    }
+
+    /// Number of weights covered by the mask.
+    pub fn len(&self) -> usize {
+        self.keep.len()
+    }
+
+    /// Returns `true` when the mask is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keep.is_empty()
+    }
+
+    /// Fraction of weights pruned by the mask.
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.keep.is_empty() {
+            return 0.0;
+        }
+        let pruned = self.keep.iter().filter(|&&k| !k).count();
+        pruned as f64 / self.keep.len() as f64
+    }
+
+    /// Whether weight `i` is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn is_kept(&self, i: usize) -> bool {
+        self.keep[i]
+    }
+
+    /// Applies the mask in place: pruned weights are zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the weight buffer length differs from the mask length.
+    pub fn apply(&self, weights: &mut [f32]) {
+        assert_eq!(weights.len(), self.keep.len(), "mask/weight length mismatch");
+        for (w, &k) in weights.iter_mut().zip(self.keep.iter()) {
+            if !k {
+                *w = 0.0;
+            }
+        }
+    }
+
+    /// Intersects with another mask (a weight survives only if both keep it).
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths differ.
+    pub fn intersect(&mut self, other: &PruneMask) {
+        assert_eq!(self.keep.len(), other.keep.len(), "mask length mismatch");
+        for (a, &b) in self.keep.iter_mut().zip(other.keep.iter()) {
+            *a = *a && b;
+        }
+    }
+}
+
+/// Computes a magnitude-pruning mask that removes the `fraction` smallest-
+/// magnitude weights of the buffer.
+///
+/// `fraction` is clamped to `[0, 1]`. Ties at the threshold are resolved by
+/// pruning the earliest-indexed weights first, so the requested fraction is
+/// met exactly (up to integer rounding).
+pub fn magnitude_mask(weights: &[f32], fraction: f64) -> PruneMask {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let n = weights.len();
+    let target = (n as f64 * fraction).round() as usize;
+    if target == 0 || n == 0 {
+        return PruneMask::keep_all(n);
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        weights[a]
+            .abs()
+            .partial_cmp(&weights[b].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut keep = vec![true; n];
+    for &idx in order.iter().take(target.min(n)) {
+        keep[idx] = false;
+    }
+    PruneMask { keep }
+}
+
+/// Prunes a weight buffer in place to the requested sparsity and returns the
+/// mask used.
+pub fn prune_to_sparsity(weights: &mut [f32], fraction: f64) -> PruneMask {
+    let mask = magnitude_mask(weights, fraction);
+    mask.apply(weights);
+    mask
+}
+
+/// An iterative pruning schedule: the target sparsity is reached over
+/// `steps` equal-sized increments, with a retraining callback after every
+/// step (mirroring the iterative prune-retrain loop of Han et al. that the
+/// paper cites).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PruneSchedule {
+    /// Final fraction of weights to prune.
+    pub target_sparsity: f64,
+    /// Number of prune/retrain iterations.
+    pub steps: usize,
+}
+
+impl PruneSchedule {
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `steps == 0`.
+    pub fn new(target_sparsity: f64, steps: usize) -> Self {
+        assert!(steps > 0, "schedule must have at least one step");
+        PruneSchedule {
+            target_sparsity: target_sparsity.clamp(0.0, 1.0),
+            steps,
+        }
+    }
+
+    /// Sparsity targeted after step `i` (1-based internally; `i` ranges over
+    /// `0..steps`).
+    pub fn sparsity_at(&self, i: usize) -> f64 {
+        let step = (i + 1).min(self.steps) as f64;
+        self.target_sparsity * step / self.steps as f64
+    }
+
+    /// Runs the schedule over a weight buffer.
+    ///
+    /// After each pruning increment, `retrain` is called with the mutable
+    /// weights and the current mask; it may adjust the surviving weights
+    /// (the mask is re-applied afterwards so pruned weights stay zero).
+    /// Returns the final mask.
+    pub fn run<F>(&self, weights: &mut [f32], mut retrain: F) -> PruneMask
+    where
+        F: FnMut(&mut [f32], &PruneMask, usize),
+    {
+        let mut mask = PruneMask::keep_all(weights.len());
+        for step in 0..self.steps {
+            let step_mask = magnitude_mask(weights, self.sparsity_at(step));
+            mask.intersect(&step_mask);
+            mask.apply(weights);
+            retrain(weights, &mask, step);
+            mask.apply(weights);
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magnitude_mask_removes_smallest() {
+        let w = vec![0.1, -0.5, 0.05, 2.0, -0.01];
+        let mask = magnitude_mask(&w, 0.4);
+        // two smallest magnitudes: 0.01 (idx 4) and 0.05 (idx 2)
+        assert!(!mask.is_kept(4));
+        assert!(!mask.is_kept(2));
+        assert!(mask.is_kept(0));
+        assert!(mask.is_kept(1));
+        assert!(mask.is_kept(3));
+        assert!((mask.pruned_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prune_to_sparsity_zeroes_weights() {
+        let mut w = vec![0.1, -0.5, 0.05, 2.0, -0.01];
+        let mask = prune_to_sparsity(&mut w, 0.4);
+        assert_eq!(w[4], 0.0);
+        assert_eq!(w[2], 0.0);
+        assert_eq!(w[3], 2.0);
+        assert!((mask.pruned_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_fraction_keeps_everything() {
+        let w = vec![1.0, 2.0];
+        let mask = magnitude_mask(&w, 0.0);
+        assert_eq!(mask.pruned_fraction(), 0.0);
+        let mask = magnitude_mask(&[], 0.5);
+        assert!(mask.is_empty());
+    }
+
+    #[test]
+    fn full_fraction_prunes_everything() {
+        let mut w = vec![1.0, 2.0, 3.0];
+        let mask = prune_to_sparsity(&mut w, 1.0);
+        assert_eq!(mask.pruned_fraction(), 1.0);
+        assert!(w.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn fraction_is_clamped() {
+        let w = vec![1.0, 2.0];
+        assert_eq!(magnitude_mask(&w, -1.0).pruned_fraction(), 0.0);
+        assert_eq!(magnitude_mask(&w, 2.0).pruned_fraction(), 1.0);
+    }
+
+    #[test]
+    fn mask_apply_length_mismatch_panics() {
+        let mask = PruneMask::keep_all(3);
+        let mut w = vec![1.0, 2.0];
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| mask.apply(&mut w)));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn schedule_reaches_target_monotonically() {
+        let sched = PruneSchedule::new(0.6, 3);
+        assert!((sched.sparsity_at(0) - 0.2).abs() < 1e-12);
+        assert!((sched.sparsity_at(1) - 0.4).abs() < 1e-12);
+        assert!((sched.sparsity_at(2) - 0.6).abs() < 1e-12);
+
+        let mut w: Vec<f32> = (1..=100).map(|v| v as f32 / 100.0).collect();
+        let mut steps_seen = 0;
+        let mask = sched.run(&mut w, |weights, mask, step| {
+            steps_seen += 1;
+            assert_eq!(step + 1, steps_seen);
+            // "Retraining" nudges surviving weights; pruned ones stay zero
+            // because the mask is re-applied afterwards.
+            for (i, v) in weights.iter_mut().enumerate() {
+                if mask.is_kept(i) {
+                    *v += 0.001;
+                }
+            }
+        });
+        assert_eq!(steps_seen, 3);
+        assert!((mask.pruned_fraction() - 0.6).abs() < 1e-9);
+        let zeros = w.iter().filter(|&&v| v == 0.0).count();
+        assert_eq!(zeros, 60);
+    }
+
+    #[test]
+    fn schedule_retraining_cannot_resurrect_pruned_weights() {
+        let sched = PruneSchedule::new(0.5, 2);
+        let mut w: Vec<f32> = (1..=10).map(|v| v as f32).collect();
+        sched.run(&mut w, |weights, _mask, _step| {
+            // Adversarial retrain callback writes into every slot.
+            for v in weights.iter_mut() {
+                *v += 100.0;
+            }
+        });
+        let zeros = w.iter().filter(|&&v| v == 0.0).count();
+        assert_eq!(zeros, 5, "pruned weights must remain zero after retraining");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn schedule_zero_steps_panics() {
+        PruneSchedule::new(0.5, 0);
+    }
+}

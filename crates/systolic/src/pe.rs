@@ -1,0 +1,120 @@
+//! The conventional output-stationary processing element (PE).
+//!
+//! Each PE receives one activation and one weight per cycle, multiplies them,
+//! accumulates the product into its local partial-sum register, and forwards
+//! both inputs downstream (Fig. 5a of the paper). The PE also tracks how many
+//! cycles its MAC unit was actually needed (both operands non-zero), which is
+//! the utilization definition used by the paper's power testbenches.
+
+use serde::{Deserialize, Serialize};
+
+/// A single output-stationary PE with an 8b×8b MAC and a 32-bit accumulator.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessingElement {
+    psum: i64,
+    busy_cycles: u64,
+    active_cycles: u64,
+    mac_ops: u64,
+}
+
+impl ProcessingElement {
+    /// Creates a PE with a cleared accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the accumulator and statistics for the next tile.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Executes one cycle with the given activation/weight pair.
+    ///
+    /// Returns the product accumulated this cycle.
+    pub fn step(&mut self, x: u8, w: i8) -> i64 {
+        self.active_cycles += 1;
+        let product = x as i64 * w as i64;
+        if x != 0 && w != 0 {
+            self.busy_cycles += 1;
+            self.mac_ops += 1;
+        }
+        self.psum += product;
+        product
+    }
+
+    /// The accumulated partial sum.
+    pub fn psum(&self) -> i64 {
+        self.psum
+    }
+
+    /// Cycles in which the PE received operands (whether or not they were
+    /// zero-valued).
+    pub fn active_cycles(&self) -> u64 {
+        self.active_cycles
+    }
+
+    /// Cycles in which the MAC unit was genuinely needed (both operands
+    /// non-zero).
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Number of effectual MAC operations performed.
+    pub fn mac_ops(&self) -> u64 {
+        self.mac_ops
+    }
+
+    /// Utilization of this PE: busy cycles over active cycles.
+    pub fn utilization(&self) -> f64 {
+        if self.active_cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / self.active_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_products() {
+        let mut pe = ProcessingElement::new();
+        pe.step(2, 3);
+        pe.step(4, -5);
+        assert_eq!(pe.psum(), 6 - 20);
+        assert_eq!(pe.mac_ops(), 2);
+    }
+
+    #[test]
+    fn zero_operands_do_not_count_as_busy() {
+        let mut pe = ProcessingElement::new();
+        pe.step(0, 7);
+        pe.step(7, 0);
+        pe.step(3, 3);
+        assert_eq!(pe.active_cycles(), 3);
+        assert_eq!(pe.busy_cycles(), 1);
+        assert!((pe.utilization() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(pe.psum(), 9);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut pe = ProcessingElement::new();
+        pe.step(10, 10);
+        pe.reset();
+        assert_eq!(pe.psum(), 0);
+        assert_eq!(pe.active_cycles(), 0);
+        assert_eq!(pe.utilization(), 0.0);
+    }
+
+    #[test]
+    fn full_range_products_do_not_overflow() {
+        let mut pe = ProcessingElement::new();
+        for _ in 0..1_000_000 {
+            pe.step(255, -128);
+        }
+        assert_eq!(pe.psum(), 255_i64 * -128 * 1_000_000);
+    }
+}

@@ -1,0 +1,191 @@
+//! Tiling of matrix multiplications onto a fixed-size PE grid.
+//!
+//! A matrix multiplication `X (M×K) · W (K×N)` executed on an `R×C`
+//! output-stationary array is tiled into `ceil(M/R) × ceil(N/C)` output
+//! tiles; each tile streams the full reduction dimension `K` through the
+//! array. Data enters the grid skewed, so each tile costs
+//! `K + R + C - 2` cycles before its outputs drain.
+
+use serde::{Deserialize, Serialize};
+
+/// One output tile of the matmul: a row range of `X` and a column range of
+/// `W`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tile {
+    /// First output row (inclusive).
+    pub row_start: usize,
+    /// One past the last output row.
+    pub row_end: usize,
+    /// First output column (inclusive).
+    pub col_start: usize,
+    /// One past the last output column.
+    pub col_end: usize,
+}
+
+impl Tile {
+    /// Number of output rows in the tile.
+    pub fn rows(&self) -> usize {
+        self.row_end - self.row_start
+    }
+
+    /// Number of output columns in the tile.
+    pub fn cols(&self) -> usize {
+        self.col_end - self.col_start
+    }
+}
+
+/// A tiling plan for executing an `M×K · K×N` matmul on an `R×C` array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TilingPlan {
+    /// Output rows of the full matmul.
+    pub m: usize,
+    /// Reduction dimension.
+    pub k: usize,
+    /// Output columns of the full matmul.
+    pub n: usize,
+    /// Array rows.
+    pub array_rows: usize,
+    /// Array columns.
+    pub array_cols: usize,
+}
+
+impl TilingPlan {
+    /// Creates a plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the array has zero rows or columns.
+    pub fn new(m: usize, k: usize, n: usize, array_rows: usize, array_cols: usize) -> Self {
+        assert!(array_rows > 0 && array_cols > 0, "array must be non-empty");
+        TilingPlan {
+            m,
+            k,
+            n,
+            array_rows,
+            array_cols,
+        }
+    }
+
+    /// Number of output tiles.
+    pub fn tile_count(&self) -> usize {
+        self.row_tiles() * self.col_tiles()
+    }
+
+    /// Number of row tiles.
+    pub fn row_tiles(&self) -> usize {
+        self.m.div_ceil(self.array_rows)
+    }
+
+    /// Number of column tiles.
+    pub fn col_tiles(&self) -> usize {
+        self.n.div_ceil(self.array_cols)
+    }
+
+    /// Iterates over the output tiles in row-major tile order.
+    pub fn tiles(&self) -> impl Iterator<Item = Tile> + '_ {
+        let plan = *self;
+        (0..plan.row_tiles()).flat_map(move |rt| {
+            (0..plan.col_tiles()).map(move |ct| {
+                let row_start = rt * plan.array_rows;
+                let col_start = ct * plan.array_cols;
+                Tile {
+                    row_start,
+                    row_end: (row_start + plan.array_rows).min(plan.m),
+                    col_start,
+                    col_end: (col_start + plan.array_cols).min(plan.n),
+                }
+            })
+        })
+    }
+
+    /// Cycles needed by one tile: `K` streaming cycles plus the skew-in /
+    /// drain-out latency of the array diagonals.
+    pub fn cycles_per_tile(&self) -> u64 {
+        (self.k + self.array_rows + self.array_cols).saturating_sub(2) as u64
+    }
+
+    /// Total cycles of the full matmul on the baseline single-threaded array.
+    pub fn total_cycles(&self) -> u64 {
+        self.tile_count() as u64 * self.cycles_per_tile()
+    }
+
+    /// Total effectual PE-cycle slots offered by the array over the matmul
+    /// (tiles × K × array size); the denominator of array utilization.
+    pub fn total_mac_slots(&self) -> u64 {
+        self.tile_count() as u64
+            * self.k as u64
+            * (self.array_rows * self.array_cols) as u64
+    }
+
+    /// Total MAC operations demanded by the matmul (`M·K·N`).
+    pub fn total_macs(&self) -> u64 {
+        self.m as u64 * self.k as u64 * self.n as u64
+    }
+
+    /// Fraction of PE slots holding real work (edge tiles waste slots when
+    /// `M` or `N` is not a multiple of the array size).
+    pub fn occupancy(&self) -> f64 {
+        let slots = self.total_mac_slots();
+        if slots == 0 {
+            0.0
+        } else {
+            self.total_macs() as f64 / slots as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_tiling() {
+        let plan = TilingPlan::new(32, 100, 48, 16, 16);
+        assert_eq!(plan.row_tiles(), 2);
+        assert_eq!(plan.col_tiles(), 3);
+        assert_eq!(plan.tile_count(), 6);
+        assert_eq!(plan.cycles_per_tile(), 100 + 16 + 16 - 2);
+        assert_eq!(plan.total_cycles(), 6 * 130);
+        assert!((plan.occupancy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ragged_tiling_covers_everything() {
+        let plan = TilingPlan::new(20, 7, 18, 16, 16);
+        assert_eq!(plan.tile_count(), 4);
+        let tiles: Vec<Tile> = plan.tiles().collect();
+        assert_eq!(tiles.len(), 4);
+        // Union of tiles covers the full output exactly once.
+        let mut covered = vec![vec![0u32; 18]; 20];
+        for t in &tiles {
+            for r in t.row_start..t.row_end {
+                for c in t.col_start..t.col_end {
+                    covered[r][c] += 1;
+                }
+            }
+        }
+        assert!(covered.iter().flatten().all(|&v| v == 1));
+        assert!(plan.occupancy() < 1.0);
+    }
+
+    #[test]
+    fn tile_dimensions_are_clamped() {
+        let plan = TilingPlan::new(5, 3, 5, 4, 4);
+        let tiles: Vec<Tile> = plan.tiles().collect();
+        assert_eq!(tiles[0].rows(), 4);
+        assert_eq!(tiles[3].rows(), 1);
+        assert_eq!(tiles[3].cols(), 1);
+    }
+
+    #[test]
+    fn total_macs_is_mkn() {
+        let plan = TilingPlan::new(3, 4, 5, 16, 16);
+        assert_eq!(plan.total_macs(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "array must be non-empty")]
+    fn zero_array_panics() {
+        TilingPlan::new(1, 1, 1, 0, 16);
+    }
+}

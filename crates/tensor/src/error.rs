@@ -1,0 +1,113 @@
+//! Error type for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by the shape does not match the number
+    /// of elements in the provided buffer.
+    ShapeDataMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors that must agree on a dimension do not.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// The left-hand side shape involved.
+        lhs: Vec<usize>,
+        /// The right-hand side shape involved.
+        rhs: Vec<usize>,
+    },
+    /// An operation requires a tensor of a specific rank.
+    RankMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Required rank.
+        expected: usize,
+        /// Rank of the tensor provided.
+        actual: usize,
+    },
+    /// An index is out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+    /// Invalid argument (e.g. zero-sized convolution kernel, zero stride).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { expected, actual } => write!(
+                f,
+                "shape expects {expected} elements but buffer holds {actual}"
+            ),
+            TensorError::DimensionMismatch { op, lhs, rhs } => {
+                write!(f, "dimension mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op} requires rank {expected} but tensor has rank {actual}"),
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TensorError::ShapeDataMismatch {
+            expected: 4,
+            actual: 3,
+        };
+        assert!(e.to_string().contains('4'));
+        assert!(e.to_string().contains('3'));
+
+        let e = TensorError::DimensionMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        assert!(e.to_string().contains("matmul"));
+
+        let e = TensorError::RankMismatch {
+            op: "im2col",
+            expected: 4,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("im2col"));
+
+        let e = TensorError::IndexOutOfBounds {
+            index: vec![9],
+            shape: vec![3],
+        };
+        assert!(e.to_string().contains("out of bounds"));
+
+        let e = TensorError::InvalidArgument("stride must be non-zero".into());
+        assert!(e.to_string().contains("stride"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

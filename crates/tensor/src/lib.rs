@@ -1,0 +1,46 @@
+//! # nbsmt-tensor
+//!
+//! Dense tensor substrate for the NB-SMT / SySMT reproduction.
+//!
+//! The paper evaluates NB-SMT on convolutional neural networks executed as
+//! matrix multiplications (convolutions are lowered with im2col, exactly as
+//! cuDNN / the paper's PyTorch-based simulator do).  This crate provides the
+//! minimal but complete numerical substrate for that pipeline:
+//!
+//! * [`shape::Shape`] — N-dimensional shapes with row-major strides,
+//! * [`tensor::Tensor`] — a dense, owned, row-major tensor generic over the
+//!   element type (used with `f32`, `i32`, `u8`, `i8` throughout the
+//!   workspace),
+//! * [`ops`] — matrix multiplication, transposition, element-wise helpers and
+//!   the im2col / col2im lowering used to express convolutions as GEMMs,
+//! * [`random`] — reproducible synthesis of bell-shaped (Gaussian / Laplace)
+//!   value distributions with controllable sparsity, used to calibrate the
+//!   synthetic model zoo (see `nbsmt-workloads`),
+//! * [`error::TensorError`] — the error type shared by all fallible
+//!   operations.
+//!
+//! ```
+//! use nbsmt_tensor::tensor::Tensor;
+//! use nbsmt_tensor::ops;
+//!
+//! # fn main() -> Result<(), nbsmt_tensor::error::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::from_vec(vec![5.0_f32, 6.0, 7.0, 8.0], &[2, 2])?;
+//! let c = ops::matmul(&a, &b)?;
+//! assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ops;
+pub mod random;
+pub mod shape;
+pub mod tensor;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;

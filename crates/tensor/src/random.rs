@@ -1,0 +1,258 @@
+//! Reproducible synthesis of bell-shaped value distributions.
+//!
+//! The paper observes that DNN tensors usually follow bell-shaped
+//! distributions (Gaussian or Laplace), that post-ReLU activations contain a
+//! large fraction of exact zeros, and that many of the remaining values fit
+//! in 4 bits. This module synthesizes tensors with those statistics so that
+//! the utilization, MSE, and energy experiments exercise the same code paths
+//! as the paper's ImageNet-derived tensors.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Tensor;
+
+/// The value distribution family used for synthesis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ValueDistribution {
+    /// Gaussian with the given mean and standard deviation.
+    Gaussian {
+        /// Mean of the distribution.
+        mean: f32,
+        /// Standard deviation of the distribution.
+        std: f32,
+    },
+    /// Laplace with the given location and scale (diversity) parameter.
+    Laplace {
+        /// Location parameter (the mode).
+        loc: f32,
+        /// Scale parameter (`b`).
+        scale: f32,
+    },
+}
+
+impl ValueDistribution {
+    fn sample(&self, rng: &mut StdRng) -> f32 {
+        match *self {
+            ValueDistribution::Gaussian { mean, std } => {
+                let normal = Normal::new(mean, std.max(1e-9)).expect("valid normal parameters");
+                normal.sample(rng)
+            }
+            ValueDistribution::Laplace { loc, scale } => {
+                // Inverse-CDF sampling of the Laplace distribution.
+                let u: f32 = rng.gen_range(-0.5..0.5);
+                loc - scale.max(1e-9) * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+            }
+        }
+    }
+}
+
+/// Configuration of a synthetic tensor: distribution, sparsity, and
+/// non-negativity (post-ReLU activations are non-negative).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SynthesisConfig {
+    /// Value distribution of the non-zero entries.
+    pub distribution: ValueDistribution,
+    /// Fraction of entries forced to exactly zero (unstructured sparsity).
+    pub sparsity: f64,
+    /// When `true`, negative samples are clamped to zero (ReLU), which adds
+    /// to the effective sparsity.
+    pub relu: bool,
+}
+
+impl SynthesisConfig {
+    /// Typical post-ReLU activation tensor: half-Gaussian values with a base
+    /// level of exact zeros contributed by the ReLU clamp itself.
+    pub fn activation(std: f32, extra_sparsity: f64) -> Self {
+        SynthesisConfig {
+            distribution: ValueDistribution::Gaussian { mean: 0.0, std },
+            sparsity: extra_sparsity,
+            relu: true,
+        }
+    }
+
+    /// Typical weight tensor: Laplace-distributed, signed, with optional
+    /// pruning-induced sparsity.
+    pub fn weight(scale: f32, pruned_fraction: f64) -> Self {
+        SynthesisConfig {
+            distribution: ValueDistribution::Laplace {
+                loc: 0.0,
+                scale,
+            },
+            sparsity: pruned_fraction,
+            relu: false,
+        }
+    }
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig::activation(1.0, 0.0)
+    }
+}
+
+/// Deterministic tensor synthesizer.
+///
+/// ```
+/// use nbsmt_tensor::random::{TensorSynthesizer, SynthesisConfig};
+///
+/// let mut synth = TensorSynthesizer::new(42);
+/// let t = synth.tensor(&SynthesisConfig::activation(1.0, 0.2), &[64, 64]);
+/// assert_eq!(t.numel(), 4096);
+/// // ReLU plus the requested extra sparsity yields well over 20% zeros.
+/// assert!(t.sparsity() > 0.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TensorSynthesizer {
+    rng: StdRng,
+}
+
+impl TensorSynthesizer {
+    /// Creates a synthesizer seeded with `seed` (fully deterministic).
+    pub fn new(seed: u64) -> Self {
+        TensorSynthesizer {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Synthesizes a tensor with the given configuration and shape.
+    pub fn tensor(&mut self, config: &SynthesisConfig, dims: &[usize]) -> Tensor<f32> {
+        let numel: usize = dims.iter().product();
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            let drop: f64 = self.rng.gen();
+            if drop < config.sparsity {
+                data.push(0.0);
+                continue;
+            }
+            let mut v = config.distribution.sample(&mut self.rng);
+            if config.relu && v < 0.0 {
+                v = 0.0;
+            }
+            data.push(v);
+        }
+        Tensor::from_vec(data, dims).expect("buffer length matches dims by construction")
+    }
+
+    /// Synthesizes a vector of `len` values with the given configuration.
+    pub fn vector(&mut self, config: &SynthesisConfig, len: usize) -> Vec<f32> {
+        self.tensor(config, &[len]).into_vec()
+    }
+
+    /// Samples a single uniform value in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen()
+    }
+
+    /// Samples a uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound == 0`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "index bound must be positive");
+        self.rng.gen_range(0..bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let mut a = TensorSynthesizer::new(7);
+        let mut b = TensorSynthesizer::new(7);
+        let cfg = SynthesisConfig::activation(1.0, 0.3);
+        let ta = a.tensor(&cfg, &[32, 32]);
+        let tb = b.tensor(&cfg, &[32, 32]);
+        assert_eq!(ta.as_slice(), tb.as_slice());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = SynthesisConfig::weight(0.5, 0.0);
+        let ta = TensorSynthesizer::new(1).tensor(&cfg, &[64]);
+        let tb = TensorSynthesizer::new(2).tensor(&cfg, &[64]);
+        assert_ne!(ta.as_slice(), tb.as_slice());
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let cfg = SynthesisConfig::activation(1.0, 0.0);
+        let t = TensorSynthesizer::new(3).tensor(&cfg, &[1000]);
+        assert!(t.iter().all(|&v| v >= 0.0));
+        // A zero-mean Gaussian under ReLU is ~50% zeros.
+        assert!(t.sparsity() > 0.4 && t.sparsity() < 0.6, "{}", t.sparsity());
+    }
+
+    #[test]
+    fn requested_sparsity_is_respected() {
+        let cfg = SynthesisConfig::weight(1.0, 0.4);
+        let t = TensorSynthesizer::new(5).tensor(&cfg, &[10_000]);
+        let s = t.sparsity();
+        assert!((s - 0.4).abs() < 0.03, "sparsity {s}");
+    }
+
+    #[test]
+    fn laplace_is_signed_and_bell_shaped() {
+        let cfg = SynthesisConfig::weight(1.0, 0.0);
+        let t = TensorSynthesizer::new(11).tensor(&cfg, &[20_000]);
+        let n_pos = t.iter().filter(|&&v| v > 0.0).count();
+        let n_neg = t.iter().filter(|&&v| v < 0.0).count();
+        // Roughly symmetric around zero.
+        let ratio = n_pos as f64 / n_neg as f64;
+        assert!(ratio > 0.9 && ratio < 1.1, "ratio {ratio}");
+        // Mean near zero, most mass near the center.
+        assert!(t.mean().abs() < 0.05);
+        let small = t.iter().filter(|&&v| v.abs() < 1.0).count();
+        assert!(small as f64 / t.numel() as f64 > 0.5);
+    }
+
+    #[test]
+    fn gaussian_std_controls_spread() {
+        let narrow = TensorSynthesizer::new(13).tensor(
+            &SynthesisConfig {
+                distribution: ValueDistribution::Gaussian {
+                    mean: 0.0,
+                    std: 0.1,
+                },
+                sparsity: 0.0,
+                relu: false,
+            },
+            &[10_000],
+        );
+        let wide = TensorSynthesizer::new(13).tensor(
+            &SynthesisConfig {
+                distribution: ValueDistribution::Gaussian {
+                    mean: 0.0,
+                    std: 2.0,
+                },
+                sparsity: 0.0,
+                relu: false,
+            },
+            &[10_000],
+        );
+        assert!(wide.max() > narrow.max());
+        assert!(wide.min() < narrow.min());
+    }
+
+    #[test]
+    fn index_and_uniform_bounds() {
+        let mut s = TensorSynthesizer::new(17);
+        for _ in 0..100 {
+            let u = s.uniform();
+            assert!((0.0..1.0).contains(&u));
+            let i = s.index(10);
+            assert!(i < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "index bound must be positive")]
+    fn index_zero_bound_panics() {
+        TensorSynthesizer::new(0).index(0);
+    }
+}

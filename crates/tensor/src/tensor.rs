@@ -1,0 +1,480 @@
+//! Dense, owned, row-major tensor.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+
+/// A dense, owned, row-major tensor generic over the element type.
+///
+/// [`Tensor`] is the common currency of the workspace: floating point tensors
+/// (`Tensor<f32>`) carry model weights and activations, integer tensors
+/// (`Tensor<u8>`, `Tensor<i8>`, `Tensor<i32>`) carry quantized values and
+/// accumulator results.
+///
+/// ```
+/// use nbsmt_tensor::tensor::Tensor;
+///
+/// # fn main() -> Result<(), nbsmt_tensor::error::TensorError> {
+/// let t = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])?;
+/// assert_eq!(*t.get(&[1, 2])?, 6.0);
+/// assert_eq!(t.shape().dims(), &[2, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor<T> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T: Clone + Default> Tensor<T> {
+    /// Creates a tensor of the given shape filled with `T::default()`.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![T::default(); shape.numel()];
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor of the given shape filled with `value`.
+    pub fn full(dims: &[usize], value: T) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![value; shape.numel()];
+        Tensor { shape, data }
+    }
+}
+
+impl<T> Tensor<T> {
+    /// Creates a tensor from an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if `data.len()` does not
+    /// equal the number of elements implied by `dims`.
+    pub fn from_vec(data: Vec<T>, dims: &[usize]) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims);
+        if shape.numel() != data.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected: shape.numel(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Returns the shape of the tensor.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Returns the rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Returns the total number of elements.
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Returns the underlying buffer as a slice (row-major order).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Returns the underlying buffer as a mutable slice (row-major order).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Returns a reference to the element at `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] when the index is invalid.
+    pub fn get(&self, index: &[usize]) -> Result<&T, TensorError> {
+        let off = self.shape.offset(index)?;
+        Ok(&self.data[off])
+    }
+
+    /// Returns a mutable reference to the element at `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] when the index is invalid.
+    pub fn get_mut(&mut self, index: &[usize]) -> Result<&mut T, TensorError> {
+        let off = self.shape.offset(index)?;
+        Ok(&mut self.data[off])
+    }
+
+    /// Reinterprets the tensor with a new shape holding the same number of
+    /// elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if the element counts
+    /// differ.
+    pub fn reshape(self, dims: &[usize]) -> Result<Self, TensorError> {
+        let new_shape = Shape::new(dims);
+        if new_shape.numel() != self.data.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected: new_shape.numel(),
+                actual: self.data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape: new_shape,
+            data: self.data,
+        })
+    }
+
+    /// Applies `f` to every element, producing a new tensor of the same shape.
+    pub fn map<U, F: FnMut(&T) -> U>(&self, mut f: F) -> Tensor<U> {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|v| f(v)).collect(),
+        }
+    }
+
+    /// Iterates over elements in row-major order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+
+    /// Iterates mutably over elements in row-major order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.data.iter_mut()
+    }
+}
+
+impl Tensor<f32> {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements. Returns 0.0 for an empty tensor.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Minimum element. Returns `f32::INFINITY` for an empty tensor.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Maximum element. Returns `f32::NEG_INFINITY` for an empty tensor.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Fraction of elements exactly equal to zero.
+    pub fn sparsity(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let zeros = self.data.iter().filter(|&&v| v == 0.0).count();
+        zeros as f64 / self.data.len() as f64
+    }
+
+    /// Mean squared error against another tensor of identical shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimensionMismatch`] when shapes differ.
+    pub fn mse(&self, other: &Tensor<f32>) -> Result<f64, TensorError> {
+        if !self.shape.same_dims(&other.shape) {
+            return Err(TensorError::DimensionMismatch {
+                op: "mse",
+                lhs: self.shape.dims().to_vec(),
+                rhs: other.shape.dims().to_vec(),
+            });
+        }
+        if self.data.is_empty() {
+            return Ok(0.0);
+        }
+        let sum: f64 = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| {
+                let d = (*a - *b) as f64;
+                d * d
+            })
+            .sum();
+        Ok(sum / self.data.len() as f64)
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Tensor<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} [", self.shape)?;
+        let preview = self.data.len().min(8);
+        for (i, v) in self.data.iter().take(preview).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        if self.data.len() > preview {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A 2-D matrix view helper over `Tensor<T>` with convenience accessors.
+///
+/// Matrices are the unit of work fed to the systolic array: the activation
+/// matrix `X (M×K)` and the weight matrix `W (K×N)` of each layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Clone + Default> Matrix<T> {
+    /// Creates a matrix of zeros (default values).
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
+    }
+}
+
+impl<T> Matrix<T> {
+    /// Creates a matrix from a row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] when the buffer length does
+    /// not equal `rows * cols`.
+    pub fn from_vec(data: Vec<T>, rows: usize, cols: usize) -> Result<Self, TensorError> {
+        if data.len() != rows * cols {
+            return Err(TensorError::ShapeDataMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row-major data slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable row-major data slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r >= rows` or `c >= cols`.
+    pub fn at(&self, r: usize, c: usize) -> &T {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r >= rows` or `c >= cols`.
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut T {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Returns the `r`-th row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r >= rows`.
+    pub fn row(&self, r: usize) -> &[T] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+}
+
+impl<T: Clone> Matrix<T> {
+    /// Returns the `c`-th column as an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c >= cols`.
+    pub fn column(&self, c: usize) -> Vec<T> {
+        assert!(c < self.cols, "column index out of bounds");
+        (0..self.rows).map(|r| self.data[r * self.cols + c].clone()).collect()
+    }
+
+    /// Transposes the matrix.
+    pub fn transpose(&self) -> Matrix<T> {
+        let mut data = Vec::with_capacity(self.data.len());
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                data.push(self.data[r * self.cols + c].clone());
+            }
+        }
+        Matrix {
+            rows: self.cols,
+            cols: self.rows,
+            data,
+        }
+    }
+}
+
+impl<T> From<Matrix<T>> for Tensor<T> {
+    fn from(m: Matrix<T>) -> Self {
+        Tensor {
+            shape: Shape::new(&[m.rows, m.cols]),
+            data: m.data,
+        }
+    }
+}
+
+impl<T> TryFrom<Tensor<T>> for Matrix<T> {
+    type Error = TensorError;
+
+    fn try_from(t: Tensor<T>) -> Result<Self, Self::Error> {
+        if t.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matrix from tensor",
+                expected: 2,
+                actual: t.rank(),
+            });
+        }
+        let rows = t.shape.dim(0);
+        let cols = t.shape.dim(1);
+        Ok(Matrix {
+            rows,
+            cols,
+            data: t.data,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_full() {
+        let t: Tensor<f32> = Tensor::zeros(&[2, 3]);
+        assert_eq!(t.numel(), 6);
+        assert!(t.iter().all(|&v| v == 0.0));
+        let t = Tensor::full(&[2, 2], 7i32);
+        assert!(t.iter().all(|&v| v == 7));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1, 2, 3], &[2, 2]).is_err());
+        assert!(Tensor::from_vec(vec![1, 2, 3, 4], &[2, 2]).is_ok());
+    }
+
+    #[test]
+    fn get_and_get_mut() {
+        let mut t = Tensor::from_vec((0..6).collect::<Vec<i32>>(), &[2, 3]).unwrap();
+        assert_eq!(*t.get(&[1, 1]).unwrap(), 4);
+        *t.get_mut(&[1, 1]).unwrap() = 42;
+        assert_eq!(*t.get(&[1, 1]).unwrap(), 42);
+        assert!(t.get(&[2, 0]).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..12).collect::<Vec<i32>>(), &[3, 4]).unwrap();
+        let r = t.clone().reshape(&[2, 6]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape(&[5, 5]).is_err());
+    }
+
+    #[test]
+    fn map_changes_type() {
+        let t = Tensor::from_vec(vec![1.5_f32, 2.5], &[2]).unwrap();
+        let u: Tensor<i32> = t.map(|&v| v as i32);
+        assert_eq!(u.as_slice(), &[1, 2]);
+    }
+
+    #[test]
+    fn float_statistics() {
+        let t = Tensor::from_vec(vec![0.0_f32, 2.0, 0.0, 4.0], &[4]).unwrap();
+        assert_eq!(t.sum(), 6.0);
+        assert_eq!(t.mean(), 1.5);
+        assert_eq!(t.min(), 0.0);
+        assert_eq!(t.max(), 4.0);
+        assert!((t.sparsity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_matches_manual_computation() {
+        let a = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![1.0_f32, 4.0, 6.0], &[3]).unwrap();
+        let mse = a.mse(&b).unwrap();
+        assert!((mse - (0.0 + 4.0 + 9.0) / 3.0).abs() < 1e-9);
+        let c = Tensor::from_vec(vec![1.0_f32], &[1]).unwrap();
+        assert!(a.mse(&c).is_err());
+    }
+
+    #[test]
+    fn matrix_accessors() {
+        let m = Matrix::from_vec(vec![1, 2, 3, 4, 5, 6], 2, 3).unwrap();
+        assert_eq!(*m.at(1, 2), 6);
+        assert_eq!(m.row(0), &[1, 2, 3]);
+        assert_eq!(m.column(1), vec![2, 5]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(*t.at(2, 1), 6);
+    }
+
+    #[test]
+    fn matrix_tensor_conversions() {
+        let m = Matrix::from_vec(vec![1, 2, 3, 4], 2, 2).unwrap();
+        let t: Tensor<i32> = m.clone().into();
+        assert_eq!(t.shape().dims(), &[2, 2]);
+        let back: Matrix<i32> = t.try_into().unwrap();
+        assert_eq!(back, m);
+        let t3: Tensor<i32> = Tensor::zeros(&[1, 2, 3]);
+        assert!(Matrix::try_from(t3).is_err());
+    }
+
+    #[test]
+    fn display_preview_is_bounded() {
+        let t = Tensor::from_vec((0..100).collect::<Vec<i32>>(), &[100]).unwrap();
+        let s = t.to_string();
+        assert!(s.contains('…'));
+    }
+}

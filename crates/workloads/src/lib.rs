@@ -1,0 +1,32 @@
+//! # nbsmt-workloads
+//!
+//! Workloads for the NB-SMT / SySMT reproduction.
+//!
+//! * [`zoo`] — structural inventories (layer shapes, GEMM dimensions, MAC
+//!   counts) of the CNNs the paper evaluates: AlexNet, ResNet-18, ResNet-50,
+//!   GoogLeNet, DenseNet-121, and MobileNet-v1,
+//! * [`calib`] — calibrated synthetic quantized tensors for those layers
+//!   (bell-shaped values, post-ReLU sparsity, pruning), used by the
+//!   utilization, MSE, and energy experiments,
+//! * [`synthnet`] — SynthNet, a small CNN trained from scratch on a
+//!   procedural dataset, used by the accuracy-shaped experiments
+//!   (see DESIGN.md, substitution 1).
+//!
+//! ```
+//! use nbsmt_workloads::zoo::resnet18;
+//!
+//! let model = resnet18();
+//! // Table I: ResNet-18 performs about 1.8 G convolution MACs per image.
+//! assert!((model.conv_mac_ops() as f64 / 1e9 - 1.8).abs() < 0.3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calib;
+pub mod synthnet;
+pub mod zoo;
+
+pub use calib::{synthesize_layer, synthesize_model, SynthesisOptions, SynthesizedLayer};
+pub use synthnet::{build_synthnet, generate_dataset, train_synthnet, SynthTaskConfig, TrainedSynthNet};
+pub use zoo::{table1_models, LayerKind, LayerSpec, ModelSpec};

@@ -1,0 +1,43 @@
+//! # nbsmt-repro
+//!
+//! Umbrella crate for the reproduction of *"Non-Blocking Simultaneous
+//! Multithreading: Embracing the Resiliency of Deep Neural Networks"*
+//! (Shomron & Weiser, MICRO 2020).
+//!
+//! This crate simply re-exports the workspace crates so that the runnable
+//! examples under `examples/` and the cross-crate integration tests under
+//! `tests/` can use one import root.
+//!
+//! ```
+//! use nbsmt_repro::core::fmul::FlexMultiplier;
+//!
+//! let fmul = FlexMultiplier::new();
+//! // one full 8b-8b multiplication
+//! let product = fmul.mul_single(200, -35);
+//! assert_eq!(product, 200 * -35);
+//! ```
+
+pub use nbsmt_core as core;
+pub use nbsmt_hw as hw;
+pub use nbsmt_nn as nn;
+pub use nbsmt_quant as quant;
+pub use nbsmt_sparsity as sparsity;
+pub use nbsmt_systolic as systolic;
+pub use nbsmt_tensor as tensor;
+pub use nbsmt_workloads as workloads;
+
+/// Convenience prelude that pulls in the most commonly used types across the
+/// workspace.
+pub mod prelude {
+    pub use nbsmt_core::matmul::{NbSmtMatmul, NbSmtMatmulConfig};
+    pub use nbsmt_core::policy::SharingPolicy;
+    pub use nbsmt_core::sysmt::{SySmtArray, SySmtConfig};
+    pub use nbsmt_core::ThreadCount;
+    pub use nbsmt_hw::energy::EnergyModel;
+    pub use nbsmt_nn::model::Model;
+    pub use nbsmt_quant::qtensor::{QuantMatrix, QuantTensor};
+    pub use nbsmt_quant::scheme::QuantScheme;
+    pub use nbsmt_sparsity::stats::UtilizationBreakdown;
+    pub use nbsmt_systolic::array::{OutputStationaryArray, SystolicConfig};
+    pub use nbsmt_tensor::tensor::Tensor;
+}
