@@ -11,8 +11,7 @@ use nbsmt_bench::experiments::accuracy::{
 };
 use nbsmt_bench::experiments::hw_exp::{power_testbench, table2_rows};
 use nbsmt_bench::experiments::zoo_exp::{
-    energy_savings, fig1_utilization, fig8_mse_vs_sparsity, fig9_utilization_gain,
-    table1_inventory,
+    energy_savings, fig1_utilization, fig8_mse_vs_sparsity, fig9_utilization_gain, table1_inventory,
 };
 use nbsmt_bench::Scale;
 use nbsmt_core::fmul::{DualLane, FlexMultiplier, FlexMultiplier4};
@@ -180,7 +179,9 @@ fn bench_zoo_experiments(c: &mut Criterion) {
     group.bench_function("fig9_utilization_gain", |b| {
         b.iter(|| fig9_utilization_gain(Scale::Quick))
     });
-    group.bench_function("energy_savings", |b| b.iter(|| energy_savings(Scale::Quick)));
+    group.bench_function("energy_savings", |b| {
+        b.iter(|| energy_savings(Scale::Quick))
+    });
     group.bench_function("mlperf_mobilenet", |b| b.iter(mlperf_mobilenet));
     group.finish();
 }
@@ -194,7 +195,9 @@ fn bench_accuracy_experiments(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("fig7_robustness", |b| b.iter(|| fig7_robustness(&bench)));
     group.bench_function("table3_policies", |b| b.iter(|| table3_policies(&bench)));
-    group.bench_function("table4_comparison", |b| b.iter(|| table4_comparison(&bench)));
+    group.bench_function("table4_comparison", |b| {
+        b.iter(|| table4_comparison(&bench))
+    });
     group.bench_function("table5_slowdown", |b| b.iter(|| table5_slowdown(&bench)));
     group.finish();
 }

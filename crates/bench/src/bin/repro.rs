@@ -20,8 +20,7 @@ use nbsmt_bench::experiments::accuracy::{
 };
 use nbsmt_bench::experiments::hw_exp::table2_rows;
 use nbsmt_bench::experiments::zoo_exp::{
-    energy_savings, fig1_utilization, fig8_mse_vs_sparsity, fig9_utilization_gain,
-    table1_inventory,
+    energy_savings, fig1_utilization, fig8_mse_vs_sparsity, fig9_utilization_gain, table1_inventory,
 };
 use nbsmt_bench::Scale;
 
@@ -36,8 +35,8 @@ fn main() {
         .unwrap_or_else(|| "all".to_string());
 
     let known = [
-        "fig1", "table1", "table2", "fig7", "table3", "table4", "fig8", "fig9", "table5",
-        "fig10", "energy", "mlperf", "all",
+        "fig1", "table1", "table2", "fig7", "table3", "table4", "fig8", "fig9", "table5", "fig10",
+        "energy", "mlperf", "all",
     ];
     if !known.contains(&experiment.as_str()) {
         eprintln!("unknown experiment '{experiment}'. Known: {known:?}");
@@ -75,7 +74,7 @@ fn main() {
         .iter()
         .any(|e| wants(e));
     if needs_accuracy {
-        println!("Training SynthNet (accuracy substrate, see DESIGN.md substitution 1)…");
+        println!("Training SynthNet (accuracy substrate, see ARCHITECTURE.md, substitution 1)…");
         let bench = AccuracyBench::prepare(scale, 2024);
         println!(
             "SynthNet FP32 accuracy: {:.2}% | A8W8 accuracy: {:.2}%\n",

@@ -122,9 +122,7 @@ impl GemmEngine for NbSmtEngine {
             policy: self.config.policy,
             reorder: self.config.reorder && threads.count() > 1,
         });
-        let out = emu
-            .execute(x, w)
-            .map_err(nbsmt_nn::NnError::from)?;
+        let out = emu.execute(x, w).map_err(nbsmt_nn::NnError::from)?;
         self.layer_stats[layer_index].merge(&out.stats);
         // Record the squared error against the error-free reference so the
         // tuning experiments can rank layers by MSE.

@@ -4,7 +4,7 @@
 //! speedup), and the MLPerf-style MobileNet operating point.
 //!
 //! These experiments substitute SynthNet for the paper's ImageNet models (see
-//! DESIGN.md, substitution 1): the absolute accuracies differ, but every
+//! ARCHITECTURE.md, substitution 1): the absolute accuracies differ, but every
 //! comparison is run end to end through the same quantization + NB-SMT
 //! emulation pipeline, so the orderings and trends are regenerated rather
 //! than copied.
@@ -21,9 +21,11 @@ use nbsmt_nn::quantized::{QuantizedModel, ReducedPrecisionEngine, ReferenceEngin
 use nbsmt_nn::train::Dataset;
 use nbsmt_quant::scheme::OperatingPoint;
 use nbsmt_sparsity::prune::prune_to_sparsity;
-use nbsmt_workloads::synthnet::{generate_dataset, train_synthnet, SynthTaskConfig, TrainedSynthNet};
-use nbsmt_workloads::zoo::{mobilenet_v1, LayerKind};
 use nbsmt_tensor::tensor::Tensor;
+use nbsmt_workloads::synthnet::{
+    generate_dataset, train_synthnet, SynthTaskConfig, TrainedSynthNet,
+};
+use nbsmt_workloads::zoo::{mobilenet_v1, LayerKind};
 
 use crate::engine::{NbSmtEngine, NbSmtEngineConfig};
 use crate::scale::Scale;
@@ -291,7 +293,11 @@ pub fn table5_slowdown(bench: &AccuracyBench) -> Vec<Table5Row> {
         .enumerate()
         .map(|(i, &mac_ops)| TuningProfile {
             index: i,
-            mac_ops: if i == 0 || i + 1 == macs.len() { 0 } else { mac_ops },
+            mac_ops: if i == 0 || i + 1 == macs.len() {
+                0
+            } else {
+                mac_ops
+            },
             mse: engine.layer_mse(i),
         })
         .collect();
@@ -378,7 +384,11 @@ pub fn fig10_pruning(bench: &AccuracyBench, scale: Scale) -> Vec<Fig10Point> {
             .enumerate()
             .map(|(i, &mac_ops)| TuningProfile {
                 index: i,
-                mac_ops: if i == 0 || i + 1 == macs.len() { 0 } else { mac_ops },
+                mac_ops: if i == 0 || i + 1 == macs.len() {
+                    0
+                } else {
+                    mac_ops
+                },
                 mse: engine.layer_mse(i),
             })
             .collect();
@@ -519,7 +529,7 @@ mod tests {
     #[test]
     fn fig7_baseline_is_best_and_a4w4_is_worst() {
         let bench = quick_bench();
-        let rows = fig7_robustness(&bench);
+        let rows = fig7_robustness(bench);
         assert_eq!(rows.len(), 4);
         let a8w8 = rows[0].accuracy;
         let a4w4 = rows[3].accuracy;
@@ -531,7 +541,7 @@ mod tests {
     #[test]
     fn table3_combined_policy_beats_worst_case() {
         let bench = quick_bench();
-        let rows = table3_policies(&bench);
+        let rows = table3_policies(bench);
         let get = |name: &str| rows.iter().find(|r| r.policy == name).unwrap().accuracy;
         let min = get("min (A4W8)");
         let s_a = get("S+A");
@@ -550,14 +560,19 @@ mod tests {
         assert!(a8w8 - s_a <= 0.15, "S+A dropped too far: {s_a} vs {a8w8}");
         // Every policy keeps the model well above chance (1/6 classes).
         for r in &rows {
-            assert!(r.accuracy > 0.4, "{}: accuracy collapsed to {}", r.policy, r.accuracy);
+            assert!(
+                r.accuracy > 0.4,
+                "{}: accuracy collapsed to {}",
+                r.policy,
+                r.accuracy
+            );
         }
     }
 
     #[test]
     fn table4_sysmt_beats_static_4bit_quantization() {
         let bench = quick_bench();
-        let rows = table4_comparison(&bench);
+        let rows = table4_comparison(bench);
         let get = |name: &str| rows.iter().find(|r| r.method == name).unwrap().accuracy;
         let sysmt = get("2T SySMT (S+A, reorder)");
         let static_a4w4 = get("Static A4W4 (min-max)");
@@ -570,9 +585,12 @@ mod tests {
     #[test]
     fn table5_slowdowns_trade_speedup_for_accuracy() {
         let bench = quick_bench();
-        let rows = table5_slowdown(&bench);
+        let rows = table5_slowdown(bench);
         assert_eq!(rows.len(), 3);
-        assert!((rows[0].speedup - 4.0).abs() < 0.5, "uniform 4T speedup ~4x");
+        assert!(
+            (rows[0].speedup - 4.0).abs() < 0.5,
+            "uniform 4T speedup ~4x"
+        );
         // Speedup decreases as layers are slowed.
         assert!(rows[1].speedup <= rows[0].speedup + 1e-9);
         assert!(rows[2].speedup <= rows[1].speedup + 1e-9);

@@ -1,7 +1,7 @@
 //! Experiment implementations, one function per table / figure of the paper.
 //!
 //! The mapping between paper artefacts and functions is documented in
-//! DESIGN.md §5 (the per-experiment index); results are recorded in
+//! ARCHITECTURE.md (the experiment-harness table); results are recorded in
 //! EXPERIMENTS.md.
 
 pub mod accuracy;

@@ -116,7 +116,10 @@ pub fn fig8_mse_vs_sparsity(scale: Scale) -> Vec<Fig8Point> {
     };
     let layers = synthesize_model(&model, &options);
     let mut points = Vec::new();
-    for layer in layers.iter().step_by(if scale == Scale::Quick { 6 } else { 1 }) {
+    for layer in layers
+        .iter()
+        .step_by(if scale == Scale::Quick { 6 } else { 1 })
+    {
         let reference = match reference_output(&layer.activations, &layer.weights) {
             Ok(r) => r,
             Err(_) => continue,
@@ -169,7 +172,10 @@ pub fn fig9_utilization_gain(scale: Scale) -> Vec<Fig9Point> {
     };
     let layers = synthesize_model(&model, &options);
     let mut points = Vec::new();
-    for layer in layers.iter().step_by(if scale == Scale::Quick { 6 } else { 1 }) {
+    for layer in layers
+        .iter()
+        .step_by(if scale == Scale::Quick { 6 } else { 1 })
+    {
         let baseline_util = {
             let b = layer_utilization(&layer.activations, &layer.weights, scale.col_stride());
             b.busy_fraction()

@@ -8,10 +8,11 @@
 use serde::{Deserialize, Serialize};
 
 /// How much work an experiment performs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum Scale {
     /// Small sample counts: seconds per experiment, used by tests and
     /// Criterion benches.
+    #[default]
     Quick,
     /// The sample counts used to produce EXPERIMENTS.md.
     Full,
@@ -64,12 +65,6 @@ impl Scale {
             Scale::Quick => 4,
             Scale::Full => 1,
         }
-    }
-}
-
-impl Default for Scale {
-    fn default() -> Self {
-        Scale::Quick
     }
 }
 

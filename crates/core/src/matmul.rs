@@ -340,8 +340,12 @@ mod tests {
             1.0,
         );
         let w = QuantWeightMatrix::with_uniform_scale(
-            Matrix::from_vec((0..k * n).map(|i| ((i % 255) as i16 - 127) as i8).collect(), k, n)
-                .unwrap(),
+            Matrix::from_vec(
+                (0..k * n).map(|i| ((i % 255) as i16 - 127) as i8).collect(),
+                k,
+                n,
+            )
+            .unwrap(),
             1.0,
         );
         let emu = NbSmtMatmul::new(NbSmtMatmulConfig {
@@ -393,7 +397,10 @@ mod tests {
             });
             relative_mse(&emu.execute(&x, &w).unwrap().output, &reference)
         };
-        assert!(rel4 >= rel2, "4T error {rel4} should exceed 2T error {rel2}");
+        assert!(
+            rel4 >= rel2,
+            "4T error {rel4} should exceed 2T error {rel2}"
+        );
         assert!(rel4 < 0.2, "4T error {rel4} should still be bounded");
     }
 
@@ -418,25 +425,44 @@ mod tests {
 
     #[test]
     fn reordering_does_not_increase_error() {
-        let (x, w) = random_layer(5, 20, 64, 10, 0.55);
-        let reference = reference_output(&x, &w).unwrap();
-        let run = |reorder: bool| {
-            let emu = NbSmtMatmul::new(NbSmtMatmulConfig {
-                threads: ThreadCount::Two,
-                policy: SharingPolicy::S_A,
-                reorder,
-            });
-            let out = emu.execute(&x, &w).unwrap();
-            (relative_mse(&out.output, &reference), out.stats)
-        };
-        let (mse_plain, stats_plain) = run(false);
-        let (mse_reorder, stats_reorder) = run(true);
+        // Reordering's benefit is statistical: on any single random layer the
+        // per-instance MSE can wobble a few percent either way, so the claim
+        // is checked as an aggregate over several layers (mirroring how the
+        // cross-crate policy-ordering test aggregates over a model).
+        let mut mse_plain_total = 0.0f64;
+        let mut mse_reorder_total = 0.0f64;
+        let mut reduced_plain_total = 0u64;
+        let mut reduced_reorder_total = 0u64;
+        for seed in 5..10 {
+            let (x, w) = random_layer(seed, 20, 64, 10, 0.55);
+            let reference = reference_output(&x, &w).unwrap();
+            let run = |reorder: bool| {
+                let emu = NbSmtMatmul::new(NbSmtMatmulConfig {
+                    threads: ThreadCount::Two,
+                    policy: SharingPolicy::S_A,
+                    reorder,
+                });
+                let out = emu.execute(&x, &w).unwrap();
+                (relative_mse(&out.output, &reference), out.stats)
+            };
+            let (mse_plain, stats_plain) = run(false);
+            let (mse_reorder, stats_reorder) = run(true);
+            mse_plain_total += mse_plain;
+            mse_reorder_total += mse_reorder;
+            reduced_plain_total += stats_plain.reduced_thread_slots;
+            reduced_reorder_total += stats_reorder.reduced_thread_slots;
+        }
         assert!(
-            mse_reorder <= mse_plain * 1.05 + 1e-12,
-            "reordering should not increase error: {mse_reorder} vs {mse_plain}"
+            mse_reorder_total <= mse_plain_total * 1.05 + 1e-12,
+            "reordering should not increase error: {mse_reorder_total} vs {mse_plain_total}"
         );
-        // Reordering trades collisions for singles, so reductions go down.
-        assert!(stats_reorder.reduced_thread_slots <= stats_plain.reduced_thread_slots);
+        // Reordering trades collisions for singles, so reductions go down in
+        // aggregate (the rank-pairing heuristic only promises the expected
+        // direction, not every instance).
+        assert!(
+            reduced_reorder_total <= reduced_plain_total,
+            "reordering should reduce reduced slots: {reduced_reorder_total} vs {reduced_plain_total}"
+        );
     }
 
     #[test]

@@ -144,20 +144,21 @@ enum LanePlan {
     /// activation keeps its full 8 bits — the swapped wiring of Fig. 2d and
     /// the W-family policies. `shift` is set when the nibble carries the
     /// weight's rounded MSBs.
-    WeightNarrow {
-        x: u8,
-        w_nibble: i8,
-        shift: bool,
-    },
+    WeightNarrow { x: u8, w_nibble: i8, shift: bool },
 }
 
 impl LanePlan {
     /// The integer product this lane produces.
     fn product(&self, fmul: &FlexMultiplier) -> i64 {
         match *self {
-            LanePlan::ActivationNarrow(lane) => {
-                fmul.mul_dual([lane, DualLane { x_nibble: 0, w: 0, shift: false }])[0] as i64
-            }
+            LanePlan::ActivationNarrow(lane) => fmul.mul_dual([
+                lane,
+                DualLane {
+                    x_nibble: 0,
+                    w: 0,
+                    shift: false,
+                },
+            ])[0] as i64,
             LanePlan::WeightNarrow { x, w_nibble, shift } => {
                 // A 4b(signed) × 8b(unsigned) multiplier with the roles of the
                 // ports swapped.
@@ -706,7 +707,14 @@ mod tests {
         // For any operand pair, the 4T reduction error is at most the error
         // of statically reducing both operands to rounded nibbles.
         let pe = SmtPe4::new(SharingPolicy::S_A);
-        let samples: [(u8, i8); 6] = [(46, 100), (178, -100), (15, 7), (200, 3), (255, -128), (17, 17)];
+        let samples: [(u8, i8); 6] = [
+            (46, 100),
+            (178, -100),
+            (15, 7),
+            (200, 3),
+            (255, -128),
+            (17, 17),
+        ];
         for &(x, w) in &samples {
             let threads = [ThreadInput::new(x, w); 4];
             let r = pe.cycle(threads);
@@ -757,8 +765,7 @@ mod tests {
                 if w == 0 {
                     continue;
                 }
-                let (plan, outcome) =
-                    plan_dual_lane(&ThreadInput::new(x, w), WidthMode::Weight);
+                let (plan, outcome) = plan_dual_lane(&ThreadInput::new(x, w), WidthMode::Weight);
                 assert_eq!(outcome, ThreadOutcome::NarrowExact);
                 assert_eq!(
                     plan.product(&FlexMultiplier::new()),

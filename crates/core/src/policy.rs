@@ -51,7 +51,10 @@ impl WidthMode {
     /// Returns `true` when the mode considers the secondary operand before
     /// reducing (the swap variants of Fig. 2d).
     pub fn allows_swap(self) -> bool {
-        matches!(self, WidthMode::ActivationThenSwap | WidthMode::WeightThenSwap)
+        matches!(
+            self,
+            WidthMode::ActivationThenSwap | WidthMode::WeightThenSwap
+        )
     }
 }
 

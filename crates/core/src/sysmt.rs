@@ -128,8 +128,14 @@ impl SySmtArray {
     /// result is tiled onto the grid exactly like the baseline array.
     pub fn layer_cycles(&self, m: usize, k: usize, n: usize) -> u64 {
         let k_per_thread = k.div_ceil(self.config.threads.count());
-        TilingPlan::new(m, k_per_thread, n, self.config.grid.rows, self.config.grid.cols)
-            .total_cycles()
+        TilingPlan::new(
+            m,
+            k_per_thread,
+            n,
+            self.config.grid.rows,
+            self.config.grid.cols,
+        )
+        .total_cycles()
     }
 
     /// Streaming cycles of the conventional 1-threaded array for the same
@@ -255,7 +261,11 @@ mod tests {
         });
         let r = array.execute_layer(&x, &w).unwrap();
         assert!(r.speedup() > 1.5, "speedup {}", r.speedup());
-        assert!(r.error.relative_mse < 0.02, "rel mse {}", r.error.relative_mse);
+        assert!(
+            r.error.relative_mse < 0.02,
+            "rel mse {}",
+            r.error.relative_mse
+        );
         assert!(r.utilization_gain() >= 1.0);
         assert!(r.utilization <= 1.0 && r.baseline_utilization <= 1.0);
     }

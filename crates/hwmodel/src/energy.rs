@@ -50,8 +50,7 @@ impl EnergyModel {
     pub fn layer_energy_mj(&self, layer: &LayerEnergyInput) -> f64 {
         let params = design_parameters(self.point);
         let design_threads = self.point.threads();
-        let thread_fraction =
-            layer.threads.clamp(1, design_threads) as f64 / design_threads as f64;
+        let thread_fraction = layer.threads.clamp(1, design_threads) as f64 / design_threads as f64;
         let throughput_macs_per_s = params.throughput_gmacs * 1e9 * thread_fraction;
         let seconds = layer.mac_ops as f64 / throughput_macs_per_s;
         let power_w = power_model(self.point).power_mw(layer.utilization) / 1e3;
@@ -110,12 +109,7 @@ pub fn compare_energy(
     let sysmt_model = EnergyModel::new(sysmt_point);
     let baseline_mj = baseline_layers
         .iter()
-        .map(|l| {
-            baseline_model.layer_energy_mj(&LayerEnergyInput {
-                threads: 1,
-                ..*l
-            })
-        })
+        .map(|l| baseline_model.layer_energy_mj(&LayerEnergyInput { threads: 1, ..*l }))
         .sum();
     let sysmt_mj = sysmt_model.model_energy_mj(sysmt_layers);
     EnergyComparison {

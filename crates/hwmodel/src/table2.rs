@@ -5,7 +5,7 @@
 //! Design Compiler and extracts area and power with Cadence Innovus. Those
 //! tools are not available offline, so this module carries the published
 //! Table II numbers as the calibration points of an analytic model
-//! (see DESIGN.md, substitution 2); everything derived from them (power vs
+//! (see ARCHITECTURE.md, substitution 2); everything derived from them (power vs
 //! utilization, per-layer energy, energy savings) is computed by this crate
 //! rather than copied.
 

@@ -73,8 +73,7 @@ impl Conv2d {
         let ow = self.params.output_size(w);
         let groups = self.params.groups;
         let ocg = self.params.out_channels / groups;
-        let mut out =
-            Tensor::<f32>::zeros(&[n, self.params.out_channels, oh, ow]);
+        let mut out = Tensor::<f32>::zeros(&[n, self.params.out_channels, oh, ow]);
         for g in 0..groups {
             let cols = ops::im2col(input, &self.params, g)?;
             let wmat = ops::filters_to_matrix(&self.weight, &self.params, g)?;
@@ -612,7 +611,10 @@ mod tests {
         conv.bias = vec![0.1, -0.2];
         let input = s.tensor(
             &SynthesisConfig {
-                distribution: ValueDistribution::Gaussian { mean: 0.0, std: 1.0 },
+                distribution: ValueDistribution::Gaussian {
+                    mean: 0.0,
+                    std: 1.0,
+                },
                 sparsity: 0.0,
                 relu: false,
             },
@@ -623,9 +625,7 @@ mod tests {
         let grad_out = Tensor::full(out.shape().dims(), 1.0f32);
         let mut gw = Tensor::<f32>::zeros(conv.weight.shape().dims());
         let mut gb = vec![0.0f32; 2];
-        let gin = conv
-            .backward(&input, &grad_out, &mut gw, &mut gb)
-            .unwrap();
+        let gin = conv.backward(&input, &grad_out, &mut gw, &mut gb).unwrap();
 
         // Numerical gradient for a few weight entries.
         let eps = 1e-3;
@@ -728,7 +728,10 @@ mod tests {
         assert_eq!(out.shape().dims(), &[1, 2]);
         assert!((out.as_slice()[0] - 2.5).abs() < 1e-6);
         assert!((out.as_slice()[1] - 6.5).abs() < 1e-6);
-        let grad = p.backward(&[1, 2, 2, 2], &Tensor::from_vec(vec![4.0, 8.0], &[1, 2]).unwrap());
+        let grad = p.backward(
+            &[1, 2, 2, 2],
+            &Tensor::from_vec(vec![4.0, 8.0], &[1, 2]).unwrap(),
+        );
         assert!(grad.as_slice()[..4].iter().all(|&v| (v - 1.0).abs() < 1e-6));
         assert!(grad.as_slice()[4..].iter().all(|&v| (v - 2.0).abs() < 1e-6));
     }
@@ -736,9 +739,11 @@ mod tests {
     #[test]
     fn batchnorm_identity_and_recalibration() {
         let mut bn = BatchNorm2d::new(2);
-        let input =
-            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2])
-                .unwrap();
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
         // Identity parameters and unit variance: output ~ input.
         let out = bn.forward(&input).unwrap();
         for (a, b) in out.as_slice().iter().zip(input.as_slice()) {
@@ -775,8 +780,6 @@ mod tests {
         // Backward is unsupported for grouped convolutions.
         let mut gw = Tensor::<f32>::zeros(conv.weight.shape().dims());
         let mut gb = vec![0.0; 3];
-        assert!(conv
-            .backward(&input, &out, &mut gw, &mut gb)
-            .is_err());
+        assert!(conv.backward(&input, &out, &mut gw, &mut gb).is_err());
     }
 }

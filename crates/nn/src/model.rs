@@ -284,7 +284,10 @@ mod tests {
     fn layer_kind_labels() {
         let m = tiny_model();
         let kinds: Vec<&str> = m.layers().iter().map(|l| l.kind()).collect();
-        assert_eq!(kinds, vec!["conv2d", "relu", "maxpool2", "flatten", "linear"]);
+        assert_eq!(
+            kinds,
+            vec!["conv2d", "relu", "maxpool2", "flatten", "linear"]
+        );
     }
 
     #[test]

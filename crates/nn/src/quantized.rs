@@ -175,10 +175,8 @@ impl QuantizedModel {
                         Ok((w, Some(conv.params)))
                     }
                     Layer::Linear(lin) => {
-                        let w = quantize_weights(
-                            &lin.weight.clone().try_into()?,
-                            &self.weight_scheme,
-                        );
+                        let w =
+                            quantize_weights(&lin.weight.clone().try_into()?, &self.weight_scheme);
                         Ok((w, None))
                     }
                     _ => unreachable!("is_compute_layer guarantees conv or linear"),
@@ -489,7 +487,10 @@ mod tests {
         };
         let a4w8 = dev(OperatingPoint::A4W8);
         let a4w4 = dev(OperatingPoint::A4W4);
-        assert!(a4w4 >= a4w8, "A4W4 ({a4w4}) should be at least as noisy as A4W8 ({a4w8})");
+        assert!(
+            a4w4 >= a4w8,
+            "A4W4 ({a4w4}) should be at least as noisy as A4W8 ({a4w8})"
+        );
     }
 
     #[test]
@@ -530,6 +531,9 @@ mod tests {
             .accuracy_with(&test, &[0, 1, 2, 0, 1], &mut ReferenceEngine)
             .unwrap();
         assert!((0.0..=1.0).contains(&acc));
-        assert_eq!(q.accuracy_with(&test, &[], &mut ReferenceEngine).unwrap(), 0.0);
+        assert_eq!(
+            q.accuracy_with(&test, &[], &mut ReferenceEngine).unwrap(),
+            0.0
+        );
     }
 }

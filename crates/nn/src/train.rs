@@ -20,7 +20,10 @@ use crate::model::{Layer, Model};
 /// # Errors
 ///
 /// Returns an error when a label is out of range or the batch is empty.
-pub fn cross_entropy(logits: &Tensor<f32>, labels: &[usize]) -> Result<(f32, Tensor<f32>), NnError> {
+pub fn cross_entropy(
+    logits: &Tensor<f32>,
+    labels: &[usize],
+) -> Result<(f32, Tensor<f32>), NnError> {
     let dims = logits.shape().dims();
     let (n, c) = (dims[0], dims[1]);
     if n == 0 || n != labels.len() {
@@ -66,7 +69,11 @@ pub struct Gradients {
 ///
 /// Propagates layer shape errors; returns an error for layers that do not
 /// support a backward pass (grouped convolutions, batch norm).
-pub fn backward(model: &Model, input: &Tensor<f32>, labels: &[usize]) -> Result<(f32, Gradients), NnError> {
+pub fn backward(
+    model: &Model,
+    input: &Tensor<f32>,
+    labels: &[usize],
+) -> Result<(f32, Gradients), NnError> {
     // Forward pass, saving per-layer inputs and pooling argmaxes.
     let mut x = input.clone();
     let mut saved_inputs: Vec<Tensor<f32>> = Vec::with_capacity(model.len());
@@ -398,7 +405,10 @@ mod tests {
         );
         let (images, labels) = data.batch(0, data.len());
         let acc = model.accuracy(&images, &labels).unwrap();
-        assert!(acc > 0.9, "accuracy {acc} too low on a separable toy problem");
+        assert!(
+            acc > 0.9,
+            "accuracy {acc} too low on a separable toy problem"
+        );
     }
 
     #[test]
@@ -465,7 +475,10 @@ mod tests {
         let mut synth = TensorSynthesizer::new(1);
         let t = synth.tensor(
             &SynthesisConfig {
-                distribution: ValueDistribution::Gaussian { mean: 0.0, std: 1.0 },
+                distribution: ValueDistribution::Gaussian {
+                    mean: 0.0,
+                    std: 1.0,
+                },
                 sparsity: 0.0,
                 relu: false,
             },

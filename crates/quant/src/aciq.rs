@@ -6,7 +6,7 @@
 //! a clipping quantizer that limits the tensor range to an analytically
 //! chosen multiple of the distribution scale before uniform quantization
 //! (ACIQ-style), plus a plain min-max variant used as the naive baseline.
-//! See DESIGN.md, substitution 3.
+//! See ARCHITECTURE.md, substitution 3.
 
 use nbsmt_tensor::tensor::Matrix;
 use serde::{Deserialize, Serialize};
@@ -155,7 +155,11 @@ mod tests {
         vals.push(45.0);
         let m = Matrix::from_vec(vals.clone(), 2002, 1).unwrap();
         let calib = analytic_clip(&vals, BitWidth::Four);
-        assert!(calib.clip < 10.0, "clip {} should ignore outliers", calib.clip);
+        assert!(
+            calib.clip < 10.0,
+            "clip {} should ignore outliers",
+            calib.clip
+        );
 
         let q = quantize_activations_clipped(&m, &QuantScheme::activation_a8(), BitWidth::Four);
         // Effective step of the clipped 4-bit quantizer vs min-max's 50/15.

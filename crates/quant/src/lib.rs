@@ -17,7 +17,7 @@
 //! * [`reduce`] — the bit-level nibble rounding/truncation primitives used by
 //!   the PEs (§III-C),
 //! * [`aciq`] — the analytic-clipping comparator quantizer standing in for
-//!   ACIQ/LBQ in Table IV (see DESIGN.md).
+//!   ACIQ/LBQ in Table IV (see ARCHITECTURE.md, substitution 3).
 //!
 //! ```
 //! use nbsmt_quant::reduce::{reduce_unsigned, NibbleSelect};

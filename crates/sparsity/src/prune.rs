@@ -58,7 +58,11 @@ impl PruneMask {
     ///
     /// Panics when the weight buffer length differs from the mask length.
     pub fn apply(&self, weights: &mut [f32]) {
-        assert_eq!(weights.len(), self.keep.len(), "mask/weight length mismatch");
+        assert_eq!(
+            weights.len(),
+            self.keep.len(),
+            "mask/weight length mismatch"
+        );
         for (w, &k) in weights.iter_mut().zip(self.keep.iter()) {
             if !k {
                 *w = 0.0;

@@ -140,9 +140,7 @@ pub fn reorder_for_two_threads(calibration: &QuantMatrix) -> ColumnOrder {
     // position i of thread 2 holds the (k-1-i)-th ranked column.
     let half = k / 2;
     let mut order = vec![0usize; k];
-    for i in 0..half {
-        order[i] = ranked[i];
-    }
+    order[..half].copy_from_slice(&ranked[..half]);
     let second_len = k - half;
     for i in 0..second_len {
         order[half + i] = ranked[k - 1 - i];
@@ -181,7 +179,7 @@ pub fn reorder_for_threads(calibration: &QuantMatrix, threads: usize) -> ColumnO
     let mut idx = 0usize;
     let mut pos = 0usize;
     while idx < k {
-        let forward = pos % 2 == 0;
+        let forward = pos.is_multiple_of(2);
         for t in 0..threads {
             if idx >= k {
                 break;

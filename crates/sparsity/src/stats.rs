@@ -195,7 +195,13 @@ pub fn per_column_wide_fraction(x: &QuantMatrix) -> Vec<f64> {
         }
     }
     wide.iter()
-        .map(|&n| if rows == 0 { 0.0 } else { n as f64 / rows as f64 })
+        .map(|&n| {
+            if rows == 0 {
+                0.0
+            } else {
+                n as f64 / rows as f64
+            }
+        })
         .collect()
 }
 
@@ -213,7 +219,13 @@ pub fn per_column_zero_fraction(x: &QuantMatrix) -> Vec<f64> {
     }
     zeros
         .iter()
-        .map(|&n| if rows == 0 { 0.0 } else { n as f64 / rows as f64 })
+        .map(|&n| {
+            if rows == 0 {
+                0.0
+            } else {
+                n as f64 / rows as f64
+            }
+        })
         .collect()
 }
 

@@ -202,11 +202,7 @@ impl OutputStationaryArray {
     /// # Errors
     ///
     /// Returns [`TensorError::DimensionMismatch`] when `X.cols() != W.rows()`.
-    pub fn estimate(
-        &self,
-        x: &Matrix<u8>,
-        w: &Matrix<i8>,
-    ) -> Result<SimStats, TensorError> {
+    pub fn estimate(&self, x: &Matrix<u8>, w: &Matrix<i8>) -> Result<SimStats, TensorError> {
         if x.cols() != w.rows() {
             return Err(TensorError::DimensionMismatch {
                 op: "systolic estimate",
@@ -262,8 +258,18 @@ mod tests {
     }
 
     fn reference(x: &Matrix<u8>, w: &Matrix<i8>) -> Matrix<i64> {
-        let xi = Matrix::from_vec(x.as_slice().iter().map(|&v| v as i32).collect(), x.rows(), x.cols()).unwrap();
-        let wi = Matrix::from_vec(w.as_slice().iter().map(|&v| v as i32).collect(), w.rows(), w.cols()).unwrap();
+        let xi = Matrix::from_vec(
+            x.as_slice().iter().map(|&v| v as i32).collect(),
+            x.rows(),
+            x.cols(),
+        )
+        .unwrap();
+        let wi = Matrix::from_vec(
+            w.as_slice().iter().map(|&v| v as i32).collect(),
+            w.rows(),
+            w.cols(),
+        )
+        .unwrap();
         matmul_i32(&xi, &wi).unwrap()
     }
 
@@ -281,7 +287,9 @@ mod tests {
         // Bigger than the array in both output dimensions.
         let (m, k, n) = (9, 11, 7);
         let x_data: Vec<u8> = (0..m * k).map(|i| ((i * 37 + 11) % 251) as u8).collect();
-        let w_data: Vec<i8> = (0..k * n).map(|i| (((i * 53) % 255) as i16 - 127) as i8).collect();
+        let w_data: Vec<i8> = (0..k * n)
+            .map(|i| (((i * 53) % 255) as i16 - 127) as i8)
+            .collect();
         let x = x_mat(x_data, m, k);
         let w = w_mat(w_data, k, n);
         let mut array = OutputStationaryArray::new(SystolicConfig::new(4, 4));
@@ -305,7 +313,9 @@ mod tests {
     fn utilization_reflects_sparsity() {
         // Half the activations are zero -> utilization around 0.5.
         let (m, k, n) = (8, 32, 8);
-        let x_data: Vec<u8> = (0..m * k).map(|i| if i % 2 == 0 { 0 } else { 100 }).collect();
+        let x_data: Vec<u8> = (0..m * k)
+            .map(|i| if i % 2 == 0 { 0 } else { 100 })
+            .collect();
         let w_data: Vec<i8> = vec![7; k * n];
         let x = x_mat(x_data, m, k);
         let w = w_mat(w_data, k, n);
@@ -329,7 +339,13 @@ mod tests {
         let (m, k, n) = (10, 14, 9);
         let x_data: Vec<u8> = (0..m * k).map(|i| ((i * 29) % 200) as u8).collect();
         let w_data: Vec<i8> = (0..k * n)
-            .map(|i| if i % 5 == 0 { 0 } else { ((i % 250) as i16 - 120) as i8 })
+            .map(|i| {
+                if i % 5 == 0 {
+                    0
+                } else {
+                    ((i % 250) as i16 - 120) as i8
+                }
+            })
             .collect();
         let x = x_mat(x_data, m, k);
         let w = w_mat(w_data, k, n);

@@ -112,9 +112,7 @@ impl TilingPlan {
     /// Total effectual PE-cycle slots offered by the array over the matmul
     /// (tiles × K × array size); the denominator of array utilization.
     pub fn total_mac_slots(&self) -> u64 {
-        self.tile_count() as u64
-            * self.k as u64
-            * (self.array_rows * self.array_cols) as u64
+        self.tile_count() as u64 * self.k as u64 * (self.array_rows * self.array_cols) as u64
     }
 
     /// Total MAC operations demanded by the matmul (`M·K·N`).
@@ -158,9 +156,9 @@ mod tests {
         // Union of tiles covers the full output exactly once.
         let mut covered = vec![vec![0u32; 18]; 20];
         for t in &tiles {
-            for r in t.row_start..t.row_end {
-                for c in t.col_start..t.col_end {
-                    covered[r][c] += 1;
+            for row in covered.iter_mut().take(t.row_end).skip(t.row_start) {
+                for cell in row.iter_mut().take(t.col_end).skip(t.col_start) {
+                    *cell += 1;
                 }
             }
         }

@@ -57,7 +57,10 @@ impl fmt::Display for TensorError {
                 op,
                 expected,
                 actual,
-            } => write!(f, "{op} requires rank {expected} but tensor has rank {actual}"),
+            } => write!(
+                f,
+                "{op} requires rank {expected} but tensor has rank {actual}"
+            ),
             TensorError::IndexOutOfBounds { index, shape } => {
                 write!(f, "index {index:?} out of bounds for shape {shape:?}")
             }

@@ -208,7 +208,7 @@ pub fn im2col(
             actual: input.rank(),
         });
     }
-    if params.groups == 0 || params.in_channels % params.groups != 0 {
+    if params.groups == 0 || !params.in_channels.is_multiple_of(params.groups) {
         return Err(TensorError::InvalidArgument(format!(
             "groups ({}) must divide in_channels ({})",
             params.groups, params.in_channels
@@ -298,8 +298,8 @@ pub fn filters_to_matrix(
         });
     }
     if params.groups == 0
-        || params.out_channels % params.groups != 0
-        || params.in_channels % params.groups != 0
+        || !params.out_channels.is_multiple_of(params.groups)
+        || !params.in_channels.is_multiple_of(params.groups)
     {
         return Err(TensorError::InvalidArgument(
             "groups must divide both in_channels and out_channels".to_string(),
@@ -464,9 +464,13 @@ mod tests {
         let n = 1;
         let h = 4;
         let w = 4;
-        let input_data: Vec<f32> = (0..(n * 2 * h * w)).map(|v| (v as f32) * 0.5 - 3.0).collect();
+        let input_data: Vec<f32> = (0..(n * 2 * h * w))
+            .map(|v| (v as f32) * 0.5 - 3.0)
+            .collect();
         let input = Tensor::from_vec(input_data, &[n, 2, h, w]).unwrap();
-        let weight_data: Vec<f32> = (0..(3 * 2 * 3 * 3)).map(|v| ((v % 7) as f32) - 3.0).collect();
+        let weight_data: Vec<f32> = (0..(3 * 2 * 3 * 3))
+            .map(|v| ((v % 7) as f32) - 3.0)
+            .collect();
         let weights = Tensor::from_vec(weight_data, &[3, 2, 3, 3]).unwrap();
 
         // Direct convolution.

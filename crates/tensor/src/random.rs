@@ -41,9 +41,13 @@ impl ValueDistribution {
                 normal.sample(rng)
             }
             ValueDistribution::Laplace { loc, scale } => {
-                // Inverse-CDF sampling of the Laplace distribution.
+                // Inverse-CDF sampling of the Laplace distribution. `u` can
+                // be exactly -0.5 (the range includes its start), which
+                // would make the log argument 0 and the sample -inf; the
+                // floor clamps that measure-2^-24 tail to a finite extreme.
                 let u: f32 = rng.gen_range(-0.5..0.5);
-                loc - scale.max(1e-9) * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+                let tail = (1.0 - 2.0 * u.abs()).max(f32::MIN_POSITIVE);
+                loc - scale.max(1e-9) * u.signum() * tail.ln()
             }
         }
     }
@@ -77,10 +81,7 @@ impl SynthesisConfig {
     /// pruning-induced sparsity.
     pub fn weight(scale: f32, pruned_fraction: f64) -> Self {
         SynthesisConfig {
-            distribution: ValueDistribution::Laplace {
-                loc: 0.0,
-                scale,
-            },
+            distribution: ValueDistribution::Laplace { loc: 0.0, scale },
             sparsity: pruned_fraction,
             relu: false,
         }

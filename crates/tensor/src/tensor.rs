@@ -135,10 +135,10 @@ impl<T> Tensor<T> {
     }
 
     /// Applies `f` to every element, producing a new tensor of the same shape.
-    pub fn map<U, F: FnMut(&T) -> U>(&self, mut f: F) -> Tensor<U> {
+    pub fn map<U, F: FnMut(&T) -> U>(&self, f: F) -> Tensor<U> {
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|v| f(v)).collect(),
+            data: self.data.iter().map(f).collect(),
         }
     }
 
@@ -336,7 +336,9 @@ impl<T: Clone> Matrix<T> {
     /// Panics when `c >= cols`.
     pub fn column(&self, c: usize) -> Vec<T> {
         assert!(c < self.cols, "column index out of bounds");
-        (0..self.rows).map(|r| self.data[r * self.cols + c].clone()).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c].clone())
+            .collect()
     }
 
     /// Transposes the matrix.

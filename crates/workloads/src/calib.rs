@@ -66,7 +66,7 @@ pub fn profile_for_layer(model: &ModelSpec, layer_index: usize) -> LayerProfile 
     let activation_std = 0.3 - 0.1 * depth as f32;
     LayerProfile {
         activation_sparsity,
-        activation_std: activation_std as f32,
+        activation_std,
         weight_scale: 0.08,
         weight_sparsity: 0.0,
     }

@@ -10,7 +10,7 @@
 //!   utilization, MSE, and energy experiments,
 //! * [`synthnet`] — SynthNet, a small CNN trained from scratch on a
 //!   procedural dataset, used by the accuracy-shaped experiments
-//!   (see DESIGN.md, substitution 1).
+//!   (see ARCHITECTURE.md, substitution 1).
 //!
 //! ```
 //! use nbsmt_workloads::zoo::resnet18;
@@ -28,5 +28,7 @@ pub mod synthnet;
 pub mod zoo;
 
 pub use calib::{synthesize_layer, synthesize_model, SynthesisOptions, SynthesizedLayer};
-pub use synthnet::{build_synthnet, generate_dataset, train_synthnet, SynthTaskConfig, TrainedSynthNet};
+pub use synthnet::{
+    build_synthnet, generate_dataset, train_synthnet, SynthTaskConfig, TrainedSynthNet,
+};
 pub use zoo::{table1_models, LayerKind, LayerSpec, ModelSpec};

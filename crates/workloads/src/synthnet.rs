@@ -8,7 +8,7 @@
 //! spatial patterns with additive noise. Absolute accuracies differ from
 //! ImageNet, but the *relative* behaviour under NB-SMT (2T ≈ baseline, 4T
 //! worse, reordering and pruning help, per-layer slowdowns recover accuracy)
-//! is what the experiments reproduce. See DESIGN.md, substitution 1.
+//! is what the experiments reproduce. See ARCHITECTURE.md, substitution 1.
 
 use serde::{Deserialize, Serialize};
 

@@ -59,7 +59,11 @@ impl LayerSpec {
         let out_size = (in_size + 2 * padding - kernel) / stride + 1;
         LayerSpec {
             name: name.into(),
-            kind: if kernel == 1 { LayerKind::Pointwise } else { LayerKind::Conv },
+            kind: if kernel == 1 {
+                LayerKind::Pointwise
+            } else {
+                LayerKind::Conv
+            },
             m: out_size * out_size,
             k: in_ch * kernel * kernel,
             n: out_ch,
@@ -225,7 +229,8 @@ pub fn resnet18() -> ModelSpec {
 /// ResNet-50 (bottleneck blocks).
 pub fn resnet50() -> ModelSpec {
     let mut layers = vec![LayerSpec::conv("conv1", 3, 64, 7, 224, 2, 3)];
-    let stages: [(usize, usize, usize); 4] = [(64, 3, 56), (128, 4, 56), (256, 6, 28), (512, 14, 14)];
+    let stages: [(usize, usize, usize); 4] =
+        [(64, 3, 56), (128, 4, 56), (256, 6, 28), (512, 14, 14)];
     // Note: stage block counts for ResNet-50 are [3, 4, 6, 3]; the tuple above
     // encodes (width, blocks, input size) and the last stage is fixed below.
     let block_counts = [3usize, 4, 6, 3];
@@ -311,7 +316,15 @@ pub fn googlenet() -> ModelSpec {
     ];
     for (name, in_ch, size, cfg) in inception {
         let [b1, b3r, b3, b5r, b5, pp] = cfg;
-        layers.push(LayerSpec::conv(format!("inception{name}_1x1"), in_ch, b1, 1, size, 1, 0));
+        layers.push(LayerSpec::conv(
+            format!("inception{name}_1x1"),
+            in_ch,
+            b1,
+            1,
+            size,
+            1,
+            0,
+        ));
         layers.push(LayerSpec::conv(
             format!("inception{name}_3x3_reduce"),
             in_ch,
@@ -321,7 +334,15 @@ pub fn googlenet() -> ModelSpec {
             1,
             0,
         ));
-        layers.push(LayerSpec::conv(format!("inception{name}_3x3"), b3r, b3, 3, size, 1, 1));
+        layers.push(LayerSpec::conv(
+            format!("inception{name}_3x3"),
+            b3r,
+            b3,
+            3,
+            size,
+            1,
+            1,
+        ));
         layers.push(LayerSpec::conv(
             format!("inception{name}_5x5_reduce"),
             in_ch,
@@ -331,7 +352,15 @@ pub fn googlenet() -> ModelSpec {
             1,
             0,
         ));
-        layers.push(LayerSpec::conv(format!("inception{name}_5x5"), b5r, b5, 3, size, 1, 1));
+        layers.push(LayerSpec::conv(
+            format!("inception{name}_5x5"),
+            b5r,
+            b5,
+            3,
+            size,
+            1,
+            1,
+        ));
         layers.push(LayerSpec::conv(
             format!("inception{name}_pool_proj"),
             in_ch,
@@ -448,7 +477,13 @@ pub fn mobilenet_v1() -> ModelSpec {
 
 /// The five CNNs of Table I, in the paper's order.
 pub fn table1_models() -> Vec<ModelSpec> {
-    vec![alexnet(), resnet18(), resnet50(), googlenet(), densenet121()]
+    vec![
+        alexnet(),
+        resnet18(),
+        resnet50(),
+        googlenet(),
+        densenet121(),
+    ]
 }
 
 #[cfg(test)]
@@ -468,7 +503,10 @@ mod tests {
         let f = LayerSpec::fc("f", 100, 10);
         assert_eq!(f.mac_ops(), 1000);
         assert_eq!(f.kind, LayerKind::FullyConnected);
-        assert_eq!(LayerSpec::conv("p", 8, 8, 1, 4, 1, 0).kind, LayerKind::Pointwise);
+        assert_eq!(
+            LayerSpec::conv("p", 8, 8, 1, 4, 1, 0).kind,
+            LayerKind::Pointwise
+        );
     }
 
     /// Table I reports the per-image MAC counts of the five models; the
@@ -522,7 +560,11 @@ mod tests {
     #[test]
     fn densenet_has_58_dense_convs_plus_transitions() {
         let m = densenet121();
-        let dense = m.layers.iter().filter(|l| l.name.starts_with("dense")).count();
+        let dense = m
+            .layers
+            .iter()
+            .filter(|l| l.name.starts_with("dense"))
+            .count();
         assert_eq!(dense, 2 * (6 + 12 + 24 + 16));
         let transitions = m
             .layers
@@ -537,8 +579,16 @@ mod tests {
     #[test]
     fn mobilenet_alternates_depthwise_and_pointwise() {
         let m = mobilenet_v1();
-        let dw = m.layers.iter().filter(|l| l.kind == LayerKind::Depthwise).count();
-        let pw = m.layers.iter().filter(|l| l.kind == LayerKind::Pointwise).count();
+        let dw = m
+            .layers
+            .iter()
+            .filter(|l| l.kind == LayerKind::Depthwise)
+            .count();
+        let pw = m
+            .layers
+            .iter()
+            .filter(|l| l.kind == LayerKind::Pointwise)
+            .count();
         assert_eq!(dw, 13);
         assert_eq!(pw, 13);
         // Pointwise convolutions dominate the MACs (they run at 2T in the

@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     println!("Training SynthNet on the procedural dataset…");
     let trained = train_synthnet(&task, 40, 20, 8, 7)?;
-    println!("FP32 test accuracy: {:.2}%", trained.test_accuracy()? * 100.0);
+    println!(
+        "FP32 test accuracy: {:.2}%",
+        trained.test_accuracy()? * 100.0
+    );
 
     let calib = generate_dataset(&task, 8, 99);
     let (calib_images, _) = calib.batch(0, calib.len());

@@ -31,7 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut sysmt2 = Vec::new();
         let mut sysmt4 = Vec::new();
         for layer in &layers {
-            let base_util = layer_utilization(&layer.activations, &layer.weights, 4).busy_fraction();
+            let base_util =
+                layer_utilization(&layer.activations, &layer.weights, 4).busy_fraction();
             let util = |threads: ThreadCount| -> f64 {
                 NbSmtMatmul::new(NbSmtMatmulConfig {
                     threads,

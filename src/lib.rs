@@ -30,6 +30,7 @@ pub use nbsmt_workloads as workloads;
 /// workspace.
 pub mod prelude {
     pub use nbsmt_core::matmul::{NbSmtMatmul, NbSmtMatmulConfig};
+    pub use nbsmt_core::pe::{SmtPe2, SmtPe4, ThreadInput};
     pub use nbsmt_core::policy::SharingPolicy;
     pub use nbsmt_core::sysmt::{SySmtArray, SySmtConfig};
     pub use nbsmt_core::ThreadCount;

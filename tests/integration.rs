@@ -82,7 +82,11 @@ fn sysmt_layer_execution_reproduces_headline_claims() {
     let r4 = four.execute_layer(&qx, &qw).unwrap();
     assert!(r2.speedup() > 1.7, "2T speedup {}", r2.speedup());
     assert!(r4.speedup() > r2.speedup(), "4T must be faster than 2T");
-    assert!(r2.error.relative_mse < 0.02, "2T error {}", r2.error.relative_mse);
+    assert!(
+        r2.error.relative_mse < 0.02,
+        "2T error {}",
+        r2.error.relative_mse
+    );
     assert!(
         r4.error.relative_mse >= r2.error.relative_mse,
         "4T error should not be smaller than 2T error"
@@ -106,13 +110,9 @@ fn policy_ordering_holds_on_calibrated_zoo_layers() {
     let mut totals = [0.0f64; 3];
     for layer in layers.iter().step_by(8) {
         let reference = reference_output(&layer.activations, &layer.weights).unwrap();
-        for (slot, policy) in [
-            SharingPolicy::NAIVE,
-            SharingPolicy::S,
-            SharingPolicy::S_A,
-        ]
-        .iter()
-        .enumerate()
+        for (slot, policy) in [SharingPolicy::NAIVE, SharingPolicy::S, SharingPolicy::S_A]
+            .iter()
+            .enumerate()
         {
             let emu = NbSmtMatmul::new(NbSmtMatmulConfig {
                 threads: ThreadCount::Two,
@@ -123,8 +123,18 @@ fn policy_ordering_holds_on_calibrated_zoo_layers() {
             totals[slot] += layer_error(&out.output, &reference).mse;
         }
     }
-    assert!(totals[1] <= totals[0], "S ({}) vs naive ({})", totals[1], totals[0]);
-    assert!(totals[2] <= totals[1], "S+A ({}) vs S ({})", totals[2], totals[1]);
+    assert!(
+        totals[1] <= totals[0],
+        "S ({}) vs naive ({})",
+        totals[1],
+        totals[0]
+    );
+    assert!(
+        totals[2] <= totals[1],
+        "S+A ({}) vs S ({})",
+        totals[2],
+        totals[1]
+    );
 }
 
 #[test]
@@ -214,7 +224,11 @@ fn zoo_models_feed_energy_model_with_sane_savings() {
         assert!(util2 + 1e-9 >= base_util);
     }
     let cmp = compare_energy(DesignPoint::Sysmt2T, &baseline, &sysmt2);
-    assert!(cmp.saving() > 0.1 && cmp.saving() < 0.6, "saving {}", cmp.saving());
+    assert!(
+        cmp.saving() > 0.1 && cmp.saving() < 0.6,
+        "saving {}",
+        cmp.saving()
+    );
 }
 
 #[test]

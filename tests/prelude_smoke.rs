@@ -1,0 +1,55 @@
+//! Smoke test for the umbrella crate's `prelude`: every commonly used type
+//! must resolve through `nbsmt_repro::prelude` and behave. This is the
+//! canary for workspace-manifest regressions — if a crate is renamed, a
+//! member drops out of the root `Cargo.toml`, or a re-export path breaks,
+//! this file stops compiling before anything subtler fails.
+
+use nbsmt_repro::prelude::*;
+
+#[test]
+fn prelude_types_construct_and_run_one_pe_cycle() {
+    // Config types resolve and construct.
+    let config = SySmtConfig {
+        grid: SystolicConfig::new(16, 16),
+        threads: ThreadCount::Two,
+        policy: SharingPolicy::S_A,
+        reorder: true,
+    };
+    assert_eq!(config.threads.count(), 2);
+
+    // A 2-threaded PE executes one cycle through the prelude re-exports.
+    // One thread is idle, so the other must run at full precision.
+    let pe = SmtPe2::new(SharingPolicy::S_A);
+    let result = pe.cycle([ThreadInput::new(0, 23), ThreadInput::new(178, -14)]);
+    assert_eq!(result.total(), 178 * -14);
+
+    // The array constructed from the config reports it back.
+    let array = SySmtArray::new(config);
+    assert_eq!(array.config().threads, ThreadCount::Two);
+}
+
+#[test]
+fn prelude_covers_the_cross_crate_surface() {
+    // One symbol per re-exported crate, exercised (not just named) so the
+    // whole DAG is linked into this test binary.
+    let t = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+    assert_eq!(t.numel(), 4);
+
+    let scheme = QuantScheme::activation_a8();
+    assert_eq!(scheme.bits.bits(), 8);
+
+    let emu = NbSmtMatmul::new(NbSmtMatmulConfig::two_threads());
+    assert_eq!(emu.config().threads, ThreadCount::Two);
+
+    let breakdown = UtilizationBreakdown::default();
+    assert_eq!(breakdown.total(), 0);
+
+    let pe4 = SmtPe4::new(SharingPolicy::S);
+    let quad = pe4.cycle([
+        ThreadInput::new(0, 0),
+        ThreadInput::new(0, 0),
+        ThreadInput::new(0, 0),
+        ThreadInput::new(3, 2),
+    ]);
+    assert_eq!(quad.total(), 6);
+}

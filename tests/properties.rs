@@ -6,7 +6,9 @@ use proptest::prelude::*;
 use nbsmt_repro::core::fmul::{FlexMultiplier, FlexMultiplier4};
 use nbsmt_repro::core::pe::{SmtPe2, SmtPe4, ThreadInput, ThreadOutcome};
 use nbsmt_repro::core::policy::SharingPolicy;
-use nbsmt_repro::quant::reduce::{reduce_signed, reduce_unsigned, reconstruct_signed, reconstruct_unsigned};
+use nbsmt_repro::quant::reduce::{
+    reconstruct_signed, reconstruct_unsigned, reduce_signed, reduce_unsigned,
+};
 
 proptest! {
     /// Both flexible-multiplier decompositions are exact for every operand
@@ -24,7 +26,7 @@ proptest! {
     fn reduction_error_bounds(x in any::<u8>(), w in any::<i8>()) {
         let rx = reduce_unsigned(x);
         let err_x = (x as i32 - reconstruct_unsigned(rx) as i32).abs();
-        if x < 16 || x % 16 == 0 {
+        if x < 16 || x.is_multiple_of(16) {
             prop_assert_eq!(err_x, 0);
         }
         prop_assert!(err_x <= 15, "x={} err={}", x, err_x);

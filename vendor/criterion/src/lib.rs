@@ -1,0 +1,247 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the configuration builder, benchmark groups, `Bencher::iter` /
+//! `iter_batched`, and the `criterion_group!` / `criterion_main!` macros the
+//! workspace's benches use. Measurement is a straightforward
+//! warm-up-then-sample loop reporting the mean, median, and min wall-clock
+//! time per iteration — statistically far simpler than real criterion, but
+//! producing comparable relative numbers for the coarse-grained experiment
+//! kernels benchmarked here.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted on: the shim
+/// always re-runs setup per batch of one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per batch in real criterion.
+    SmallInput,
+    /// Large inputs: one iteration per batch.
+    LargeInput,
+    /// Setup re-runs every iteration.
+    PerIteration,
+    /// Fixed number of batches.
+    NumBatches(u64),
+    /// Fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 30,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Times one benchmark routine.
+pub struct Bencher<'a> {
+    config: &'a Config,
+}
+
+impl Bencher<'_> {
+    fn run_samples(&mut self, mut one_iteration: impl FnMut() -> Duration) {
+        // Warm up.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_deadline {
+            one_iteration();
+        }
+        // Sample until either the sample budget or the time budget runs out.
+        let deadline = Instant::now() + self.config.measurement_time;
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size {
+            samples.push(one_iteration());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        samples.sort();
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        println!(
+            "    time: [min {:>12?}  median {:>12?}  mean {:>12?}]  ({} samples)",
+            min,
+            median,
+            mean,
+            samples.len()
+        );
+    }
+
+    /// Times `routine`, called once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.run_samples(|| {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            start.elapsed()
+        });
+    }
+
+    /// Times `routine` on a fresh input from `setup`; only the routine is
+    /// timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.run_samples(|| {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            start.elapsed()
+        });
+    }
+
+    /// Like [`Bencher::iter_batched`], passing the input by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.run_samples(|| {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            start.elapsed()
+        });
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    /// Overrides the warm-up time for this group.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.config.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        println!("{}/{}", self.name, id);
+        let mut bencher = Bencher {
+            config: &self.config,
+        };
+        f(&mut bencher);
+        self
+    }
+
+    /// Finishes the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Overrides the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    /// Overrides the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.config.warm_up_time = t;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let config = self.config;
+        BenchmarkGroup {
+            name: name.into(),
+            config,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        println!("{id}");
+        let mut bencher = Bencher {
+            config: &self.config,
+        };
+        f(&mut bencher);
+        self
+    }
+
+    /// Final reporting hook (no-op in the shim; kept for API parity).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions, in either the simple or the
+/// `name =` / `config =` / `targets =` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,340 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the `proptest!`
+//! macro over `arg in strategy` parameters, `any::<T>()` for primitive
+//! types, integer/float range strategies, and the `prop_assert*` macros.
+//!
+//! Each generated test runs a fixed number of deterministic cases
+//! (`DEFAULT_CASES`, overridable via the `PROPTEST_CASES` environment
+//! variable). For 8-bit operand domains — the common case in this tree —
+//! the first cases additionally walk an edge-value grid (min/max/zero
+//! combinations) before switching to pseudo-random sampling, which is where
+//! real proptest finds most of its counterexamples. Shrinking is not
+//! implemented; the failing inputs are reported instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases each property runs by default.
+pub const DEFAULT_CASES: u32 = 512;
+
+/// Returns the configured case count (`PROPTEST_CASES` or
+/// [`DEFAULT_CASES`]).
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// Deterministic source of randomness handed to strategies.
+pub struct TestRng {
+    rng: StdRng,
+    /// Index of the case currently being generated; lets strategies emit
+    /// edge values first.
+    pub case: u32,
+    /// Index of the argument within the current case.
+    pub arg: u32,
+}
+
+impl TestRng {
+    /// A fixed-seed RNG: every `cargo test` run sees the same cases.
+    pub fn deterministic() -> Self {
+        TestRng {
+            rng: StdRng::seed_from_u64(0x5eed_cafe_f00d_u64),
+            case: 0,
+            arg: 0,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// Error carried out of a failing property body by `prop_assert*`.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A value generator, mirroring `proptest::strategy::Strategy` in spirit
+/// (sampling only — no shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates the value for the current case.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical `any::<T>()` strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for `T` (`any::<u8>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {
+        $(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    // Walk an edge grid first: each argument cycles through
+                    // min/max/zero/one before random sampling, so pairs of
+                    // 8-bit operands cover the corner combinations early.
+                    const EDGES: [i128; 6] =
+                        [0, 1, -1, <$t>::MIN as i128, <$t>::MAX as i128, 16];
+                    let idx = rng.case as usize;
+                    if idx < EDGES.len() * EDGES.len() {
+                        let pick = if rng.arg % 2 == 0 {
+                            idx / EDGES.len()
+                        } else {
+                            idx % EDGES.len()
+                        };
+                        return EDGES[pick] as $t;
+                    }
+                    rng.next_u64() as $t
+                }
+            }
+        )*
+    };
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+        )*
+    };
+}
+impl_strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        rng.rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.rng.gen_range(self.clone())
+    }
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, case_count, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
+        Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Defines property tests. Supported form:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn my_property(x in any::<u8>(), w in any::<i8>()) {
+///         prop_assert!(x as i32 + w as i32 <= 255 + 127);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::TestRng::deterministic();
+                let __cases = $crate::case_count();
+                for __case in 0..__cases {
+                    __rng.case = __case;
+                    __rng.arg = 0;
+                    $(
+                        let $arg = $crate::Strategy::sample(&($strategy), &mut __rng);
+                        __rng.arg += 1;
+                    )*
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, ",)*),
+                        $(&$arg,)*
+                    );
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body; Ok(()) })();
+                    if let Err(__e) = __result {
+                        panic!(
+                            "property '{}' failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name), __case, __cases, __e, __inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// whole process) with the inputs attached.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} (left: {:?}, right: {:?})",
+                format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}` (both: {:?})",
+                stringify!($left), stringify!($right), l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} (both: {:?})",
+                format!($($fmt)+), l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn edge_grid_then_random(x in any::<u8>(), w in any::<i8>()) {
+            // The property machinery itself: values are in domain and the
+            // assertion macros accept all supported forms.
+            prop_assert!(u32::from(x) <= 255);
+            prop_assert!(i32::from(w) >= -128, "w was {}", w);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(i32::from(w) - 1, i32::from(w));
+        }
+
+        #[test]
+        fn ranges_are_strategies(i in 0usize..10, f in -0.5f32..0.5) {
+            prop_assert!(i < 10);
+            prop_assert!((-0.5..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn edge_values_cover_corners() {
+        let mut rng = TestRng::deterministic();
+        let mut seen_min_max = false;
+        for case in 0..64 {
+            rng.case = case;
+            rng.arg = 0;
+            let x = u8::arbitrary(&mut rng);
+            rng.arg = 1;
+            let w = i8::arbitrary(&mut rng);
+            if x == 255 && w == -128 {
+                seen_min_max = true;
+            }
+        }
+        assert!(seen_min_max, "edge grid must pair u8::MAX with i8::MIN");
+    }
+}

@@ -1,0 +1,137 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Provides the `Distribution` trait and a Box–Muller `Normal` distribution
+//! for `f32`/`f64` — the only pieces this workspace uses (see
+//! `nbsmt_tensor::random`). Vendored because the build environment has no
+//! network access to crates.io.
+
+pub use rand::distributions::Distribution;
+
+/// Error returned by [`Normal::new`] for invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation was negative or not finite.
+    BadVariance,
+    /// The mean was not finite.
+    MeanTooSmall,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::BadVariance => write!(f, "standard deviation is invalid"),
+            NormalError::MeanTooSmall => write!(f, "mean is invalid"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Floating-point scalars the shim's distributions can produce.
+pub trait Float: Copy {
+    /// Converts from `f64` (used internally by the samplers).
+    fn from_f64(v: f64) -> Self;
+    /// Converts to `f64`.
+    fn to_f64(self) -> f64;
+}
+
+impl Float for f32 {
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl Float for f64 {
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+/// Gaussian distribution with the given mean and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F: Float> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates a normal distribution; fails when `std_dev` is negative or
+    /// either parameter is not finite.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        if !mean.to_f64().is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if !std_dev.to_f64().is_finite() || std_dev.to_f64() < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> F {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    pub fn std_dev(&self) -> F {
+        self.std_dev
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: rand::RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        // Box–Muller transform. `u1` is kept away from zero so the log is
+        // finite.
+        let bits1 = rng.next_u64() >> 11;
+        let u1 = (bits1 as f64 + 0.5) * (1.0 / (1u64 << 53) as f64);
+        let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        let z = r * theta.cos();
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+/// Uniform distribution over `[0, 1)`, matching `rand_distr::Standard` for
+/// floats closely enough for this workspace.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardUniform;
+
+impl<F: Float> Distribution<F> for StandardUniform {
+    fn sample<R: rand::RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64((rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_close() {
+        let normal = Normal::new(1.5f64, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 1.5).abs() < 0.02, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(f32::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0f32, f32::INFINITY).is_err());
+        assert!(Normal::new(0.0f32, 0.0).is_ok());
+    }
+}

@@ -1,0 +1,86 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only uses `serde` through `#[derive(Serialize, Deserialize)]`
+//! on plain data types — no serializer is ever instantiated (there is no
+//! `serde_json` or other format crate in the tree). Because the build
+//! environment has no network access to crates.io, this vendored shim
+//! provides the two traits as derivable markers with the same names and
+//! paths, so every `use serde::{Deserialize, Serialize}` and derive in the
+//! workspace compiles unchanged. Swapping in the real `serde` later only
+//! requires editing `[workspace.dependencies]`.
+
+/// Marker form of `serde::Serialize`.
+///
+/// Derivable via `#[derive(Serialize)]` (re-exported from `serde_derive`
+/// under the `derive` feature, mirroring the real crate layout).
+pub trait Serialize {}
+
+/// Marker form of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker form of `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// `serde::de` module surface (trait re-exports only).
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// `serde::ser` module surface (trait re-exports only).
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_markers!(
+    (),
+    bool,
+    char,
+    String,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+);
+
+impl Serialize for str {}
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize> Serialize for &T {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

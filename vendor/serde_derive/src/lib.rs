@@ -1,0 +1,196 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! The shim's `Serialize` / `Deserialize` traits are markers (no methods), so
+//! the derive only needs to emit an empty `impl` with the right generics.
+//! That keeps the macro small enough to hand-roll on top of `proc_macro`
+//! alone — the build environment has no network access, so `syn`/`quote` are
+//! not available.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed generic parameter of the deriving type.
+struct GenericParam {
+    /// Parameter as it must appear in `impl<...>` (bounds kept, defaults
+    /// stripped), e.g. `T: Clone` or `const N: usize` or `'a`.
+    decl: String,
+    /// Parameter as it must appear in `Type<...>`, e.g. `T`, `N`, `'a`.
+    name: String,
+}
+
+struct DeriveTarget {
+    name: String,
+    params: Vec<GenericParam>,
+}
+
+/// Extracts the type name and generic parameter list from a derive input.
+///
+/// Derive inputs are restricted item declarations (`struct` / `enum` /
+/// `union` with optional attributes and visibility), so a small hand parser
+/// over the top-level token stream is reliable: find the item keyword, take
+/// the following identifier, then, if a `<` follows, split the depth-matched
+/// generic list on top-level commas.
+fn parse_target(input: TokenStream) -> DeriveTarget {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`, including doc comments) and visibility
+    // (`pub`, `pub(...)`).
+    let name_idx = loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // `#` + bracketed group
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                if word == "pub" {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1; // `pub(crate)` etc.
+                        }
+                    }
+                } else if word == "struct" || word == "enum" || word == "union" {
+                    break i + 1;
+                } else {
+                    // Unexpected modifier (e.g. future keywords): skip it.
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    };
+
+    let name = match &tokens[name_idx] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive input: expected type name, found {other}"),
+    };
+
+    let mut params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(name_idx + 1) {
+        if p.as_char() == '<' {
+            let mut depth = 1usize;
+            let mut j = name_idx + 2;
+            let mut current: Vec<TokenTree> = Vec::new();
+            while depth > 0 {
+                match &tokens[j] {
+                    TokenTree::Punct(p) if p.as_char() == '<' => {
+                        depth += 1;
+                        current.push(tokens[j].clone());
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            if !current.is_empty() {
+                                params.push(parse_param(&current));
+                            }
+                        } else {
+                            current.push(tokens[j].clone());
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        if !current.is_empty() {
+                            params.push(parse_param(&current));
+                        }
+                        current = Vec::new();
+                    }
+                    t => current.push(t.clone()),
+                }
+                j += 1;
+            }
+        }
+    }
+
+    DeriveTarget { name, params }
+}
+
+/// Parses one generic parameter from its token slice.
+fn parse_param(tokens: &[TokenTree]) -> GenericParam {
+    // Strip a trailing default (`= ...` at depth 0) — defaults are not
+    // allowed in impl generics.
+    let mut depth = 0usize;
+    let mut end = tokens.len();
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == '=' && depth == 0 => {
+                // Not `==`, `>=`, `<=`: a lone `=` starts the default.
+                end = idx;
+                break;
+            }
+            _ => {}
+        }
+    }
+    let kept = &tokens[..end];
+    let decl = kept
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ");
+
+    // The parameter name: `'a` for lifetimes, the identifier after `const`
+    // for const params, the first identifier otherwise.
+    let name = match kept.first() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+            format!("'{}", ident_at(kept, 1))
+        }
+        Some(TokenTree::Ident(id)) if id.to_string() == "const" => ident_at(kept, 1),
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive input: malformed generic parameter near {other:?}"),
+    };
+
+    GenericParam { decl, name }
+}
+
+fn ident_at(tokens: &[TokenTree], idx: usize) -> String {
+    match tokens.get(idx) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive input: expected identifier, found {other:?}"),
+    }
+}
+
+fn marker_impl(input: TokenStream, deserialize: bool) -> TokenStream {
+    let target = parse_target(input);
+    let decls: Vec<&str> = target.params.iter().map(|p| p.decl.as_str()).collect();
+    let names: Vec<&str> = target.params.iter().map(|p| p.name.as_str()).collect();
+
+    let (trait_path, impl_generics) = if deserialize {
+        let mut g = vec!["'de".to_string()];
+        g.extend(decls.iter().map(|d| d.to_string()));
+        ("::serde::Deserialize<'de>".to_string(), g)
+    } else {
+        (
+            "::serde::Serialize".to_string(),
+            decls.iter().map(|d| d.to_string()).collect(),
+        )
+    };
+
+    let impl_generics = if impl_generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_generics.join(", "))
+    };
+    let ty_generics = if names.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", names.join(", "))
+    };
+
+    let code = format!(
+        "#[automatically_derived] impl{impl_generics} {trait_path} for {name}{ty_generics} {{}}",
+        name = target.name,
+    );
+    code.parse().expect("generated impl parses")
+}
+
+/// Derives the marker `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, false)
+}
+
+/// Derives the marker `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, true)
+}
