@@ -21,6 +21,8 @@ use nbsmt_core::ThreadCount;
 use nbsmt_quant::quantize::{quantize_activations, quantize_weights};
 use nbsmt_quant::scheme::QuantScheme;
 use nbsmt_systolic::array::{OutputStationaryArray, SystolicConfig};
+use nbsmt_tensor::exec::{ExecConfig, ExecContext, GemmBackendKind};
+use nbsmt_tensor::ops;
 use nbsmt_tensor::random::{SynthesisConfig, TensorSynthesizer};
 use nbsmt_tensor::tensor::Matrix;
 
@@ -120,6 +122,77 @@ fn bench_fmul(c: &mut Criterion) {
     group.finish();
 }
 
+/// Benchmarks the execution-layer GEMM backends against the seed scalar
+/// path on a 512×512×512 i32 GEMM: `naive` (the seed loop through the
+/// context), `blocked` (cache-tiled), and `parallel` at 2 and 8 worker
+/// threads. The acceptance target for the layer is `parallel_512_8t` ≥ 3×
+/// the seed path on an 8-core host; all variants are bit-exact.
+fn bench_gemm_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_backends");
+    group.sample_size(10);
+    let dim = 512usize;
+    let mut synth = TensorSynthesizer::new(7);
+    let to_i32 = |t: nbsmt_tensor::tensor::Tensor<f32>| {
+        Matrix::from_vec(
+            t.into_vec().iter().map(|&v| (v * 127.0) as i32).collect(),
+            dim,
+            dim,
+        )
+        .unwrap()
+    };
+    let a = to_i32(synth.tensor(&SynthesisConfig::activation(0.5, 0.5), &[dim, dim]));
+    let b = to_i32(synth.tensor(&SynthesisConfig::weight(0.3, 0.0), &[dim, dim]));
+
+    group.bench_function("seed_scalar_512", |bch| {
+        bch.iter(|| ops::matmul_i32(&a, &b).unwrap())
+    });
+    let ctx_for = |threads: usize, backend: GemmBackendKind| {
+        ExecContext::new(ExecConfig {
+            threads,
+            backend,
+            ..ExecConfig::default()
+        })
+    };
+    for (name, threads, backend) in [
+        ("naive_512", 1, GemmBackendKind::Naive),
+        ("blocked_512_1t", 1, GemmBackendKind::Blocked),
+        ("parallel_512_2t", 2, GemmBackendKind::Parallel),
+        ("parallel_512_8t", 8, GemmBackendKind::Parallel),
+    ] {
+        let ctx = ctx_for(threads, backend);
+        group.bench_function(name, |bch| {
+            bch.iter(|| ops::matmul_i32_with(&ctx, &a, &b).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Benchmarks the NB-SMT layer emulation (2T and 4T) on the parallel
+/// execution layer at 1 vs 8 host worker threads — the path the accuracy
+/// sweeps are wall-clock-bound by.
+fn bench_nbsmt_parallel_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nbsmt_parallel_layer");
+    group.sample_size(10);
+    let (qx, qw) = sample_layer(128, 256, 64);
+    for (name, smt_threads, host_threads) in [
+        ("nbsmt_2t_layer_1t", ThreadCount::Two, 1usize),
+        ("nbsmt_2t_layer_8t", ThreadCount::Two, 8),
+        ("nbsmt_4t_layer_1t", ThreadCount::Four, 1),
+        ("nbsmt_4t_layer_8t", ThreadCount::Four, 8),
+    ] {
+        let ctx = ExecContext::with_threads(host_threads);
+        let emu = NbSmtMatmul::new(NbSmtMatmulConfig {
+            threads: smt_threads,
+            policy: SharingPolicy::S_A,
+            reorder: false,
+        });
+        group.bench_function(name, |bch| {
+            bch.iter(|| emu.execute_with(&ctx, &qx, &qw).unwrap())
+        });
+    }
+    group.finish();
+}
+
 /// Benchmarks the cycle-level baseline systolic array and the NB-SMT matmul
 /// emulation at 1, 2, and 4 threads (the datapaths behind every experiment).
 fn bench_datapaths(c: &mut Criterion) {
@@ -128,7 +201,7 @@ fn bench_datapaths(c: &mut Criterion) {
     group.bench_function("systolic_baseline_cycle_level", |b| {
         b.iter_batched(
             || OutputStationaryArray::new(SystolicConfig::new(16, 16)),
-            |mut array| array.matmul(qx.values(), qw.values()).unwrap(),
+            |array| array.matmul(qx.values(), qw.values()).unwrap(),
             BatchSize::SmallInput,
         )
     });
@@ -205,6 +278,7 @@ fn bench_accuracy_experiments(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = quick_criterion();
-    targets = bench_fmul, bench_datapaths, bench_zoo_experiments, bench_accuracy_experiments
+    targets = bench_fmul, bench_gemm_backends, bench_nbsmt_parallel_layer, bench_datapaths,
+        bench_zoo_experiments, bench_accuracy_experiments
 }
 criterion_main!(benches);

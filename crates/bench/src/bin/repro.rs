@@ -3,14 +3,24 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p nbsmt-bench --release --bin repro -- <experiment> [--full]
+//! cargo run -p nbsmt-bench --release --bin repro -- <experiment> \
+//!     [--full] [--threads N] [--backend {naive,blocked,parallel}]
 //! ```
 //!
 //! where `<experiment>` is one of `fig1`, `table1`, `table2`, `fig7`,
 //! `table3`, `table4`, `fig8`, `fig9`, `table5`, `fig10`, `energy`,
-//! `mlperf`, or `all`. `--full` runs the full-scale configuration used for
-//! EXPERIMENTS.md (slower); the default quick scale exercises the same code
-//! with smaller sample counts.
+//! `mlperf`, `gemmbench`, or `all`. `--full` runs the full-scale
+//! configuration used for EXPERIMENTS.md (slower); the default quick scale
+//! exercises the same code with smaller sample counts.
+//!
+//! `--threads` / `--backend` configure the host execution layer (default:
+//! the `parallel` backend over every available hardware thread). By the
+//! execution layer's determinism contract they change wall-clock time only
+//! — every reproduced number is identical for every setting. `gemmbench`
+//! times the GEMM backends and the NB-SMT emulation and writes the results
+//! to `BENCH_baseline.json`; it only runs when requested explicitly (it is
+//! not part of `all`, so regenerating tables never clobbers the tracked
+//! baseline).
 
 use std::env;
 
@@ -20,30 +30,93 @@ use nbsmt_bench::experiments::accuracy::{
 };
 use nbsmt_bench::experiments::hw_exp::table2_rows;
 use nbsmt_bench::experiments::zoo_exp::{
-    energy_savings, fig1_utilization, fig8_mse_vs_sparsity, fig9_utilization_gain, table1_inventory,
+    energy_savings_with, fig1_utilization, fig8_mse_vs_sparsity_with, fig9_utilization_gain_with,
+    table1_inventory,
 };
-use nbsmt_bench::Scale;
+use nbsmt_bench::{BenchSummary, ExecSettings, Scale};
+use nbsmt_core::matmul::{NbSmtMatmul, NbSmtMatmulConfig};
+use nbsmt_core::policy::SharingPolicy;
+use nbsmt_core::ThreadCount;
+use nbsmt_quant::quantize::{quantize_activations, quantize_weights};
+use nbsmt_quant::scheme::QuantScheme;
+use nbsmt_tensor::exec::{ExecConfig, ExecContext, GemmBackendKind};
+use nbsmt_tensor::ops;
+use nbsmt_tensor::random::{SynthesisConfig, TensorSynthesizer};
+use nbsmt_tensor::tensor::Matrix;
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
+    let mut full = false;
+    let mut exec = ExecSettings::parallel();
+    let mut experiment: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => full = true,
+            "--threads" => {
+                let value = it.next().unwrap_or_else(|| {
+                    eprintln!("--threads requires a value");
+                    std::process::exit(2);
+                });
+                exec.threads = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--threads: '{value}' is not a thread count");
+                    std::process::exit(2);
+                });
+            }
+            "--backend" => {
+                let value = it.next().unwrap_or_else(|| {
+                    eprintln!("--backend requires a value");
+                    std::process::exit(2);
+                });
+                exec.backend = GemmBackendKind::parse(value).unwrap_or_else(|| {
+                    eprintln!("--backend: '{value}' is not one of naive, blocked, parallel");
+                    std::process::exit(2);
+                });
+            }
+            other if !other.starts_with("--") => {
+                if let Some(first) = &experiment {
+                    eprintln!("unexpected extra experiment '{other}' after '{first}'");
+                    std::process::exit(2);
+                }
+                experiment = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown flag '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
     let scale = if full { Scale::Full } else { Scale::Quick };
-    let experiment = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
+    let experiment = experiment.unwrap_or_else(|| "all".to_string());
 
     let known = [
-        "fig1", "table1", "table2", "fig7", "table3", "table4", "fig8", "fig9", "table5", "fig10",
-        "energy", "mlperf", "all",
+        "fig1",
+        "table1",
+        "table2",
+        "fig7",
+        "table3",
+        "table4",
+        "fig8",
+        "fig9",
+        "table5",
+        "fig10",
+        "energy",
+        "mlperf",
+        "gemmbench",
+        "all",
     ];
     if !known.contains(&experiment.as_str()) {
         eprintln!("unknown experiment '{experiment}'. Known: {known:?}");
         std::process::exit(2);
     }
 
-    println!("# NB-SMT / SySMT reproduction — experiment: {experiment} (scale: {scale:?})\n");
+    let ctx = exec.context();
+    println!("# NB-SMT / SySMT reproduction — experiment: {experiment} (scale: {scale:?})");
+    println!(
+        "host execution: {} thread(s), {} backend\n",
+        ctx.threads(),
+        ctx.config().backend
+    );
 
     let wants = |name: &str| experiment == name || experiment == "all";
 
@@ -57,16 +130,22 @@ fn main() {
         run_table2();
     }
     if wants("fig8") {
-        run_fig8(scale);
+        run_fig8(scale, &ctx);
     }
     if wants("fig9") {
-        run_fig9(scale);
+        run_fig9(scale, &ctx);
     }
     if wants("energy") {
-        run_energy(scale);
+        run_energy(scale, &ctx);
     }
     if wants("mlperf") {
         run_mlperf();
+    }
+    // gemmbench is explicit-only (not part of `all`): it overwrites the
+    // tracked BENCH_baseline.json, which regenerating the paper's tables
+    // should never do as a side effect.
+    if experiment == "gemmbench" {
+        run_gemmbench(scale, &exec);
     }
 
     // Accuracy experiments share a single trained SynthNet.
@@ -75,7 +154,7 @@ fn main() {
         .any(|e| wants(e));
     if needs_accuracy {
         println!("Training SynthNet (accuracy substrate, see ARCHITECTURE.md, substitution 1)…");
-        let bench = AccuracyBench::prepare(scale, 2024);
+        let bench = AccuracyBench::prepare_with(scale, 2024, exec);
         println!(
             "SynthNet FP32 accuracy: {:.2}% | A8W8 accuracy: {:.2}%\n",
             bench.fp32_accuracy() * 100.0,
@@ -177,13 +256,13 @@ fn run_table4(bench: &AccuracyBench) {
     println!();
 }
 
-fn run_fig8(scale: Scale) {
+fn run_fig8(scale: Scale, ctx: &ExecContext) {
     println!("## Fig. 8 — per-layer MSE vs activation sparsity (GoogLeNet proxy, 2T)\n");
     println!(
         "{:<26} {:>10} {:>16} {:>16}",
         "Layer", "Sparsity", "MSE w/o reorder", "MSE w/ reorder"
     );
-    for p in fig8_mse_vs_sparsity(scale) {
+    for p in fig8_mse_vs_sparsity_with(scale, ctx) {
         println!(
             "{:<26} {:>9.1}% {:>16.3e} {:>16.3e}",
             p.layer,
@@ -195,13 +274,13 @@ fn run_fig8(scale: Scale) {
     println!();
 }
 
-fn run_fig9(scale: Scale) {
+fn run_fig9(scale: Scale, ctx: &ExecContext) {
     println!("## Fig. 9 — utilization improvement vs sparsity (GoogLeNet proxy, 2T)\n");
     println!(
         "{:<26} {:>10} {:>17} {:>16} {:>10}",
         "Layer", "Sparsity", "Gain w/o reorder", "Gain w/ reorder", "Eq. 8"
     );
-    for p in fig9_utilization_gain(scale) {
+    for p in fig9_utilization_gain_with(scale, ctx) {
         println!(
             "{:<26} {:>9.1}% {:>17.3} {:>16.3} {:>10.3}",
             p.layer,
@@ -246,10 +325,10 @@ fn run_fig10(bench: &AccuracyBench, scale: Scale) {
     println!();
 }
 
-fn run_energy(scale: Scale) {
+fn run_energy(scale: Scale, ctx: &ExecContext) {
     println!("## §V-A — energy savings of SySMT over the conventional array\n");
     println!("{:<14} {:>10} {:>10}", "Model", "2T saving", "4T saving");
-    let rows = energy_savings(scale);
+    let rows = energy_savings_with(scale, ctx);
     let mut avg2 = 0.0;
     let mut avg4 = 0.0;
     for row in &rows {
@@ -268,6 +347,150 @@ fn run_energy(scale: Scale) {
         avg2 / rows.len() as f64 * 100.0,
         avg4 / rows.len() as f64 * 100.0
     );
+}
+
+/// Times the GEMM backends and the NB-SMT layer emulation on the host and
+/// writes the records to `BENCH_baseline.json` (the perf trajectory file).
+fn run_gemmbench(scale: Scale, exec: &ExecSettings) {
+    println!("## gemmbench — host execution layer throughput\n");
+    let dim = match scale {
+        Scale::Quick => 256,
+        Scale::Full => 512,
+    };
+    let iters = match scale {
+        Scale::Quick => 5,
+        Scale::Full => 10,
+    };
+    let mut summary = BenchSummary::new();
+
+    // Integer GEMM: one square problem per backend, plus the requested
+    // thread count for the parallel backend.
+    let mut synth = TensorSynthesizer::new(42);
+    let to_i32 = |t: nbsmt_tensor::tensor::Tensor<f32>, r: usize, c: usize| {
+        Matrix::from_vec(
+            t.into_vec().iter().map(|&v| (v * 127.0) as i32).collect(),
+            r,
+            c,
+        )
+        .expect("dimensions match")
+    };
+    let a = to_i32(
+        synth.tensor(&SynthesisConfig::activation(0.5, 0.5), &[dim, dim]),
+        dim,
+        dim,
+    );
+    let b = to_i32(
+        synth.tensor(&SynthesisConfig::weight(0.3, 0.0), &[dim, dim]),
+        dim,
+        dim,
+    );
+    let macs = (dim * dim * dim) as u64;
+    let mut runs: Vec<(String, ExecContext)> = vec![
+        (
+            format!("gemm_i32_{dim}_naive_1t"),
+            ExecContext::sequential(),
+        ),
+        (
+            format!("gemm_i32_{dim}_blocked_1t"),
+            ExecContext::new(ExecConfig {
+                threads: 1,
+                backend: GemmBackendKind::Blocked,
+                ..ExecConfig::default()
+            }),
+        ),
+    ];
+    let parallel_ctx = ExecContext::new(ExecConfig {
+        threads: exec.threads,
+        backend: GemmBackendKind::Parallel,
+        ..ExecConfig::default()
+    });
+    // Name from the context's (clamped) thread count so the id always
+    // matches the record's `threads` field.
+    runs.push((
+        format!("gemm_i32_{dim}_parallel_{}t", parallel_ctx.threads()),
+        parallel_ctx,
+    ));
+    println!(
+        "{:<28} {:>12} {:>12} {:>10}",
+        "Benchmark", "mean [ms]", "GMAC/s", "threads"
+    );
+    for (name, ctx) in &runs {
+        let record = summary.measure(
+            name,
+            ctx.threads(),
+            ctx.config().backend.name(),
+            macs,
+            iters,
+            || {
+                ops::matmul_i32_with(ctx, &a, &b).expect("dimensions match");
+            },
+        );
+        println!(
+            "{:<28} {:>12.2} {:>12.2} {:>10}",
+            record.name,
+            record.mean_ns / 1e6,
+            record.gmacs_per_s(),
+            record.threads
+        );
+    }
+
+    // NB-SMT layer emulation at 2T and 4T through the configured context.
+    let (m, k, n) = (dim / 2, dim, dim / 4);
+    let qx = quantize_activations(
+        &Matrix::from_vec(
+            synth
+                .tensor(&SynthesisConfig::activation(0.4, 0.5), &[m, k])
+                .into_vec(),
+            m,
+            k,
+        )
+        .expect("dimensions match"),
+        &QuantScheme::activation_a8(),
+        Some((0.0, 1.0)),
+    );
+    let qw = quantize_weights(
+        &Matrix::from_vec(
+            synth
+                .tensor(&SynthesisConfig::weight(0.12, 0.0), &[k, n])
+                .into_vec(),
+            k,
+            n,
+        )
+        .expect("dimensions match"),
+        &QuantScheme::weight_w8(),
+    );
+    let ctx = exec.context();
+    for (label, threads) in [("2t", ThreadCount::Two), ("4t", ThreadCount::Four)] {
+        let emu = NbSmtMatmul::new(NbSmtMatmulConfig {
+            threads,
+            policy: SharingPolicy::S_A,
+            reorder: false,
+        });
+        let name = format!("nbsmt_{label}_layer_{m}x{k}x{n}_{}t", ctx.threads());
+        let record = summary.measure(
+            &name,
+            ctx.threads(),
+            ctx.config().backend.name(),
+            (m * k * n) as u64,
+            iters,
+            || {
+                emu.execute_with(&ctx, &qx, &qw).expect("dimensions match");
+            },
+        );
+        println!(
+            "{:<28} {:>12.2} {:>12.2} {:>10}",
+            record.name,
+            record.mean_ns / 1e6,
+            record.gmacs_per_s(),
+            record.threads
+        );
+    }
+
+    let path = std::path::Path::new("BENCH_baseline.json");
+    match summary.write(path) {
+        Ok(()) => println!("\nwrote {}\n", path.display()),
+        Err(e) => eprintln!("\nfailed to write {}: {e}\n", path.display()),
+    }
 }
 
 fn run_mlperf() {

@@ -14,6 +14,7 @@ use nbsmt_core::ThreadCount;
 use nbsmt_nn::quantized::GemmEngine;
 use nbsmt_nn::NnError;
 use nbsmt_quant::qtensor::{QuantMatrix, QuantWeightMatrix};
+use nbsmt_tensor::exec::ExecContext;
 use nbsmt_tensor::tensor::Matrix;
 
 /// Per-layer NB-SMT execution settings used by [`NbSmtEngine`].
@@ -111,6 +112,7 @@ impl NbSmtEngine {
 impl GemmEngine for NbSmtEngine {
     fn gemm(
         &mut self,
+        ctx: &ExecContext,
         layer_index: usize,
         x: &QuantMatrix,
         w: &QuantWeightMatrix,
@@ -122,11 +124,14 @@ impl GemmEngine for NbSmtEngine {
             policy: self.config.policy,
             reorder: self.config.reorder && threads.count() > 1,
         });
-        let out = emu.execute(x, w).map_err(nbsmt_nn::NnError::from)?;
+        let out = emu
+            .execute_with(ctx, x, w)
+            .map_err(nbsmt_nn::NnError::from)?;
         self.layer_stats[layer_index].merge(&out.stats);
         // Record the squared error against the error-free reference so the
         // tuning experiments can rank layers by MSE.
-        let reference = nbsmt_core::matmul::reference_output(x, w).map_err(NnError::from)?;
+        let reference =
+            nbsmt_core::matmul::reference_output_with(ctx, x, w).map_err(NnError::from)?;
         let mut sq = 0.0f64;
         for (a, b) in out.output.as_slice().iter().zip(reference.as_slice()) {
             let d = (*a - *b) as f64;

@@ -21,6 +21,7 @@ use nbsmt_nn::quantized::{QuantizedModel, ReducedPrecisionEngine, ReferenceEngin
 use nbsmt_nn::train::Dataset;
 use nbsmt_quant::scheme::OperatingPoint;
 use nbsmt_sparsity::prune::prune_to_sparsity;
+use nbsmt_tensor::exec::ExecContext;
 use nbsmt_tensor::tensor::Tensor;
 use nbsmt_workloads::synthnet::{
     generate_dataset, train_synthnet, SynthTaskConfig, TrainedSynthNet,
@@ -28,7 +29,7 @@ use nbsmt_workloads::synthnet::{
 use nbsmt_workloads::zoo::{mobilenet_v1, LayerKind};
 
 use crate::engine::{NbSmtEngine, NbSmtEngineConfig};
-use crate::scale::Scale;
+use crate::scale::{ExecSettings, Scale};
 
 /// The shared experimental setup: a trained, calibrated SynthNet plus its
 /// evaluation split.
@@ -41,16 +42,32 @@ pub struct AccuracyBench {
     pub test_images: Tensor<f32>,
     /// Evaluation labels.
     pub test_labels: Vec<usize>,
+    /// The execution context every evaluation in this bench runs on. By the
+    /// execution-layer determinism contract it changes wall-clock time only,
+    /// never the reported numbers.
+    pub exec: ExecContext,
 }
 
 impl AccuracyBench {
-    /// Trains and calibrates SynthNet at the given scale.
+    /// Trains and calibrates SynthNet at the given scale, evaluating on the
+    /// sequential execution context.
     ///
     /// # Panics
     ///
     /// Panics if training or calibration fails (they only fail on internal
     /// configuration errors).
     pub fn prepare(scale: Scale, seed: u64) -> Self {
+        Self::prepare_with(scale, seed, ExecSettings::sequential())
+    }
+
+    /// [`Self::prepare`] with explicit host-execution settings (threads and
+    /// GEMM backend) for the evaluation runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if training or calibration fails (they only fail on internal
+    /// configuration errors).
+    pub fn prepare_with(scale: Scale, seed: u64, exec: ExecSettings) -> Self {
         let task = SynthTaskConfig {
             classes: 6,
             image_size: 16,
@@ -74,12 +91,20 @@ impl AccuracyBench {
             quantized,
             test_images,
             test_labels,
+            exec: exec.context(),
         }
     }
 
     /// Builds the same bench around an externally trained model (used by the
-    /// pruning sweep, which retrains its own copies).
-    pub fn from_model(model: &Model, test: &Dataset, task: &SynthTaskConfig, seed: u64) -> Self {
+    /// pruning sweep, which retrains its own copies), inheriting the given
+    /// execution context.
+    pub fn from_model(
+        model: &Model,
+        test: &Dataset,
+        task: &SynthTaskConfig,
+        seed: u64,
+        exec: ExecContext,
+    ) -> Self {
         let calib = generate_dataset(task, 8, seed.wrapping_add(77));
         let (calib_images, _) = calib.batch(0, calib.len());
         let quantized =
@@ -96,6 +121,7 @@ impl AccuracyBench {
             quantized,
             test_images,
             test_labels,
+            exec,
         }
     }
 
@@ -110,7 +136,12 @@ impl AccuracyBench {
     /// Error-free 8-bit (A8W8) accuracy.
     pub fn int8_accuracy(&self) -> f64 {
         self.quantized
-            .accuracy_with(&self.test_images, &self.test_labels, &mut ReferenceEngine)
+            .accuracy_with_ctx(
+                &self.exec,
+                &self.test_images,
+                &self.test_labels,
+                &mut ReferenceEngine,
+            )
             .expect("forward succeeds")
     }
 
@@ -120,7 +151,12 @@ impl AccuracyBench {
         let mut engine = NbSmtEngine::new(config);
         let acc = self
             .quantized
-            .accuracy_with(&self.test_images, &self.test_labels, &mut engine)
+            .accuracy_with_ctx(
+                &self.exec,
+                &self.test_images,
+                &self.test_labels,
+                &mut engine,
+            )
             .expect("forward succeeds");
         (acc, engine)
     }
@@ -129,7 +165,12 @@ impl AccuracyBench {
     pub fn reduced_accuracy(&self, point: OperatingPoint) -> f64 {
         let mut engine = ReducedPrecisionEngine { point };
         self.quantized
-            .accuracy_with(&self.test_images, &self.test_labels, &mut engine)
+            .accuracy_with_ctx(
+                &self.exec,
+                &self.test_images,
+                &self.test_labels,
+                &mut engine,
+            )
             .expect("forward succeeds")
     }
 
@@ -370,8 +411,13 @@ pub fn fig10_pruning(bench: &AccuracyBench, scale: Scale) -> Vec<Fig10Point> {
                 reapply_masks(m, &masks);
             });
         }
-        let pruned_bench =
-            AccuracyBench::from_model(&model, &bench.trained.test, &bench.trained.task, 1234);
+        let pruned_bench = AccuracyBench::from_model(
+            &model,
+            &bench.trained.test,
+            &bench.trained.task,
+            1234,
+            bench.exec.clone(),
+        );
         // 4T pass to rank layers by MSE.
         let (_, engine) = pruned_bench.nbsmt_accuracy(
             NbSmtEngineConfig::uniform(ThreadCount::Four, SharingPolicy::S_A, true)

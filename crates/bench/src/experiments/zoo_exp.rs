@@ -4,13 +4,14 @@
 
 use serde::{Deserialize, Serialize};
 
-use nbsmt_core::matmul::{reference_output, NbSmtMatmul, NbSmtMatmulConfig};
+use nbsmt_core::matmul::{reference_output_with, NbSmtMatmul, NbSmtMatmulConfig};
 use nbsmt_core::metrics::{analytic_utilization_gain_2t, layer_error};
 use nbsmt_core::policy::SharingPolicy;
 use nbsmt_core::ThreadCount;
 use nbsmt_hw::energy::{compare_energy, LayerEnergyInput};
 use nbsmt_hw::table2::DesignPoint;
 use nbsmt_sparsity::stats::{layer_utilization, UtilizationBreakdown};
+use nbsmt_tensor::exec::ExecContext;
 use nbsmt_workloads::calib::{synthesize_model, SynthesisOptions};
 use nbsmt_workloads::zoo::{table1_models, ModelSpec};
 
@@ -108,6 +109,12 @@ pub struct Fig8Point {
 
 /// Runs the Fig. 8 experiment on the GoogLeNet-proxy layers.
 pub fn fig8_mse_vs_sparsity(scale: Scale) -> Vec<Fig8Point> {
+    fig8_mse_vs_sparsity_with(scale, &ExecContext::sequential())
+}
+
+/// [`fig8_mse_vs_sparsity`] on an explicit execution context (the numbers
+/// are identical for every context; only wall-clock time changes).
+pub fn fig8_mse_vs_sparsity_with(scale: Scale, ctx: &ExecContext) -> Vec<Fig8Point> {
     let model = nbsmt_workloads::zoo::googlenet();
     let options = SynthesisOptions {
         max_rows: scale.max_rows(),
@@ -120,7 +127,7 @@ pub fn fig8_mse_vs_sparsity(scale: Scale) -> Vec<Fig8Point> {
         .iter()
         .step_by(if scale == Scale::Quick { 6 } else { 1 })
     {
-        let reference = match reference_output(&layer.activations, &layer.weights) {
+        let reference = match reference_output_with(ctx, &layer.activations, &layer.weights) {
             Ok(r) => r,
             Err(_) => continue,
         };
@@ -131,7 +138,7 @@ pub fn fig8_mse_vs_sparsity(scale: Scale) -> Vec<Fig8Point> {
                 reorder,
             });
             let out = emu
-                .execute(&layer.activations, &layer.weights)
+                .execute_with(ctx, &layer.activations, &layer.weights)
                 .expect("dimensions match by construction");
             layer_error(&out.output, &reference).mse
         };
@@ -164,6 +171,11 @@ pub struct Fig9Point {
 
 /// Runs the Fig. 9 experiment on the GoogLeNet-proxy layers.
 pub fn fig9_utilization_gain(scale: Scale) -> Vec<Fig9Point> {
+    fig9_utilization_gain_with(scale, &ExecContext::sequential())
+}
+
+/// [`fig9_utilization_gain`] on an explicit execution context.
+pub fn fig9_utilization_gain_with(scale: Scale, ctx: &ExecContext) -> Vec<Fig9Point> {
     let model = nbsmt_workloads::zoo::googlenet();
     let options = SynthesisOptions {
         max_rows: scale.max_rows(),
@@ -190,7 +202,7 @@ pub fn fig9_utilization_gain(scale: Scale) -> Vec<Fig9Point> {
                 reorder,
             });
             let out = emu
-                .execute(&layer.activations, &layer.weights)
+                .execute_with(ctx, &layer.activations, &layer.weights)
                 .expect("dimensions match by construction");
             out.stats.utilization() / baseline_util
         };
@@ -219,6 +231,11 @@ pub struct EnergyRow {
 
 /// Runs the §V-A energy estimate for every Table I model.
 pub fn energy_savings(scale: Scale) -> Vec<EnergyRow> {
+    energy_savings_with(scale, &ExecContext::sequential())
+}
+
+/// [`energy_savings`] on an explicit execution context.
+pub fn energy_savings_with(scale: Scale, ctx: &ExecContext) -> Vec<EnergyRow> {
     let options = SynthesisOptions {
         max_rows: scale.max_rows(),
         max_cols: scale.max_cols(),
@@ -241,7 +258,7 @@ pub fn energy_savings(scale: Scale) -> Vec<EnergyRow> {
                         policy: SharingPolicy::S_A,
                         reorder: true,
                     });
-                    emu.execute(&layer.activations, &layer.weights)
+                    emu.execute_with(ctx, &layer.activations, &layer.weights)
                         .map(|o| o.stats.utilization())
                         .unwrap_or(base_util)
                 };

@@ -16,6 +16,8 @@
 pub mod engine;
 pub mod experiments;
 pub mod scale;
+pub mod summary;
 
 pub use engine::{NbSmtEngine, NbSmtEngineConfig};
-pub use scale::Scale;
+pub use scale::{ExecSettings, Scale};
+pub use summary::{BenchRecord, BenchSummary};

@@ -1,11 +1,17 @@
-//! Experiment scale control.
+//! Experiment scale and host-execution control.
 //!
 //! Every experiment can run at a reduced scale (for unit tests and quick
 //! smoke runs) or at full scale (for the published numbers in
 //! EXPERIMENTS.md). The scale only affects sample counts — never the code
-//! paths being exercised.
+//! paths being exercised. Orthogonally, [`ExecSettings`] carries the host
+//! execution configuration (worker threads + GEMM backend, from the
+//! `repro` CLI's `--threads` / `--backend` flags) into the experiments;
+//! by the execution-layer determinism contract it affects wall-clock time
+//! only, never the numbers produced.
 
 use serde::{Deserialize, Serialize};
+
+use nbsmt_tensor::exec::{available_threads, ExecConfig, ExecContext, GemmBackendKind};
 
 /// How much work an experiment performs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -68,9 +74,63 @@ impl Scale {
     }
 }
 
+/// Host-execution settings for an experiment run: how many worker threads
+/// the execution layer may use and which GEMM backend it dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecSettings {
+    /// Worker threads for the execution layer's pool.
+    pub threads: usize,
+    /// GEMM backend.
+    pub backend: GemmBackendKind,
+}
+
+impl ExecSettings {
+    /// The `repro` CLI default: the parallel backend over every available
+    /// hardware thread.
+    pub fn parallel() -> Self {
+        ExecSettings {
+            threads: available_threads(),
+            backend: GemmBackendKind::Parallel,
+        }
+    }
+
+    /// One thread, seed scalar kernel — the degenerate mode CI smokes.
+    pub fn sequential() -> Self {
+        ExecSettings {
+            threads: 1,
+            backend: GemmBackendKind::Naive,
+        }
+    }
+
+    /// Builds the execution context these settings describe.
+    pub fn context(&self) -> ExecContext {
+        ExecContext::new(ExecConfig {
+            threads: self.threads,
+            backend: self.backend,
+            ..ExecConfig::default()
+        })
+    }
+}
+
+impl Default for ExecSettings {
+    fn default() -> Self {
+        Self::parallel()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn exec_settings_build_matching_contexts() {
+        let seq = ExecSettings::sequential().context();
+        assert_eq!(seq.threads(), 1);
+        assert_eq!(seq.config().backend, GemmBackendKind::Naive);
+        let par = ExecSettings::default().context();
+        assert!(par.threads() >= 1);
+        assert_eq!(par.config().backend, GemmBackendKind::Parallel);
+    }
 
     #[test]
     fn full_scale_is_larger_everywhere() {

@@ -1,0 +1,160 @@
+//! Machine-readable benchmark summaries.
+//!
+//! The `repro -- gemmbench` experiment times the GEMM backends and the
+//! NB-SMT layer emulation on the host and records the results here, then
+//! writes them as `BENCH_baseline.json` so the repository's performance
+//! trajectory can be tracked commit over commit. The JSON is emitted by
+//! hand (the offline `serde` shim has no serializer), with a stable,
+//! sorted-by-insertion layout.
+
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// One timed benchmark entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Benchmark id, e.g. `gemm_i32_512_parallel_8t`.
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations measured.
+    pub iters: u64,
+    /// Worker threads the execution context used.
+    pub threads: usize,
+    /// GEMM backend name (`naive`, `blocked`, `parallel`, or `-`).
+    pub backend: String,
+    /// Work metric per iteration (MAC operations) when meaningful, else 0.
+    pub mac_ops: u64,
+}
+
+impl BenchRecord {
+    /// Giga-MACs per second, or 0 when no work metric was recorded.
+    pub fn gmacs_per_s(&self) -> f64 {
+        if self.mean_ns <= 0.0 {
+            0.0
+        } else {
+            self.mac_ops as f64 / self.mean_ns
+        }
+    }
+}
+
+/// A collection of benchmark records with a JSON writer.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BenchSummary {
+    /// The recorded entries, in insertion order.
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchSummary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        BenchSummary::default()
+    }
+
+    /// Times `f` for `iters` iterations (after one untimed warm-up call)
+    /// and records the mean, returning a reference to the new record.
+    pub fn measure<F: FnMut()>(
+        &mut self,
+        name: &str,
+        threads: usize,
+        backend: &str,
+        mac_ops: u64,
+        iters: u64,
+        mut f: F,
+    ) -> &BenchRecord {
+        let iters = iters.max(1);
+        f(); // warm-up
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        self.records.push(BenchRecord {
+            name: name.to_string(),
+            mean_ns,
+            iters,
+            threads,
+            backend: backend.to_string(),
+            mac_ops,
+        });
+        self.records.last().expect("record just pushed")
+    }
+
+    /// Renders the summary as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"records\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}, \
+                 \"threads\": {}, \"backend\": \"{}\", \"mac_ops\": {}, \
+                 \"gmacs_per_s\": {:.4}}}{}\n",
+                escape(&r.name),
+                r.mean_ns,
+                r.iters,
+                r.threads,
+                escape(&r.backend),
+                r.mac_ops,
+                r.gmacs_per_s(),
+                if i + 1 == self.records.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON summary to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_json().as_bytes())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_records_and_json_is_well_formed() {
+        let mut summary = BenchSummary::new();
+        let mut counter = 0u64;
+        summary.measure("noop", 2, "parallel", 100, 3, || {
+            counter += 1;
+        });
+        // 3 timed iterations + 1 warm-up.
+        assert_eq!(counter, 4);
+        assert_eq!(summary.records.len(), 1);
+        let r = &summary.records[0];
+        assert_eq!(r.iters, 3);
+        assert_eq!(r.threads, 2);
+        assert!(r.mean_ns >= 0.0);
+        assert!(r.gmacs_per_s() >= 0.0);
+        let json = summary.to_json();
+        assert!(json.contains("\"name\": \"noop\""));
+        assert!(json.contains("\"backend\": \"parallel\""));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn write_emits_file() {
+        let mut summary = BenchSummary::new();
+        summary.measure("x", 1, "naive", 0, 1, || {});
+        let path = std::env::temp_dir().join("nbsmt_bench_summary_test.json");
+        summary.write(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"records\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 use nbsmt_quant::qtensor::{QuantMatrix, QuantWeightMatrix};
 use nbsmt_sparsity::reorder::ColumnOrder;
 use nbsmt_tensor::error::TensorError;
+use nbsmt_tensor::exec::ExecContext;
 use nbsmt_tensor::tensor::Matrix;
 
 use crate::pe::{PeStats, SmtPe2, SmtPe4, ThreadInput};
@@ -97,6 +98,26 @@ impl NbSmtMatmul {
         x: &QuantMatrix,
         w: &QuantWeightMatrix,
     ) -> Result<NbSmtOutput, TensorError> {
+        self.execute_with(&ExecContext::sequential(), x, w)
+    }
+
+    /// [`Self::execute`] through the given execution context: output rows
+    /// are partitioned into tiles and fanned out over the context's worker
+    /// pool (every output element is an independent PE stream), and each
+    /// tile's [`PeStats`] are merged back **in tile order**. The result —
+    /// output matrix and statistics alike — is bit-identical for every
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimensionMismatch`] when the reduction
+    /// dimensions differ.
+    pub fn execute_with(
+        &self,
+        ctx: &ExecContext,
+        x: &QuantMatrix,
+        w: &QuantWeightMatrix,
+    ) -> Result<NbSmtOutput, TensorError> {
         if x.cols() != w.rows() {
             return Err(TensorError::DimensionMismatch {
                 op: "nbsmt matmul",
@@ -121,26 +142,45 @@ impl NbSmtMatmul {
             (x, w)
         };
 
-        match self.config.threads {
-            ThreadCount::One => self.execute_single(x, w),
-            ThreadCount::Two => self.execute_two(x, w),
-            ThreadCount::Four => self.execute_four(x, w),
+        let (m, n) = (x.rows(), w.cols());
+        let mut out = vec![0.0_f32; m * n];
+        let tile_stats =
+            ctx.map_row_tiles(&mut out, m, n, |_tile, row_start, nrows, chunk| match self
+                .config
+                .threads
+            {
+                ThreadCount::One => self.rows_single(x, w, row_start, nrows, chunk),
+                ThreadCount::Two => self.rows_two(x, w, row_start, nrows, chunk),
+                ThreadCount::Four => self.rows_four(x, w, row_start, nrows, chunk),
+            });
+        // Deterministic reduction: tile order, independent of which worker
+        // produced each tile.
+        let mut stats = PeStats::default();
+        for tile in &tile_stats {
+            stats.merge(tile);
         }
+        Ok(NbSmtOutput {
+            output: Matrix::from_vec(out, m, n)?,
+            stats,
+        })
     }
 
-    /// Single-threaded (baseline) execution: the error-free quantized matmul
+    /// Single-threaded (baseline) emulation of output rows
+    /// `row_start .. row_start + nrows`: the error-free quantized matmul
     /// with baseline utilization statistics.
-    fn execute_single(
+    fn rows_single(
         &self,
         x: &QuantMatrix,
         w: &QuantWeightMatrix,
-    ) -> Result<NbSmtOutput, TensorError> {
-        let (m, k, n) = (x.rows(), x.cols(), w.cols());
+        row_start: usize,
+        nrows: usize,
+        out: &mut [f32],
+    ) -> PeStats {
+        let (k, n) = (x.cols(), w.cols());
         let xv = x.values().as_slice();
         let wv = w.values().as_slice();
-        let mut out = vec![0.0_f32; m * n];
         let mut stats = PeStats::default();
-        for i in 0..m {
+        for i in row_start..row_start + nrows {
             for j in 0..n {
                 let mut acc: i64 = 0;
                 let mut busy = 0u64;
@@ -152,33 +192,32 @@ impl NbSmtMatmul {
                         acc += xval as i64 * wval as i64;
                     }
                 }
-                out[i * n + j] = acc as f32 * x.scale() * w.scale(j);
+                out[(i - row_start) * n + j] = acc as f32 * x.scale() * w.scale(j);
                 stats.cycles += k as u64;
                 stats.busy_cycles += busy;
                 stats.active_thread_slots += busy;
             }
         }
-        Ok(NbSmtOutput {
-            output: Matrix::from_vec(out, m, n)?,
-            stats,
-        })
+        stats
     }
 
-    /// 2-threaded execution: the K dimension is split in half, both halves
-    /// stream through the shared PE in parallel (Eq. 2/3).
-    fn execute_two(
+    /// 2-threaded emulation of a row range: the K dimension is split in
+    /// half, both halves stream through the shared PE in parallel (Eq. 2/3).
+    fn rows_two(
         &self,
         x: &QuantMatrix,
         w: &QuantWeightMatrix,
-    ) -> Result<NbSmtOutput, TensorError> {
-        let (m, k, n) = (x.rows(), x.cols(), w.cols());
+        row_start: usize,
+        nrows: usize,
+        out: &mut [f32],
+    ) -> PeStats {
+        let (k, n) = (x.cols(), w.cols());
         let pe = SmtPe2::new(self.config.policy);
         let xv = x.values().as_slice();
         let wv = w.values().as_slice();
         let half = k.div_ceil(2);
-        let mut out = vec![0.0_f32; m * n];
         let mut stats = PeStats::default();
-        for i in 0..m {
+        for i in row_start..row_start + nrows {
             for j in 0..n {
                 let mut acc: i64 = 0;
                 for s in 0..half {
@@ -202,29 +241,29 @@ impl NbSmtMatmul {
                     stats.active_thread_slots += r.stats.active_threads as u64;
                     stats.reduced_thread_slots += r.stats.reduced_threads as u64;
                 }
-                out[i * n + j] = acc as f32 * x.scale() * w.scale(j);
+                out[(i - row_start) * n + j] = acc as f32 * x.scale() * w.scale(j);
             }
         }
-        Ok(NbSmtOutput {
-            output: Matrix::from_vec(out, m, n)?,
-            stats,
-        })
+        stats
     }
 
-    /// 4-threaded execution: the K dimension is split into four segments.
-    fn execute_four(
+    /// 4-threaded emulation of a row range: the K dimension is split into
+    /// four segments.
+    fn rows_four(
         &self,
         x: &QuantMatrix,
         w: &QuantWeightMatrix,
-    ) -> Result<NbSmtOutput, TensorError> {
-        let (m, k, n) = (x.rows(), x.cols(), w.cols());
+        row_start: usize,
+        nrows: usize,
+        out: &mut [f32],
+    ) -> PeStats {
+        let (k, n) = (x.cols(), w.cols());
         let pe = SmtPe4::new(self.config.policy);
         let xv = x.values().as_slice();
         let wv = w.values().as_slice();
         let seg = k.div_ceil(4);
-        let mut out = vec![0.0_f32; m * n];
         let mut stats = PeStats::default();
-        for i in 0..m {
+        for i in row_start..row_start + nrows {
             for j in 0..n {
                 let mut acc: i64 = 0;
                 for s in 0..seg {
@@ -247,13 +286,10 @@ impl NbSmtMatmul {
                     stats.active_thread_slots += r.stats.active_threads as u64;
                     stats.reduced_thread_slots += r.stats.reduced_threads as u64;
                 }
-                out[i * n + j] = acc as f32 * x.scale() * w.scale(j);
+                out[(i - row_start) * n + j] = acc as f32 * x.scale() * w.scale(j);
             }
         }
-        Ok(NbSmtOutput {
-            output: Matrix::from_vec(out, m, n)?,
-            stats,
-        })
+        stats
     }
 }
 
@@ -269,6 +305,20 @@ pub fn reference_output(
     w: &QuantWeightMatrix,
 ) -> Result<Matrix<f32>, TensorError> {
     nbsmt_quant::quantize::quantized_matmul(x, w)
+}
+
+/// [`reference_output`] through the given execution context.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] when the reduction dimensions
+/// differ.
+pub fn reference_output_with(
+    ctx: &ExecContext,
+    x: &QuantMatrix,
+    w: &QuantWeightMatrix,
+) -> Result<Matrix<f32>, TensorError> {
+    nbsmt_quant::quantize::quantized_matmul_with(ctx, x, w)
 }
 
 #[cfg(test)]

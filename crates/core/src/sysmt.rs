@@ -17,9 +17,10 @@ use nbsmt_quant::qtensor::{QuantMatrix, QuantWeightMatrix};
 use nbsmt_systolic::array::{OutputStationaryArray, SystolicConfig};
 use nbsmt_systolic::schedule::TilingPlan;
 use nbsmt_tensor::error::TensorError;
+use nbsmt_tensor::exec::ExecContext;
 use nbsmt_tensor::tensor::Matrix;
 
-use crate::matmul::{reference_output, NbSmtMatmul, NbSmtMatmulConfig};
+use crate::matmul::{reference_output_with, NbSmtMatmul, NbSmtMatmulConfig};
 use crate::metrics::{layer_error, LayerError};
 use crate::pe::PeStats;
 use crate::policy::SharingPolicy;
@@ -158,6 +159,23 @@ impl SySmtArray {
         x: &QuantMatrix,
         w: &QuantWeightMatrix,
     ) -> Result<SySmtLayerResult, TensorError> {
+        self.execute_layer_with(&ExecContext::sequential(), x, w)
+    }
+
+    /// [`Self::execute_layer`] through the given execution context: both the
+    /// NB-SMT emulation and the error-free reference run on the context's
+    /// worker pool, with identical results for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimensionMismatch`] when the reduction
+    /// dimensions differ.
+    pub fn execute_layer_with(
+        &self,
+        ctx: &ExecContext,
+        x: &QuantMatrix,
+        w: &QuantWeightMatrix,
+    ) -> Result<SySmtLayerResult, TensorError> {
         let (m, k, n) = (x.rows(), x.cols(), w.cols());
 
         // Numeric output and per-PE statistics via the functional emulation.
@@ -166,8 +184,8 @@ impl SySmtArray {
             policy: self.config.policy,
             reorder: self.config.reorder,
         });
-        let nbsmt = emu.execute(x, w)?;
-        let reference = reference_output(x, w)?;
+        let nbsmt = emu.execute_with(ctx, x, w)?;
+        let reference = reference_output_with(ctx, x, w)?;
         let error = layer_error(&nbsmt.output, &reference);
 
         // Baseline utilization from the conventional array estimator.

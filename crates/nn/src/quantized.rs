@@ -13,10 +13,11 @@
 use nbsmt_quant::observer::MinMaxObserver;
 use nbsmt_quant::qtensor::{QuantMatrix, QuantWeightMatrix};
 use nbsmt_quant::quantize::{
-    quantize_activations, quantize_weights, quantized_matmul, reduce_activation_matrix,
+    quantize_activations, quantize_weights, quantized_matmul_with, reduce_activation_matrix,
     reduce_weight_matrix,
 };
 use nbsmt_quant::scheme::{OperatingPoint, QuantScheme};
+use nbsmt_tensor::exec::ExecContext;
 use nbsmt_tensor::ops::{self, Conv2dParams};
 use nbsmt_tensor::tensor::{Matrix, Tensor};
 
@@ -26,18 +27,21 @@ use crate::model::{forward_layer, Layer, Model};
 
 /// A matrix-multiplication engine used to execute quantized compute layers.
 ///
-/// Implementations receive the quantized activation matrix and the quantized
-/// weight matrix of one layer and return the dequantized output matrix. The
-/// `layer_index` identifies the compute layer (0-based over compute layers
-/// only), which lets engines apply per-layer thread counts.
+/// Implementations receive the execution context of the run (worker pool +
+/// GEMM backend — engines no longer own their loop nests), the quantized
+/// activation matrix, and the quantized weight matrix of one layer, and
+/// return the dequantized output matrix. The `layer_index` identifies the
+/// compute layer (0-based over compute layers only), which lets engines
+/// apply per-layer thread counts.
 pub trait GemmEngine {
-    /// Executes one layer's GEMM.
+    /// Executes one layer's GEMM on the given execution context.
     ///
     /// # Errors
     ///
     /// Returns an error when dimensions mismatch or the engine fails.
     fn gemm(
         &mut self,
+        ctx: &ExecContext,
         layer_index: usize,
         x: &QuantMatrix,
         w: &QuantWeightMatrix,
@@ -51,11 +55,12 @@ pub struct ReferenceEngine;
 impl GemmEngine for ReferenceEngine {
     fn gemm(
         &mut self,
+        ctx: &ExecContext,
         _layer_index: usize,
         x: &QuantMatrix,
         w: &QuantWeightMatrix,
     ) -> Result<Matrix<f32>, NnError> {
-        Ok(quantized_matmul(x, w)?)
+        Ok(quantized_matmul_with(ctx, x, w)?)
     }
 }
 
@@ -71,13 +76,14 @@ pub struct ReducedPrecisionEngine {
 impl GemmEngine for ReducedPrecisionEngine {
     fn gemm(
         &mut self,
+        ctx: &ExecContext,
         _layer_index: usize,
         x: &QuantMatrix,
         w: &QuantWeightMatrix,
     ) -> Result<Matrix<f32>, NnError> {
         let x = reduce_activation_matrix(x, self.point.activation_bits);
         let w = reduce_weight_matrix(w, self.point.weight_bits);
-        Ok(quantized_matmul(&x, &w)?)
+        Ok(quantized_matmul_with(ctx, &x, &w)?)
     }
 }
 
@@ -204,16 +210,33 @@ impl QuantizedModel {
         input: &Tensor<f32>,
         engine: &mut E,
     ) -> Result<Tensor<f32>, NnError> {
+        self.forward_with_ctx(&ExecContext::sequential(), input, engine)
+    }
+
+    /// [`Self::forward_with`] on an explicit execution context: every
+    /// layer's GEMM is handed to the engine together with `ctx`, so the
+    /// backend and worker pool are decided once per run rather than per
+    /// engine. Results are identical for every context configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer and engine errors.
+    pub fn forward_with_ctx<E: GemmEngine>(
+        &self,
+        ctx: &ExecContext,
+        input: &Tensor<f32>,
+        engine: &mut E,
+    ) -> Result<Tensor<f32>, NnError> {
         let mut x = input.clone();
         let mut compute_idx = 0usize;
         for layer in self.model.layers() {
             match layer {
                 Layer::Conv2d(conv) => {
-                    x = self.run_conv(conv, &x, compute_idx, engine)?;
+                    x = self.run_conv(ctx, conv, &x, compute_idx, engine)?;
                     compute_idx += 1;
                 }
                 Layer::Linear(lin) => {
-                    x = self.run_linear(lin, &x, compute_idx, engine)?;
+                    x = self.run_linear(ctx, lin, &x, compute_idx, engine)?;
                     compute_idx += 1;
                 }
                 other => {
@@ -235,7 +258,22 @@ impl QuantizedModel {
         labels: &[usize],
         engine: &mut E,
     ) -> Result<f64, NnError> {
-        let logits = self.forward_with(images, engine)?;
+        self.accuracy_with_ctx(&ExecContext::sequential(), images, labels, engine)
+    }
+
+    /// [`Self::accuracy_with`] on an explicit execution context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer and engine errors.
+    pub fn accuracy_with_ctx<E: GemmEngine>(
+        &self,
+        ctx: &ExecContext,
+        images: &Tensor<f32>,
+        labels: &[usize],
+        engine: &mut E,
+    ) -> Result<f64, NnError> {
+        let logits = self.forward_with_ctx(ctx, images, engine)?;
         let preds = Model::argmax(&logits);
         if labels.is_empty() {
             return Ok(0.0);
@@ -316,6 +354,7 @@ impl QuantizedModel {
 
     fn run_conv<E: GemmEngine>(
         &self,
+        ctx: &ExecContext,
         conv: &Conv2d,
         input: &Tensor<f32>,
         compute_idx: usize,
@@ -331,7 +370,7 @@ impl QuantizedModel {
         let oh = conv.params.output_size(h);
         let ow = conv.params.output_size(w);
         let (qx, qw) = self.conv_operands(conv, input, compute_idx)?;
-        let gemm = engine.gemm(compute_idx, &qx, &qw)?;
+        let gemm = engine.gemm(ctx, compute_idx, &qx, &qw)?;
         let mut gemm_t: Tensor<f32> = gemm.into();
         // Add bias per output channel.
         {
@@ -348,13 +387,14 @@ impl QuantizedModel {
 
     fn run_linear<E: GemmEngine>(
         &self,
+        ctx: &ExecContext,
         lin: &Linear,
         input: &Tensor<f32>,
         compute_idx: usize,
         engine: &mut E,
     ) -> Result<Tensor<f32>, NnError> {
         let (qx, qw) = self.linear_operands(lin, input, compute_idx)?;
-        let gemm = engine.gemm(compute_idx, &qx, &qw)?;
+        let gemm = engine.gemm(ctx, compute_idx, &qx, &qw)?;
         let mut out: Tensor<f32> = gemm.into();
         let s = out.as_mut_slice();
         let n = input.shape().dim(0);

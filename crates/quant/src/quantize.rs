@@ -1,6 +1,7 @@
 //! Quantization and dequantization of floating-point matrices.
 
 use nbsmt_tensor::error::TensorError;
+use nbsmt_tensor::exec::ExecContext;
 use nbsmt_tensor::tensor::Matrix;
 
 use crate::observer::{AbsMaxObserver, MinMaxObserver};
@@ -109,6 +110,23 @@ pub fn quantized_matmul(
     x: &QuantMatrix,
     w: &QuantWeightMatrix,
 ) -> Result<Matrix<f32>, TensorError> {
+    quantized_matmul_with(&ExecContext::sequential(), x, w)
+}
+
+/// [`quantized_matmul`] through the given execution context: the integer
+/// GEMM runs on the configured backend/thread pool and the result is
+/// identical for every configuration (integer accumulation is exact, and
+/// dequantization applies the same per-element scaling).
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] when the reduction dimensions
+/// differ.
+pub fn quantized_matmul_with(
+    ctx: &ExecContext,
+    x: &QuantMatrix,
+    w: &QuantWeightMatrix,
+) -> Result<Matrix<f32>, TensorError> {
     if x.cols() != w.rows() {
         return Err(TensorError::DimensionMismatch {
             op: "quantized_matmul",
@@ -117,18 +135,20 @@ pub fn quantized_matmul(
         });
     }
     let (m, k, n) = (x.rows(), x.cols(), w.cols());
-    let xv = x.values().as_slice();
-    let wv = w.values().as_slice();
-    let mut out = vec![0.0_f32; m * n];
-    for i in 0..m {
-        for j in 0..n {
-            let mut acc: i64 = 0;
-            for p in 0..k {
-                acc += xv[i * k + p] as i64 * wv[p * n + j] as i64;
-            }
-            out[i * n + j] = acc as f32 * x.scale() * w.scale(j);
-        }
-    }
+    let mut acc = vec![0_i64; m * n];
+    ctx.gemm_u8i8(
+        m,
+        k,
+        n,
+        x.values().as_slice(),
+        w.values().as_slice(),
+        &mut acc,
+    );
+    let out: Vec<f32> = acc
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| v as f32 * x.scale() * w.scale(i % n))
+        .collect();
     Matrix::from_vec(out, m, n)
 }
 

@@ -10,10 +10,11 @@
 use serde::{Deserialize, Serialize};
 
 use nbsmt_tensor::error::TensorError;
+use nbsmt_tensor::exec::ExecContext;
 use nbsmt_tensor::tensor::Matrix;
 
 use crate::pe::ProcessingElement;
-use crate::schedule::TilingPlan;
+use crate::schedule::{Tile, TilingPlan};
 
 /// Configuration of a systolic array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -102,16 +103,12 @@ pub struct SimOutput {
 #[derive(Debug, Clone)]
 pub struct OutputStationaryArray {
     config: SystolicConfig,
-    grid: Vec<ProcessingElement>,
 }
 
 impl OutputStationaryArray {
     /// Creates an array with the given configuration.
     pub fn new(config: SystolicConfig) -> Self {
-        OutputStationaryArray {
-            config,
-            grid: vec![ProcessingElement::new(); config.pe_count()],
-        }
+        OutputStationaryArray { config }
     }
 
     /// The array configuration.
@@ -127,7 +124,25 @@ impl OutputStationaryArray {
     /// # Errors
     ///
     /// Returns [`TensorError::DimensionMismatch`] when `X.cols() != W.rows()`.
-    pub fn matmul(&mut self, x: &Matrix<u8>, w: &Matrix<i8>) -> Result<SimOutput, TensorError> {
+    pub fn matmul(&self, x: &Matrix<u8>, w: &Matrix<i8>) -> Result<SimOutput, TensorError> {
+        self.matmul_with(&ExecContext::sequential(), x, w)
+    }
+
+    /// [`Self::matmul`] through the given execution context: output tiles
+    /// are simulated concurrently on the context's worker pool (each tile
+    /// walks its own PE grid cycle by cycle), outputs are drained and
+    /// statistics merged **in tile order**, so the result is identical for
+    /// every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimensionMismatch`] when `X.cols() != W.rows()`.
+    pub fn matmul_with(
+        &self,
+        ctx: &ExecContext,
+        x: &Matrix<u8>,
+        w: &Matrix<i8>,
+    ) -> Result<SimOutput, TensorError> {
         if x.cols() != w.rows() {
             return Err(TensorError::DimensionMismatch {
                 op: "systolic matmul",
@@ -137,61 +152,79 @@ impl OutputStationaryArray {
         }
         let (m, k, n) = (x.rows(), x.cols(), w.cols());
         let plan = TilingPlan::new(m, k, n, self.config.rows, self.config.cols);
+        let tiles: Vec<Tile> = plan.tiles().collect();
+        let per_tile = ctx.map_tiles(tiles.len(), |t| Self::run_tile(&plan, x, w, k, tiles[t]));
+
         let mut out = Matrix::<i64>::zeros(m, n);
         let mut stats = SimStats::default();
-
-        for tile in plan.tiles() {
-            self.reset();
-            let tile_rows = tile.rows();
-            let tile_cols = tile.cols();
-            // Stream the reduction dimension through the grid with skew:
-            // PE (i, j) consumes reduction index p = cycle - i - j when
-            // 0 <= p < K.  Iterating cycles reproduces the exact wavefront
-            // behaviour of the hardware.
-            let total_stream_cycles = k + tile_rows + tile_cols - 2;
-            for cycle in 0..total_stream_cycles {
-                for i in 0..tile_rows {
-                    for j in 0..tile_cols {
-                        let skew = i + j;
-                        if cycle < skew {
-                            continue;
-                        }
-                        let p = cycle - skew;
-                        if p >= k {
-                            continue;
-                        }
-                        let xv = *x.at(tile.row_start + i, p);
-                        let wv = *w.at(p, tile.col_start + j);
-                        let pe = &mut self.grid[i * self.config.cols + j];
-                        pe.step(xv, wv);
-                    }
+        // Deterministic drain + reduction: tile order, independent of which
+        // worker simulated each tile.
+        for (tile, (psums, tile_stats)) in tiles.iter().zip(per_tile.iter()) {
+            for i in 0..tile.rows() {
+                for j in 0..tile.cols() {
+                    *out.at_mut(tile.row_start + i, tile.col_start + j) =
+                        psums[i * tile.cols() + j];
                 }
             }
-            // Drain outputs.
+            stats.merge(tile_stats);
+        }
+        Ok(SimOutput { output: out, stats })
+    }
+
+    /// Simulates one output tile on a fresh local PE grid, returning the
+    /// tile's partial sums (row-major over the tile) and its statistics.
+    fn run_tile(
+        plan: &TilingPlan,
+        x: &Matrix<u8>,
+        w: &Matrix<i8>,
+        k: usize,
+        tile: Tile,
+    ) -> (Vec<i64>, SimStats) {
+        let tile_rows = tile.rows();
+        let tile_cols = tile.cols();
+        let mut grid = vec![ProcessingElement::new(); tile_rows * tile_cols];
+        // Stream the reduction dimension through the grid with skew:
+        // PE (i, j) consumes reduction index p = cycle - i - j when
+        // 0 <= p < K.  Iterating cycles reproduces the exact wavefront
+        // behaviour of the hardware.
+        let total_stream_cycles = k + tile_rows + tile_cols - 2;
+        for cycle in 0..total_stream_cycles {
             for i in 0..tile_rows {
                 for j in 0..tile_cols {
-                    let pe = &self.grid[i * self.config.cols + j];
-                    *out.at_mut(tile.row_start + i, tile.col_start + j) = pe.psum();
+                    let skew = i + j;
+                    if cycle < skew {
+                        continue;
+                    }
+                    let p = cycle - skew;
+                    if p >= k {
+                        continue;
+                    }
+                    let xv = *x.at(tile.row_start + i, p);
+                    let wv = *w.at(p, tile.col_start + j);
+                    let pe = &mut grid[i * tile_cols + j];
+                    pe.step(xv, wv);
                 }
             }
-            // Collect statistics.
-            let mut active = 0u64;
-            let mut busy = 0u64;
-            let mut macs = 0u64;
-            for pe in &self.grid {
-                active += pe.active_cycles();
-                busy += pe.busy_cycles();
-                macs += pe.mac_ops();
-            }
-            stats.merge(&SimStats {
+        }
+        let mut active = 0u64;
+        let mut busy = 0u64;
+        let mut macs = 0u64;
+        for pe in &grid {
+            active += pe.active_cycles();
+            busy += pe.busy_cycles();
+            macs += pe.mac_ops();
+        }
+        let psums = grid.iter().map(|pe| pe.psum()).collect();
+        (
+            psums,
+            SimStats {
                 cycles: plan.cycles_per_tile(),
                 pe_active_cycles: active,
                 pe_busy_cycles: busy,
                 mac_ops: macs,
                 tiles: 1,
-            });
-        }
-        Ok(SimOutput { output: out, stats })
+            },
+        )
     }
 
     /// Estimates cycles and utilization without streaming every PE slot,
@@ -236,12 +269,6 @@ impl OutputStationaryArray {
             tiles: plan.tile_count() as u64,
         })
     }
-
-    fn reset(&mut self) {
-        for pe in &mut self.grid {
-            pe.reset();
-        }
-    }
 }
 
 #[cfg(test)]
@@ -277,7 +304,7 @@ mod tests {
     fn small_matmul_matches_reference() {
         let x = x_mat(vec![1, 2, 3, 4, 5, 6], 2, 3);
         let w = w_mat(vec![7, -8, 9, 10, -11, 12], 3, 2);
-        let mut array = OutputStationaryArray::new(SystolicConfig::new(4, 4));
+        let array = OutputStationaryArray::new(SystolicConfig::new(4, 4));
         let out = array.matmul(&x, &w).unwrap();
         assert_eq!(out.output, reference(&x, &w));
     }
@@ -292,7 +319,7 @@ mod tests {
             .collect();
         let x = x_mat(x_data, m, k);
         let w = w_mat(w_data, k, n);
-        let mut array = OutputStationaryArray::new(SystolicConfig::new(4, 4));
+        let array = OutputStationaryArray::new(SystolicConfig::new(4, 4));
         let out = array.matmul(&x, &w).unwrap();
         assert_eq!(out.output, reference(&x, &w));
         assert_eq!(out.stats.tiles, 3 * 2);
@@ -303,7 +330,7 @@ mod tests {
         let x = x_mat(vec![1; 8 * 10], 8, 10);
         let w = w_mat(vec![1; 10 * 8], 10, 8);
         let cfg = SystolicConfig::new(4, 4);
-        let mut array = OutputStationaryArray::new(cfg);
+        let array = OutputStationaryArray::new(cfg);
         let out = array.matmul(&x, &w).unwrap();
         let plan = TilingPlan::new(8, 10, 8, 4, 4);
         assert_eq!(out.stats.cycles, plan.total_cycles());
@@ -319,7 +346,7 @@ mod tests {
         let w_data: Vec<i8> = vec![7; k * n];
         let x = x_mat(x_data, m, k);
         let w = w_mat(w_data, k, n);
-        let mut array = OutputStationaryArray::new(SystolicConfig::new(8, 8));
+        let array = OutputStationaryArray::new(SystolicConfig::new(8, 8));
         let out = array.matmul(&x, &w).unwrap();
         assert!((out.stats.utilization() - 0.5).abs() < 0.01);
     }
@@ -328,7 +355,7 @@ mod tests {
     fn dense_inputs_fully_utilize() {
         let x = x_mat(vec![9; 4 * 6], 4, 6);
         let w = w_mat(vec![3; 6 * 4], 6, 4);
-        let mut array = OutputStationaryArray::new(SystolicConfig::new(4, 4));
+        let array = OutputStationaryArray::new(SystolicConfig::new(4, 4));
         let out = array.matmul(&x, &w).unwrap();
         assert!((out.stats.utilization() - 1.0).abs() < 1e-12);
         assert_eq!(out.stats.mac_ops, 4 * 6 * 4);
@@ -350,7 +377,7 @@ mod tests {
         let x = x_mat(x_data, m, k);
         let w = w_mat(w_data, k, n);
         let cfg = SystolicConfig::new(4, 4);
-        let mut array = OutputStationaryArray::new(cfg);
+        let array = OutputStationaryArray::new(cfg);
         let exact = array.matmul(&x, &w).unwrap();
         let est = array.estimate(&x, &w).unwrap();
         assert_eq!(est.cycles, exact.stats.cycles);
@@ -362,7 +389,7 @@ mod tests {
     fn dimension_mismatch_is_rejected() {
         let x = x_mat(vec![1; 4], 2, 2);
         let w = w_mat(vec![1; 3], 3, 1);
-        let mut array = OutputStationaryArray::new(SystolicConfig::new(2, 2));
+        let array = OutputStationaryArray::new(SystolicConfig::new(2, 2));
         assert!(array.matmul(&x, &w).is_err());
         assert!(array.estimate(&x, &w).is_err());
     }

@@ -1,0 +1,859 @@
+//! Workspace-wide execution layer: a deterministic thread pool and tiled
+//! GEMM backends behind one [`ExecContext`].
+//!
+//! Every hot loop nest in the reproduction — the dense f32/i32 GEMMs, the
+//! error-free quantized reference matmul, the functional NB-SMT emulation,
+//! and the cycle-level systolic walker — runs through this module. The
+//! context owns two orthogonal decisions:
+//!
+//! * **Kernel choice** ([`GemmBackend`]): [`Naive`] (the seed scalar loop),
+//!   [`Blocked`] (cache-tiled over row and reduction blocks), or
+//!   [`Parallel`] (row-tile fan-out of the blocked kernel over the pool).
+//! * **Worker pool** (`threads`): scoped `std::thread` workers over a
+//!   deterministic, contiguous partition of the tile space.
+//!
+//! # Determinism contract
+//!
+//! Results are **bit-exact across backends and invariant to thread count**:
+//!
+//! * Work is partitioned into *row tiles* (or output tiles for the systolic
+//!   walker). Each tile's computation is independent and identical to the
+//!   sequential kernel's for those rows; per-element accumulation always
+//!   visits the reduction dimension in ascending order, with the same
+//!   zero-skip rule in every kernel, so even f32 results are bit-identical.
+//! * Per-tile side results (PE statistics, cycle counts) are returned to the
+//!   caller **in tile order** regardless of which worker produced them, and
+//!   callers reduce them in that order.
+//!
+//! Any future backend (SIMD, distributed) slots in by implementing
+//! [`GemmBackend`] and honouring the same contract.
+
+use serde::{Deserialize, Serialize};
+
+/// Which GEMM kernel an [`ExecContext`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum GemmBackendKind {
+    /// The seed scalar loop nest (row-major `i, p, j` with zero-skip).
+    Naive,
+    /// Cache-tiled kernel: row blocks × reduction blocks, ascending.
+    Blocked,
+    /// Row-tile fan-out of the blocked kernel over the worker pool.
+    #[default]
+    Parallel,
+}
+
+impl GemmBackendKind {
+    /// Parses a CLI-style backend name (`naive`, `blocked`, `parallel`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "naive" => Some(GemmBackendKind::Naive),
+            "blocked" => Some(GemmBackendKind::Blocked),
+            "parallel" => Some(GemmBackendKind::Parallel),
+            _ => None,
+        }
+    }
+
+    /// The canonical lower-case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GemmBackendKind::Naive => "naive",
+            GemmBackendKind::Blocked => "blocked",
+            GemmBackendKind::Parallel => "parallel",
+        }
+    }
+}
+
+impl std::fmt::Display for GemmBackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of an [`ExecContext`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecConfig {
+    /// Number of worker threads the pool may use (`>= 1`). One means all
+    /// work runs inline on the calling thread.
+    pub threads: usize,
+    /// Rows per work tile: the unit of parallel fan-out and the row-block
+    /// size of the [`Blocked`] kernel.
+    pub tile_rows: usize,
+    /// Reduction-dimension block size of the [`Blocked`] kernel.
+    pub tile_k: usize,
+    /// Which GEMM kernel to dispatch to.
+    pub backend: GemmBackendKind,
+}
+
+impl ExecConfig {
+    /// The sequential configuration: one thread, the seed scalar kernel.
+    /// This reproduces the pre-execution-layer behaviour exactly. (Spelled
+    /// out literally — no `..default()` — so the no-context compatibility
+    /// wrappers don't pay an `available_parallelism` syscall per call.)
+    pub fn sequential() -> Self {
+        ExecConfig {
+            threads: 1,
+            tile_rows: 32,
+            tile_k: 64,
+            backend: GemmBackendKind::Naive,
+        }
+    }
+
+    /// A parallel configuration with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecConfig {
+            threads: threads.max(1),
+            ..ExecConfig::default()
+        }
+    }
+}
+
+impl Default for ExecConfig {
+    /// Parallel backend over all available hardware threads, with cache-tile
+    /// sizes chosen for 8-bit/32-bit operands on typical L1/L2 sizes.
+    fn default() -> Self {
+        ExecConfig {
+            threads: available_threads(),
+            tile_rows: 32,
+            tile_k: 64,
+            backend: GemmBackendKind::Parallel,
+        }
+    }
+}
+
+/// Number of hardware threads available to this process (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Handle to the execution layer: a tile-size configuration plus a scoped
+/// worker pool with deterministic work partitioning. See the module docs for
+/// the determinism contract.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecContext {
+    config: ExecConfig,
+}
+
+impl ExecContext {
+    /// Creates a context from a configuration (thread count and tile sizes
+    /// are clamped to at least 1).
+    pub fn new(mut config: ExecConfig) -> Self {
+        config.threads = config.threads.max(1);
+        config.tile_rows = config.tile_rows.max(1);
+        config.tile_k = config.tile_k.max(1);
+        ExecContext { config }
+    }
+
+    /// The sequential context (1 thread, [`Naive`] kernel): bit-for-bit the
+    /// seed behaviour, used by all no-context compatibility wrappers.
+    pub fn sequential() -> Self {
+        ExecContext::new(ExecConfig::sequential())
+    }
+
+    /// A parallel context over all available hardware threads.
+    pub fn parallel() -> Self {
+        ExecContext::new(ExecConfig::default())
+    }
+
+    /// A parallel context with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecContext::new(ExecConfig::with_threads(threads))
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// Worker threads the pool may use.
+    pub fn threads(&self) -> usize {
+        self.config.threads
+    }
+
+    /// The GEMM backend this context dispatches to.
+    pub fn backend(&self) -> &'static dyn GemmBackend {
+        match self.config.backend {
+            GemmBackendKind::Naive => &Naive,
+            GemmBackendKind::Blocked => &Blocked,
+            GemmBackendKind::Parallel => &Parallel,
+        }
+    }
+
+    /// `C = A × B` on f32 with the configured backend. Slices are row-major;
+    /// `out` must hold `m * n` elements and is fully overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics when slice lengths disagree with the dimensions.
+    pub fn gemm_f32(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        check_gemm_dims(m, k, n, a.len(), b.len(), out.len());
+        out.fill(0.0);
+        self.backend().gemm_f32(self, m, k, n, a, b, out);
+    }
+
+    /// `C = A × B` on i32 operands accumulating into i64.
+    ///
+    /// # Panics
+    ///
+    /// Panics when slice lengths disagree with the dimensions.
+    pub fn gemm_i32(&self, m: usize, k: usize, n: usize, a: &[i32], b: &[i32], out: &mut [i64]) {
+        check_gemm_dims(m, k, n, a.len(), b.len(), out.len());
+        out.fill(0);
+        self.backend().gemm_i32(self, m, k, n, a, b, out);
+    }
+
+    /// `C = A × B` on the quantized grid (u8 activations × i8 weights,
+    /// i64 accumulators) — the hardware's exact integer arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics when slice lengths disagree with the dimensions.
+    pub fn gemm_u8i8(&self, m: usize, k: usize, n: usize, a: &[u8], b: &[i8], out: &mut [i64]) {
+        check_gemm_dims(m, k, n, a.len(), b.len(), out.len());
+        out.fill(0);
+        self.backend().gemm_u8i8(self, m, k, n, a, b, out);
+    }
+
+    /// Maps `f` over tile indices `0..count` using the worker pool and
+    /// returns the results **in tile order**. Tiles are partitioned into
+    /// contiguous, balanced runs per worker; with one thread (or one tile)
+    /// everything runs inline on the calling thread.
+    pub fn map_tiles<R, F>(&self, count: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if count == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads().min(count);
+        if workers <= 1 {
+            return (0..count).map(f).collect();
+        }
+        let mut slots: Vec<Option<R>> = (0..count).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let f = &f;
+            let mut rest: &mut [Option<R>] = &mut slots;
+            let mut next = 0usize;
+            for widx in 0..workers {
+                let take = (count - next).div_ceil(workers - widx);
+                let first = next;
+                next += take;
+                let (chunk, tail) = std::mem::take(&mut rest).split_at_mut(take);
+                rest = tail;
+                scope.spawn(move || {
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        *slot = Some(f(first + i));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every tile is owned by exactly one worker"))
+            .collect()
+    }
+
+    /// Splits the row-major buffer `out` (`rows × width`) into row tiles of
+    /// `tile_rows`, runs `f(tile_index, row_start, tile_row_count, chunk)`
+    /// over the pool, and returns each tile's result **in tile order**.
+    ///
+    /// Each chunk is the disjoint sub-slice of `out` covering that tile's
+    /// rows, so workers write results in place without synchronisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != rows * width`.
+    pub fn map_row_tiles<T, R, F>(&self, out: &mut [T], rows: usize, width: usize, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, usize, usize, &mut [T]) -> R + Sync,
+    {
+        assert_eq!(
+            out.len(),
+            rows * width,
+            "map_row_tiles: buffer is {} elements, expected {rows} x {width}",
+            out.len()
+        );
+        if rows == 0 {
+            return Vec::new();
+        }
+        let tile = self.config.tile_rows;
+        let tiles = rows.div_ceil(tile);
+        let workers = self.threads().min(tiles);
+        if workers <= 1 {
+            let mut results = Vec::with_capacity(tiles);
+            let mut rest = out;
+            for t in 0..tiles {
+                let row_start = t * tile;
+                let nrows = tile.min(rows - row_start);
+                let (chunk, tail) = std::mem::take(&mut rest).split_at_mut(nrows * width);
+                rest = tail;
+                results.push(f(t, row_start, nrows, chunk));
+            }
+            return results;
+        }
+        let mut slots: Vec<Option<R>> = (0..tiles).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let f = &f;
+            let mut out_rest: &mut [T] = out;
+            let mut slot_rest: &mut [Option<R>] = &mut slots;
+            let mut next_tile = 0usize;
+            for widx in 0..workers {
+                let take = (tiles - next_tile).div_ceil(workers - widx);
+                let first = next_tile;
+                next_tile += take;
+                let row_start = first * tile;
+                let row_end = (next_tile * tile).min(rows);
+                let (chunk, tail) =
+                    std::mem::take(&mut out_rest).split_at_mut((row_end - row_start) * width);
+                out_rest = tail;
+                let (res_chunk, res_tail) = std::mem::take(&mut slot_rest).split_at_mut(take);
+                slot_rest = res_tail;
+                scope.spawn(move || {
+                    let mut chunk = chunk;
+                    let mut row = row_start;
+                    for (i, slot) in res_chunk.iter_mut().enumerate() {
+                        let nrows = tile.min(rows - row);
+                        let (cur, rest) = std::mem::take(&mut chunk).split_at_mut(nrows * width);
+                        chunk = rest;
+                        *slot = Some(f(first + i, row, nrows, cur));
+                        row += nrows;
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every tile is owned by exactly one worker"))
+            .collect()
+    }
+
+    /// Like [`Self::map_row_tiles`] but discards per-tile results.
+    pub fn for_each_row_tile<T, F>(&self, out: &mut [T], rows: usize, width: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, usize, usize, &mut [T]) + Sync,
+    {
+        let _ = self.map_row_tiles(out, rows, width, |t, rs, nr, chunk| f(t, rs, nr, chunk));
+    }
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        ExecContext::parallel()
+    }
+}
+
+fn check_gemm_dims(m: usize, k: usize, n: usize, a: usize, b: usize, out: usize) {
+    assert_eq!(a, m * k, "gemm: lhs is {a} elements, expected {m} x {k}");
+    assert_eq!(b, k * n, "gemm: rhs is {b} elements, expected {k} x {n}");
+    assert_eq!(
+        out,
+        m * n,
+        "gemm: out is {out} elements, expected {m} x {n}"
+    );
+}
+
+/// A GEMM kernel family usable through an [`ExecContext`].
+///
+/// Implementations must honour the determinism contract: for identical
+/// inputs the output must be bit-identical to [`Naive`]'s, for every thread
+/// count. The supplied context carries the worker pool and tile sizes.
+// A GEMM signature is irreducibly (dims, lhs, rhs, out) + context.
+#[allow(clippy::too_many_arguments)]
+pub trait GemmBackend: Sync {
+    /// The backend's canonical name.
+    fn name(&self) -> &'static str;
+
+    /// f32 GEMM; `out` arrives zero-initialised.
+    fn gemm_f32(
+        &self,
+        ctx: &ExecContext,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+    );
+
+    /// i32 GEMM with i64 accumulation; `out` arrives zero-initialised.
+    fn gemm_i32(
+        &self,
+        ctx: &ExecContext,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[i32],
+        b: &[i32],
+        out: &mut [i64],
+    );
+
+    /// Quantized-grid GEMM (u8 × i8 → i64); `out` arrives zero-initialised.
+    fn gemm_u8i8(
+        &self,
+        ctx: &ExecContext,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[u8],
+        b: &[i8],
+        out: &mut [i64],
+    );
+}
+
+/// Element-type triple shared by the generic kernels, so each backend is
+/// written once and stamped out for f32, i32, and the quantized u8×i8 grid.
+trait GemmElems {
+    /// Left operand element.
+    type Lhs: Copy + Send + Sync;
+    /// Right operand element.
+    type Rhs: Copy + Send + Sync;
+    /// Accumulator element.
+    type Acc: Copy + Send;
+
+    /// The zero-skip rule every kernel applies identically (part of the
+    /// bit-exactness contract: skipping `0 × b` must match the seed loop).
+    fn is_zero(a: Self::Lhs) -> bool;
+    /// One multiply-accumulate.
+    fn mac(acc: &mut Self::Acc, a: Self::Lhs, b: Self::Rhs);
+}
+
+struct F32Gemm;
+impl GemmElems for F32Gemm {
+    type Lhs = f32;
+    type Rhs = f32;
+    type Acc = f32;
+    fn is_zero(a: f32) -> bool {
+        a == 0.0
+    }
+    fn mac(acc: &mut f32, a: f32, b: f32) {
+        *acc += a * b;
+    }
+}
+
+struct I32Gemm;
+impl GemmElems for I32Gemm {
+    type Lhs = i32;
+    type Rhs = i32;
+    type Acc = i64;
+    fn is_zero(a: i32) -> bool {
+        a == 0
+    }
+    fn mac(acc: &mut i64, a: i32, b: i32) {
+        *acc += a as i64 * b as i64;
+    }
+}
+
+struct U8I8Gemm;
+impl GemmElems for U8I8Gemm {
+    type Lhs = u8;
+    type Rhs = i8;
+    type Acc = i64;
+    fn is_zero(a: u8) -> bool {
+        a == 0
+    }
+    fn mac(acc: &mut i64, a: u8, b: i8) {
+        *acc += a as i64 * b as i64;
+    }
+}
+
+/// The seed scalar kernel over a row range: `i, p (zero-skip), j` with the
+/// reduction dimension ascending — the per-element accumulation order every
+/// other kernel must reproduce.
+fn naive_rows<E: GemmElems>(
+    a: &[E::Lhs],
+    b: &[E::Rhs],
+    k: usize,
+    n: usize,
+    row_start: usize,
+    nrows: usize,
+    out: &mut [E::Acc],
+) {
+    for i in 0..nrows {
+        let arow = &a[(row_start + i) * k..(row_start + i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &aval) in arow.iter().enumerate() {
+            if E::is_zero(aval) {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
+                E::mac(o, aval, bval);
+            }
+        }
+    }
+}
+
+/// The cache-tiled kernel over a row range: ascending reduction blocks of
+/// `tile_k`, so the `tile_k × n` panel of `b` stays hot across the block's
+/// rows. Per-element accumulation order is identical to [`naive_rows`].
+#[allow(clippy::too_many_arguments)]
+fn blocked_rows<E: GemmElems>(
+    a: &[E::Lhs],
+    b: &[E::Rhs],
+    k: usize,
+    n: usize,
+    row_start: usize,
+    nrows: usize,
+    tile_k: usize,
+    out: &mut [E::Acc],
+) {
+    let mut kb = 0usize;
+    while kb < k {
+        let kend = (kb + tile_k).min(k);
+        for i in 0..nrows {
+            let arow = &a[(row_start + i) * k..(row_start + i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &aval) in arow.iter().enumerate().take(kend).skip(kb) {
+                if E::is_zero(aval) {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
+                    E::mac(o, aval, bval);
+                }
+            }
+        }
+        kb = kend;
+    }
+}
+
+fn parallel_gemm<E: GemmElems>(
+    ctx: &ExecContext,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[E::Lhs],
+    b: &[E::Rhs],
+    out: &mut [E::Acc],
+) {
+    let tile_k = ctx.config().tile_k;
+    ctx.for_each_row_tile(out, m, n, |_tile, row_start, nrows, chunk| {
+        blocked_rows::<E>(a, b, k, n, row_start, nrows, tile_k, chunk);
+    });
+}
+
+/// The seed scalar loop nest, run inline on the calling thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Naive;
+
+impl GemmBackend for Naive {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+    fn gemm_f32(
+        &self,
+        _: &ExecContext,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+    ) {
+        naive_rows::<F32Gemm>(a, b, k, n, 0, m, out);
+    }
+    fn gemm_i32(
+        &self,
+        _: &ExecContext,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[i32],
+        b: &[i32],
+        out: &mut [i64],
+    ) {
+        naive_rows::<I32Gemm>(a, b, k, n, 0, m, out);
+    }
+    fn gemm_u8i8(
+        &self,
+        _: &ExecContext,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[u8],
+        b: &[i8],
+        out: &mut [i64],
+    ) {
+        naive_rows::<U8I8Gemm>(a, b, k, n, 0, m, out);
+    }
+}
+
+/// The cache-tiled kernel, run inline on the calling thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Blocked;
+
+impl GemmBackend for Blocked {
+    fn name(&self) -> &'static str {
+        "blocked"
+    }
+    fn gemm_f32(
+        &self,
+        ctx: &ExecContext,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+    ) {
+        blocked_rows::<F32Gemm>(a, b, k, n, 0, m, ctx.config().tile_k, out);
+    }
+    fn gemm_i32(
+        &self,
+        ctx: &ExecContext,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[i32],
+        b: &[i32],
+        out: &mut [i64],
+    ) {
+        blocked_rows::<I32Gemm>(a, b, k, n, 0, m, ctx.config().tile_k, out);
+    }
+    fn gemm_u8i8(
+        &self,
+        ctx: &ExecContext,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[u8],
+        b: &[i8],
+        out: &mut [i64],
+    ) {
+        blocked_rows::<U8I8Gemm>(a, b, k, n, 0, m, ctx.config().tile_k, out);
+    }
+}
+
+/// Row-tile fan-out of the blocked kernel over the context's worker pool.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Parallel;
+
+impl GemmBackend for Parallel {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+    fn gemm_f32(
+        &self,
+        ctx: &ExecContext,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+    ) {
+        parallel_gemm::<F32Gemm>(ctx, m, k, n, a, b, out);
+    }
+    fn gemm_i32(
+        &self,
+        ctx: &ExecContext,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[i32],
+        b: &[i32],
+        out: &mut [i64],
+    ) {
+        parallel_gemm::<I32Gemm>(ctx, m, k, n, a, b, out);
+    }
+    fn gemm_u8i8(
+        &self,
+        ctx: &ExecContext,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[u8],
+        b: &[i8],
+        out: &mut [i64],
+    ) {
+        parallel_gemm::<U8I8Gemm>(ctx, m, k, n, a, b, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_i32(m: usize, k: usize, seed: u64) -> Vec<i32> {
+        // Small deterministic LCG; values in the i8-ish range with zeros.
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        (0..m * k)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let v = ((state >> 33) % 255) as i32 - 127;
+                if v % 5 == 0 {
+                    0
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+
+    fn all_contexts() -> Vec<ExecContext> {
+        let mut ctxs = vec![ExecContext::sequential()];
+        for backend in [
+            GemmBackendKind::Naive,
+            GemmBackendKind::Blocked,
+            GemmBackendKind::Parallel,
+        ] {
+            for threads in [1usize, 2, 8] {
+                ctxs.push(ExecContext::new(ExecConfig {
+                    threads,
+                    tile_rows: 3,
+                    tile_k: 7,
+                    backend,
+                }));
+            }
+        }
+        ctxs
+    }
+
+    #[test]
+    fn backend_kind_parse_round_trips() {
+        for kind in [
+            GemmBackendKind::Naive,
+            GemmBackendKind::Blocked,
+            GemmBackendKind::Parallel,
+        ] {
+            assert_eq!(GemmBackendKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(
+            GemmBackendKind::parse("NAIVE"),
+            Some(GemmBackendKind::Naive)
+        );
+        assert_eq!(GemmBackendKind::parse("simd"), None);
+        assert_eq!(GemmBackendKind::default(), GemmBackendKind::Parallel);
+    }
+
+    #[test]
+    fn i32_gemm_identical_across_backends_and_threads() {
+        let (m, k, n) = (13, 29, 11);
+        let a = sample_i32(m, k, 1);
+        let b = sample_i32(k, n, 2);
+        let mut reference = vec![0_i64; m * n];
+        ExecContext::sequential().gemm_i32(m, k, n, &a, &b, &mut reference);
+        for ctx in all_contexts() {
+            let mut out = vec![0_i64; m * n];
+            ctx.gemm_i32(m, k, n, &a, &b, &mut out);
+            assert_eq!(out, reference, "ctx {:?}", ctx.config());
+        }
+    }
+
+    #[test]
+    fn f32_gemm_bit_exact_across_backends_and_threads() {
+        let (m, k, n) = (9, 33, 7);
+        let a: Vec<f32> = sample_i32(m, k, 3)
+            .iter()
+            .map(|&v| v as f32 * 0.37)
+            .collect();
+        let b: Vec<f32> = sample_i32(k, n, 4)
+            .iter()
+            .map(|&v| v as f32 * 0.11)
+            .collect();
+        let mut reference = vec![0.0_f32; m * n];
+        ExecContext::sequential().gemm_f32(m, k, n, &a, &b, &mut reference);
+        let ref_bits: Vec<u32> = reference.iter().map(|v| v.to_bits()).collect();
+        for ctx in all_contexts() {
+            let mut out = vec![0.0_f32; m * n];
+            ctx.gemm_f32(m, k, n, &a, &b, &mut out);
+            let bits: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, ref_bits, "ctx {:?}", ctx.config());
+        }
+    }
+
+    #[test]
+    fn u8i8_gemm_identical_across_backends_and_threads() {
+        let (m, k, n) = (6, 40, 5);
+        let a: Vec<u8> = sample_i32(m, k, 5)
+            .iter()
+            .map(|&v| v.unsigned_abs() as u8)
+            .collect();
+        let b: Vec<i8> = sample_i32(k, n, 6).iter().map(|&v| v as i8).collect();
+        let mut reference = vec![0_i64; m * n];
+        ExecContext::sequential().gemm_u8i8(m, k, n, &a, &b, &mut reference);
+        for ctx in all_contexts() {
+            let mut out = vec![0_i64; m * n];
+            ctx.gemm_u8i8(m, k, n, &a, &b, &mut out);
+            assert_eq!(out, reference, "ctx {:?}", ctx.config());
+        }
+    }
+
+    #[test]
+    fn map_tiles_preserves_tile_order() {
+        for threads in [1usize, 2, 3, 8] {
+            let ctx = ExecContext::with_threads(threads);
+            let results = ctx.map_tiles(17, |t| t * t);
+            assert_eq!(results, (0..17).map(|t| t * t).collect::<Vec<_>>());
+        }
+        assert!(ExecContext::parallel().map_tiles(0, |t| t).is_empty());
+    }
+
+    #[test]
+    fn map_row_tiles_covers_every_row_once() {
+        for threads in [1usize, 2, 8] {
+            let ctx = ExecContext::new(ExecConfig {
+                threads,
+                tile_rows: 4,
+                ..ExecConfig::default()
+            });
+            let (rows, width) = (11usize, 3usize);
+            let mut out = vec![0_u32; rows * width];
+            let tiles = ctx.map_row_tiles(&mut out, rows, width, |t, row_start, nrows, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = (row_start * width + i) as u32 + 1;
+                }
+                (t, row_start, nrows)
+            });
+            // Every element written exactly once, in its global position.
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, i as u32 + 1);
+            }
+            // Tile descriptors arrive in order and cover 0..rows.
+            assert_eq!(tiles.len(), 3);
+            assert_eq!(tiles[0], (0, 0, 4));
+            assert_eq!(tiles[1], (1, 4, 4));
+            assert_eq!(tiles[2], (2, 8, 3));
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_shapes() {
+        let ctx = ExecContext::parallel();
+        let mut out: Vec<i64> = Vec::new();
+        ctx.gemm_i32(0, 5, 3, &[], &[0; 15], &mut out);
+        let mut out = vec![7_i64; 4];
+        // k = 0: output must be all zeros.
+        ctx.gemm_i32(2, 0, 2, &[], &[], &mut out);
+        assert_eq!(out, vec![0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm: lhs")]
+    fn mismatched_lengths_panic() {
+        let ctx = ExecContext::sequential();
+        let mut out = vec![0_i64; 4];
+        ctx.gemm_i32(2, 3, 2, &[1; 5], &[1; 6], &mut out);
+    }
+
+    #[test]
+    fn config_clamps_to_valid_values() {
+        let ctx = ExecContext::new(ExecConfig {
+            threads: 0,
+            tile_rows: 0,
+            tile_k: 0,
+            backend: GemmBackendKind::Parallel,
+        });
+        assert_eq!(ctx.threads(), 1);
+        assert_eq!(ctx.config().tile_rows, 1);
+        assert_eq!(ctx.config().tile_k, 1);
+        assert!(available_threads() >= 1);
+    }
+}

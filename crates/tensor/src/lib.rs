@@ -13,6 +13,10 @@
 //!   workspace),
 //! * [`ops`] — matrix multiplication, transposition, element-wise helpers and
 //!   the im2col / col2im lowering used to express convolutions as GEMMs,
+//! * [`exec`] — the workspace-wide execution layer: [`exec::ExecContext`]
+//!   (deterministic worker pool + tile configuration) and the
+//!   [`exec::GemmBackend`] kernels (`Naive`, `Blocked`, `Parallel`) every
+//!   hot loop nest runs through,
 //! * [`random`] — reproducible synthesis of bell-shaped (Gaussian / Laplace)
 //!   value distributions with controllable sparsity, used to calibrate the
 //!   synthetic model zoo (see `nbsmt-workloads`),
@@ -36,11 +40,13 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod exec;
 pub mod ops;
 pub mod random;
 pub mod shape;
 pub mod tensor;
 
 pub use error::TensorError;
+pub use exec::{ExecConfig, ExecContext, GemmBackend, GemmBackendKind};
 pub use shape::Shape;
 pub use tensor::Tensor;

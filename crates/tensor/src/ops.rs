@@ -2,6 +2,7 @@
 //! im2col lowering used to express convolutions as GEMMs.
 
 use crate::error::TensorError;
+use crate::exec::ExecContext;
 use crate::tensor::{Matrix, Tensor};
 
 /// Parameters of a 2-D convolution lowered with im2col.
@@ -76,6 +77,23 @@ impl Conv2dParams {
 /// Returns [`TensorError::RankMismatch`] if either tensor is not rank 2 and
 /// [`TensorError::DimensionMismatch`] if the inner dimensions differ.
 pub fn matmul(a: &Tensor<f32>, b: &Tensor<f32>) -> Result<Tensor<f32>, TensorError> {
+    matmul_with(&ExecContext::sequential(), a, b)
+}
+
+/// Multiplies two f32 matrices through the given execution context: the
+/// backend and thread count come from `ctx`, and the result is bit-identical
+/// to [`matmul`] for every configuration (see the `exec` determinism
+/// contract).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either tensor is not rank 2 and
+/// [`TensorError::DimensionMismatch`] if the inner dimensions differ.
+pub fn matmul_with(
+    ctx: &ExecContext,
+    a: &Tensor<f32>,
+    b: &Tensor<f32>,
+) -> Result<Tensor<f32>, TensorError> {
     check_rank2("matmul", a)?;
     check_rank2("matmul", b)?;
     let (m, k) = (a.shape().dim(0), a.shape().dim(1));
@@ -87,22 +105,8 @@ pub fn matmul(a: &Tensor<f32>, b: &Tensor<f32>) -> Result<Tensor<f32>, TensorErr
             rhs: b.shape().dims().to_vec(),
         });
     }
-    let av = a.as_slice();
-    let bv = b.as_slice();
     let mut out = vec![0.0_f32; m * n];
-    for i in 0..m {
-        for p in 0..k {
-            let aval = av[i * k + p];
-            if aval == 0.0 {
-                continue;
-            }
-            let brow = &bv[p * n..(p + 1) * n];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
-                *o += aval * bval;
-            }
-        }
-    }
+    ctx.gemm_f32(m, k, n, a.as_slice(), b.as_slice(), &mut out);
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -111,6 +115,21 @@ pub fn matmul(a: &Tensor<f32>, b: &Tensor<f32>) -> Result<Tensor<f32>, TensorErr
 /// This mirrors the exact integer arithmetic performed by the systolic-array
 /// PEs, and is used as the error-free reference for NB-SMT emulation.
 pub fn matmul_i32(a: &Matrix<i32>, b: &Matrix<i32>) -> Result<Matrix<i64>, TensorError> {
+    matmul_i32_with(&ExecContext::sequential(), a, b)
+}
+
+/// Integer matmul through the given execution context; identical output to
+/// [`matmul_i32`] for every backend and thread count.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] if the inner dimensions
+/// differ.
+pub fn matmul_i32_with(
+    ctx: &ExecContext,
+    a: &Matrix<i32>,
+    b: &Matrix<i32>,
+) -> Result<Matrix<i64>, TensorError> {
     if a.cols() != b.rows() {
         return Err(TensorError::DimensionMismatch {
             op: "matmul_i32",
@@ -119,22 +138,8 @@ pub fn matmul_i32(a: &Matrix<i32>, b: &Matrix<i32>) -> Result<Matrix<i64>, Tenso
         });
     }
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let av = a.as_slice();
-    let bv = b.as_slice();
     let mut out = vec![0_i64; m * n];
-    for i in 0..m {
-        for p in 0..k {
-            let aval = av[i * k + p] as i64;
-            if aval == 0 {
-                continue;
-            }
-            let brow = &bv[p * n..(p + 1) * n];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
-                *o += aval * bval as i64;
-            }
-        }
-    }
+    ctx.gemm_i32(m, k, n, a.as_slice(), b.as_slice(), &mut out);
     Matrix::from_vec(out, m, n)
 }
 
@@ -242,36 +247,40 @@ pub fn im2col(
     let cols = cg * k * k;
     let src = input.as_slice();
     let mut out = vec![0.0_f32; rows * cols];
-
+    // One patch buffer for the whole lowering, reused for every output row
+    // (dense and grouped paths alike) instead of filling `out` element by
+    // element: each kernel row becomes at most one contiguous copy plus
+    // zero-fill for the padded margins. Coordinates are in the padded frame,
+    // valid range is [padding, padding + dim).
+    let mut patch = vec![0.0_f32; cols];
     for img in 0..n {
         for oy in 0..oh {
             for ox in 0..ow {
                 let row = (img * oh + oy) * ow + ox;
-                let base = row * cols;
+                let x0 = ox * params.stride;
                 for ci in 0..cg {
                     let cin = c0 + ci;
                     for ky in 0..k {
                         let iy = oy * params.stride + ky;
-                        for kx in 0..k {
-                            let ix = ox * params.stride + kx;
-                            let col = (ci * k + ky) * k + kx;
-                            // Account for zero padding: coordinates are in the
-                            // padded frame, valid range is [padding, padding+dim).
-                            let val = if iy >= params.padding
-                                && ix >= params.padding
-                                && iy - params.padding < h
-                                && ix - params.padding < w
-                            {
-                                let sy = iy - params.padding;
-                                let sx = ix - params.padding;
-                                src[((img * c + cin) * h + sy) * w + sx]
-                            } else {
-                                0.0
-                            };
-                            out[base + col] = val;
+                        let dst = &mut patch[(ci * k + ky) * k..(ci * k + ky + 1) * k];
+                        if iy < params.padding || iy - params.padding >= h {
+                            dst.fill(0.0);
+                            continue;
                         }
+                        let sy = iy - params.padding;
+                        let src_row = &src[((img * c + cin) * h + sy) * w..][..w];
+                        // kx is valid iff padding <= x0 + kx < w + padding.
+                        let kx_lo = params.padding.saturating_sub(x0).min(k);
+                        let kx_hi = (w + params.padding).saturating_sub(x0).min(k).max(kx_lo);
+                        dst[..kx_lo].fill(0.0);
+                        if kx_lo < kx_hi {
+                            let sx = x0 + kx_lo - params.padding;
+                            dst[kx_lo..kx_hi].copy_from_slice(&src_row[sx..sx + (kx_hi - kx_lo)]);
+                        }
+                        dst[kx_hi..].fill(0.0);
                     }
                 }
+                out[row * cols..(row + 1) * cols].copy_from_slice(&patch);
             }
         }
     }

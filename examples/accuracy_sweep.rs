@@ -18,6 +18,7 @@ use nbsmt_repro::core::matmul::{NbSmtMatmul, NbSmtMatmulConfig};
 use nbsmt_repro::nn::quantized::GemmEngine;
 use nbsmt_repro::nn::NnError;
 use nbsmt_repro::quant::qtensor::{QuantMatrix, QuantWeightMatrix};
+use nbsmt_repro::tensor::exec::ExecContext;
 use nbsmt_repro::tensor::tensor::Matrix;
 
 struct SimpleNbSmtEngine {
@@ -28,6 +29,7 @@ struct SimpleNbSmtEngine {
 impl GemmEngine for SimpleNbSmtEngine {
     fn gemm(
         &mut self,
+        ctx: &ExecContext,
         layer_index: usize,
         x: &QuantMatrix,
         w: &QuantWeightMatrix,
@@ -43,7 +45,7 @@ impl GemmEngine for SimpleNbSmtEngine {
             policy: self.policy,
             reorder: true,
         });
-        Ok(emu.execute(x, w).map_err(NnError::from)?.output)
+        Ok(emu.execute_with(ctx, x, w).map_err(NnError::from)?.output)
     }
 }
 

@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. Baseline: the conventional 16x16 output-stationary systolic array.
-    let mut baseline = OutputStationaryArray::new(SystolicConfig::paper_16x16());
+    let baseline = OutputStationaryArray::new(SystolicConfig::paper_16x16());
     let base = baseline.matmul(qx.values(), qw.values())?;
     println!(
         "Conventional SA : {} cycles, {:.1}% MAC utilization",

@@ -40,5 +40,6 @@ pub mod prelude {
     pub use nbsmt_quant::scheme::QuantScheme;
     pub use nbsmt_sparsity::stats::UtilizationBreakdown;
     pub use nbsmt_systolic::array::{OutputStationaryArray, SystolicConfig};
+    pub use nbsmt_tensor::exec::{ExecConfig, ExecContext, GemmBackend, GemmBackendKind};
     pub use nbsmt_tensor::tensor::Tensor;
 }

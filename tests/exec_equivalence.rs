@@ -1,0 +1,158 @@
+//! Execution-layer equivalence properties: every GEMM backend and every
+//! host thread count must produce bit-identical results — integer outputs,
+//! f32 outputs, NB-SMT outputs *including* `PeStats`, and systolic
+//! simulation outputs alike. This is the determinism contract of
+//! `tensor::exec` checked end to end over random shapes and sparsities.
+
+use proptest::prelude::*;
+
+use nbsmt_repro::core::matmul::{NbSmtMatmul, NbSmtMatmulConfig};
+use nbsmt_repro::core::policy::SharingPolicy;
+use nbsmt_repro::core::ThreadCount;
+use nbsmt_repro::quant::qtensor::{QuantMatrix, QuantWeightMatrix};
+use nbsmt_repro::quant::quantize::{quantize_activations, quantize_weights};
+use nbsmt_repro::quant::scheme::QuantScheme;
+use nbsmt_repro::systolic::array::{OutputStationaryArray, SystolicConfig};
+use nbsmt_repro::tensor::exec::{ExecConfig, ExecContext, GemmBackendKind};
+use nbsmt_repro::tensor::ops;
+use nbsmt_repro::tensor::random::{SynthesisConfig, TensorSynthesizer};
+use nbsmt_repro::tensor::tensor::Matrix;
+
+/// The host thread counts the contract is checked at (per the issue: the
+/// degenerate 1-thread mode, one common count, and an oversubscribed one).
+const HOST_THREADS: [usize; 3] = [1, 2, 8];
+
+/// Every backend × thread-count combination, with deliberately small tiles
+/// so that even tiny matrices split across several tiles and workers.
+fn all_contexts() -> Vec<ExecContext> {
+    let mut ctxs = Vec::new();
+    for backend in [
+        GemmBackendKind::Naive,
+        GemmBackendKind::Blocked,
+        GemmBackendKind::Parallel,
+    ] {
+        for threads in HOST_THREADS {
+            ctxs.push(ExecContext::new(ExecConfig {
+                threads,
+                tile_rows: 3,
+                tile_k: 5,
+                backend,
+            }));
+        }
+    }
+    ctxs
+}
+
+fn synth_f32(seed: u64, rows: usize, cols: usize, sparsity: f64) -> Matrix<f32> {
+    let mut synth = TensorSynthesizer::new(seed);
+    let t = synth.tensor(&SynthesisConfig::activation(1.0, sparsity), &[rows, cols]);
+    Matrix::from_vec(t.into_vec(), rows, cols).expect("dimensions match")
+}
+
+fn synth_layer(
+    seed: u64,
+    m: usize,
+    k: usize,
+    n: usize,
+    sparsity: f64,
+) -> (QuantMatrix, QuantWeightMatrix) {
+    let x = quantize_activations(
+        &synth_f32(seed, m, k, sparsity),
+        &QuantScheme::activation_a8(),
+        None,
+    );
+    let w = quantize_weights(
+        &synth_f32(seed ^ 0xabcd, k, n, 0.0),
+        &QuantScheme::weight_w8(),
+    );
+    (x, w)
+}
+
+proptest! {
+    /// `matmul_i32` is identical for Naive, Blocked, and Parallel at 1/2/8
+    /// host threads, for random shapes and sparsities.
+    #[test]
+    fn i32_gemm_is_backend_and_thread_invariant(
+        m in 1usize..20, k in 1usize..40, n in 1usize..16,
+        seed in 0u64..1_000_000, sparsity_pct in 0usize..90,
+    ) {
+        let to_i32 = |mat: Matrix<f32>| {
+            let (r, c) = (mat.rows(), mat.cols());
+            Matrix::from_vec(
+                mat.into_vec().iter().map(|&v| (v * 127.0) as i32).collect(),
+                r, c,
+            ).expect("dimensions match")
+        };
+        let a = to_i32(synth_f32(seed, m, k, sparsity_pct as f64 / 100.0));
+        let b = to_i32(synth_f32(seed ^ 0x55, k, n, 0.0));
+        let reference = ops::matmul_i32(&a, &b).expect("dimensions match");
+        for ctx in all_contexts() {
+            let out = ops::matmul_i32_with(&ctx, &a, &b).expect("dimensions match");
+            prop_assert_eq!(&out, &reference, "ctx {:?}", ctx.config());
+        }
+    }
+
+    /// f32 GEMM is *bit*-identical across backends and thread counts (same
+    /// per-element accumulation order and zero-skip rule everywhere).
+    #[test]
+    fn f32_gemm_is_bit_exact_across_contexts(
+        m in 1usize..16, k in 1usize..32, n in 1usize..12,
+        seed in 0u64..1_000_000, sparsity_pct in 0usize..90,
+    ) {
+        let a: nbsmt_repro::tensor::Tensor<f32> =
+            synth_f32(seed, m, k, sparsity_pct as f64 / 100.0).into();
+        let b: nbsmt_repro::tensor::Tensor<f32> = synth_f32(seed ^ 0x77, k, n, 0.0).into();
+        let reference = ops::matmul(&a, &b).expect("dimensions match");
+        let ref_bits: Vec<u32> = reference.as_slice().iter().map(|v| v.to_bits()).collect();
+        for ctx in all_contexts() {
+            let out = ops::matmul_with(&ctx, &a, &b).expect("dimensions match");
+            let bits: Vec<u32> = out.as_slice().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(&bits, &ref_bits, "ctx {:?}", ctx.config());
+        }
+    }
+
+    /// The NB-SMT emulation — output matrix *and* PeStats — is invariant to
+    /// the host thread count for 2T and 4T, with and without reordering.
+    #[test]
+    fn nbsmt_output_and_stats_are_thread_invariant(
+        m in 1usize..16, k in 2usize..32, n in 1usize..10,
+        seed in 0u64..1_000_000, sparsity_pct in 0usize..80,
+        four_threads in any::<bool>(), reorder in any::<bool>(),
+    ) {
+        let (x, w) = synth_layer(seed, m, k, n, sparsity_pct as f64 / 100.0);
+        let emu = NbSmtMatmul::new(NbSmtMatmulConfig {
+            threads: if four_threads { ThreadCount::Four } else { ThreadCount::Two },
+            policy: SharingPolicy::S_A,
+            reorder,
+        });
+        let reference = emu.execute(&x, &w).expect("dimensions match");
+        for threads in HOST_THREADS {
+            let ctx = ExecContext::new(ExecConfig {
+                threads,
+                tile_rows: 2,
+                ..ExecConfig::default()
+            });
+            let out = emu.execute_with(&ctx, &x, &w).expect("dimensions match");
+            prop_assert_eq!(&out, &reference, "host threads {}", threads);
+        }
+    }
+
+    /// The cycle-level systolic simulation — outputs and SimStats — is
+    /// invariant to the host thread count simulating its tiles.
+    #[test]
+    fn systolic_simulation_is_thread_invariant(
+        m in 1usize..12, k in 1usize..20, n in 1usize..10,
+        seed in 0u64..1_000_000, sparsity_pct in 0usize..80,
+    ) {
+        let (x, w) = synth_layer(seed, m, k, n, sparsity_pct as f64 / 100.0);
+        let array = OutputStationaryArray::new(SystolicConfig::new(4, 4));
+        let reference = array.matmul(x.values(), w.values()).expect("dimensions match");
+        for threads in HOST_THREADS {
+            let ctx = ExecContext::with_threads(threads);
+            let out = array
+                .matmul_with(&ctx, x.values(), w.values())
+                .expect("dimensions match");
+            prop_assert_eq!(&out, &reference, "host threads {}", threads);
+        }
+    }
+}

@@ -50,7 +50,7 @@ fn systolic_array_and_quantized_matmul_agree() {
     // The cycle-level systolic array, the fast estimator, and the integer
     // reference matmul must all agree on the numbers.
     let (qx, qw) = random_quant_layer(1, 24, 48, 16);
-    let mut array = OutputStationaryArray::new(SystolicConfig::new(8, 8));
+    let array = OutputStationaryArray::new(SystolicConfig::new(8, 8));
     let sim = array.matmul(qx.values(), qw.values()).unwrap();
     let reference = reference_output(&qx, &qw).unwrap();
     for i in 0..qx.rows() {
@@ -154,6 +154,7 @@ fn end_to_end_quantized_model_under_nbsmt_keeps_accuracy() {
     impl nbsmt_repro::nn::quantized::GemmEngine for TwoThreadEngine {
         fn gemm(
             &mut self,
+            ctx: &nbsmt_repro::tensor::exec::ExecContext,
             layer_index: usize,
             x: &nbsmt_repro::quant::qtensor::QuantMatrix,
             w: &nbsmt_repro::quant::qtensor::QuantWeightMatrix,
@@ -169,7 +170,7 @@ fn end_to_end_quantized_model_under_nbsmt_keeps_accuracy() {
                 reorder: true,
             });
             Ok(emu
-                .execute(x, w)
+                .execute_with(ctx, x, w)
                 .map_err(nbsmt_repro::nn::NnError::from)?
                 .output)
         }

@@ -44,6 +44,17 @@ fn prelude_covers_the_cross_crate_surface() {
     let breakdown = UtilizationBreakdown::default();
     assert_eq!(breakdown.total(), 0);
 
+    // The execution layer resolves through the prelude and honours its
+    // determinism contract on a tiny GEMM.
+    let ctx = ExecContext::new(ExecConfig {
+        threads: 2,
+        backend: GemmBackendKind::Parallel,
+        ..ExecConfig::default()
+    });
+    assert_eq!(ctx.threads(), 2);
+    let results = ctx.map_tiles(5, |t| t + 1);
+    assert_eq!(results, vec![1, 2, 3, 4, 5]);
+
     let pe4 = SmtPe4::new(SharingPolicy::S);
     let quad = pe4.cycle([
         ThreadInput::new(0, 0),
