@@ -20,11 +20,14 @@ use nbsmt_core::policy::SharingPolicy;
 use nbsmt_core::ThreadCount;
 use nbsmt_quant::quantize::{quantize_activations, quantize_weights};
 use nbsmt_quant::scheme::QuantScheme;
+use nbsmt_serve::config::SmtConfig;
+use nbsmt_serve::registry::ModelRegistry;
 use nbsmt_systolic::array::{OutputStationaryArray, SystolicConfig};
 use nbsmt_tensor::exec::{ExecConfig, ExecContext, GemmBackendKind};
 use nbsmt_tensor::ops;
 use nbsmt_tensor::random::{SynthesisConfig, TensorSynthesizer};
 use nbsmt_tensor::tensor::Matrix;
+use nbsmt_workloads::synthnet::quick_synthnet;
 
 fn quick_criterion() -> Criterion {
     Criterion::default()
@@ -275,10 +278,45 @@ fn bench_accuracy_experiments(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serving-layer throughput: batched vs unbatched session execution on a
+/// SynthNet 2T session at batch sizes 1 / 8 / 32 — the amortization the
+/// micro-batching scheduler exists to capture. `unbatched_32` runs the same
+/// 32 requests one at a time for the direct comparison.
+fn bench_serve_throughput(c: &mut Criterion) {
+    let trained = quick_synthnet(77).expect("training succeeds");
+    let mut registry = ModelRegistry::new();
+    registry
+        .register_synthnet("synthnet", &trained, 78)
+        .expect("calibration succeeds");
+    let session = registry
+        .compile("synthnet", SmtConfig::sysmt_2t())
+        .expect("session compiles");
+    let (inputs, _) = trained.sample_requests(32, 79);
+    let ctx = ExecContext::parallel();
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    for batch in [1usize, 8, 32] {
+        group.bench_function(&format!("batched_{batch}"), |b| {
+            b.iter(|| session.infer_batch(&ctx, &inputs[..batch]).unwrap())
+        });
+    }
+    group.bench_function("unbatched_32", |b| {
+        b.iter(|| {
+            for input in &inputs {
+                session
+                    .infer_batch(&ctx, std::slice::from_ref(input))
+                    .unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = quick_criterion();
     targets = bench_fmul, bench_gemm_backends, bench_nbsmt_parallel_layer, bench_datapaths,
-        bench_zoo_experiments, bench_accuracy_experiments
+        bench_zoo_experiments, bench_accuracy_experiments, bench_serve_throughput
 }
 criterion_main!(benches);

@@ -4,23 +4,23 @@
 //!
 //! ```text
 //! cargo run -p nbsmt-bench --release --bin repro -- <experiment> \
-//!     [--full] [--threads N] [--backend {naive,blocked,parallel}]
+//!     [--full] [--threads N] [--backend {naive,blocked,parallel}] \
+//!     [--requests N] [--list]
 //! ```
 //!
-//! where `<experiment>` is one of `fig1`, `table1`, `table2`, `fig7`,
-//! `table3`, `table4`, `fig8`, `fig9`, `table5`, `fig10`, `energy`,
-//! `mlperf`, `gemmbench`, or `all`. `--full` runs the full-scale
-//! configuration used for EXPERIMENTS.md (slower); the default quick scale
-//! exercises the same code with smaller sample counts.
+//! Run `repro -- --list` to enumerate the experiments with one-line
+//! descriptions. `--full` runs the full-scale configuration used for
+//! EXPERIMENTS.md (slower); the default quick scale exercises the same code
+//! with smaller sample counts.
 //!
 //! `--threads` / `--backend` configure the host execution layer (default:
 //! the `parallel` backend over every available hardware thread). By the
 //! execution layer's determinism contract they change wall-clock time only
 //! — every reproduced number is identical for every setting. `gemmbench`
-//! times the GEMM backends and the NB-SMT emulation and writes the results
-//! to `BENCH_baseline.json`; it only runs when requested explicitly (it is
-//! not part of `all`, so regenerating tables never clobbers the tracked
-//! baseline).
+//! and `serve` write `BENCH_baseline.json` / `BENCH_serve.json`; they only
+//! run when requested explicitly (neither is part of `all`, so regenerating
+//! tables never clobbers the tracked summaries). `--requests N` sets the
+//! serving sweep's trace length.
 
 use std::env;
 
@@ -29,6 +29,7 @@ use nbsmt_bench::experiments::accuracy::{
     table5_slowdown, AccuracyBench,
 };
 use nbsmt_bench::experiments::hw_exp::table2_rows;
+use nbsmt_bench::experiments::serve_exp::{serve_summary, serve_sweep_with};
 use nbsmt_bench::experiments::zoo_exp::{
     energy_savings_with, fig1_utilization, fig8_mse_vs_sparsity_with, fig9_utilization_gain_with,
     table1_inventory,
@@ -44,15 +45,91 @@ use nbsmt_tensor::ops;
 use nbsmt_tensor::random::{SynthesisConfig, TensorSynthesizer};
 use nbsmt_tensor::tensor::Matrix;
 
+/// Every experiment id with a one-line description (`--list` output and the
+/// unknown-experiment error message).
+const EXPERIMENTS: &[(&str, &str)] = &[
+    (
+        "table1",
+        "Table I — evaluated CNN models and their MAC counts",
+    ),
+    (
+        "fig1",
+        "Fig. 1 — MAC utilization breakdown during CNN inference",
+    ),
+    ("table2", "Table II — design parameters, power, and area"),
+    (
+        "fig7",
+        "Fig. 7 — whole-model robustness to precision reduction",
+    ),
+    ("table3", "Table III — 2T SySMT sharing policies"),
+    (
+        "table4",
+        "Table IV — 2T SySMT vs post-training quantization",
+    ),
+    ("fig8", "Fig. 8 — per-layer MSE vs activation sparsity"),
+    ("fig9", "Fig. 9 — utilization improvement vs sparsity"),
+    (
+        "table5",
+        "Table V — 4T SySMT with high-MSE layers slowed to 2T",
+    ),
+    (
+        "fig10",
+        "Fig. 10 — accuracy vs 4T speedup for pruned models",
+    ),
+    (
+        "energy",
+        "§V-A — energy savings of SySMT over the baseline array",
+    ),
+    ("mlperf", "§V-B — MobileNet-v1 MLPerf-style operating point"),
+    (
+        "gemmbench",
+        "host GEMM/NB-SMT throughput → BENCH_baseline.json (explicit only)",
+    ),
+    (
+        "serve",
+        "serving sweep: offered load × NB-SMT config → BENCH_serve.json (explicit only)",
+    ),
+    (
+        "all",
+        "every paper table and figure above (not the bench writers)",
+    ),
+];
+
+fn print_experiment_list() {
+    println!("Known experiments:");
+    for (name, description) in EXPERIMENTS {
+        println!("  {name:<10} {description}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut full = false;
     let mut exec = ExecSettings::parallel();
+    let mut requests = 256usize;
     let mut experiment: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--full" => full = true,
+            "--list" => {
+                print_experiment_list();
+                return;
+            }
+            "--requests" => {
+                let value = it.next().unwrap_or_else(|| {
+                    eprintln!("--requests requires a value");
+                    std::process::exit(2);
+                });
+                requests = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--requests: '{value}' is not a request count");
+                    std::process::exit(2);
+                });
+                if requests == 0 {
+                    eprintln!("--requests must be at least 1");
+                    std::process::exit(2);
+                }
+            }
             "--threads" => {
                 let value = it.next().unwrap_or_else(|| {
                     eprintln!("--threads requires a value");
@@ -89,24 +166,13 @@ fn main() {
     let scale = if full { Scale::Full } else { Scale::Quick };
     let experiment = experiment.unwrap_or_else(|| "all".to_string());
 
-    let known = [
-        "fig1",
-        "table1",
-        "table2",
-        "fig7",
-        "table3",
-        "table4",
-        "fig8",
-        "fig9",
-        "table5",
-        "fig10",
-        "energy",
-        "mlperf",
-        "gemmbench",
-        "all",
-    ];
-    if !known.contains(&experiment.as_str()) {
-        eprintln!("unknown experiment '{experiment}'. Known: {known:?}");
+    if !EXPERIMENTS.iter().any(|(name, _)| *name == experiment) {
+        eprintln!("unknown experiment '{experiment}'.\n");
+        eprintln!("Known experiments:");
+        for (name, description) in EXPERIMENTS {
+            eprintln!("  {name:<10} {description}");
+        }
+        eprintln!("\n(run with --list to see this at any time)");
         std::process::exit(2);
     }
 
@@ -141,11 +207,14 @@ fn main() {
     if wants("mlperf") {
         run_mlperf();
     }
-    // gemmbench is explicit-only (not part of `all`): it overwrites the
-    // tracked BENCH_baseline.json, which regenerating the paper's tables
-    // should never do as a side effect.
+    // gemmbench and serve are explicit-only (not part of `all`): they write
+    // the tracked BENCH_*.json summaries, which regenerating the paper's
+    // tables should never do as a side effect.
     if experiment == "gemmbench" {
         run_gemmbench(scale, &exec);
+    }
+    if experiment == "serve" {
+        run_serve(scale, &exec, requests);
     }
 
     // Accuracy experiments share a single trained SynthNet.
@@ -489,6 +558,54 @@ fn run_gemmbench(scale: Scale, exec: &ExecSettings) {
     let path = std::path::Path::new("BENCH_baseline.json");
     match summary.write(path) {
         Ok(()) => println!("\nwrote {}\n", path.display()),
+        Err(e) => eprintln!("\nfailed to write {}: {e}\n", path.display()),
+    }
+}
+
+/// The serving sweep: offered load × NB-SMT configuration through the
+/// `nbsmt-serve` virtual-clock scheduler, written to `BENCH_serve.json`.
+fn run_serve(scale: Scale, exec: &ExecSettings, requests: usize) {
+    println!("## serve — offered load × NB-SMT configuration ({requests} requests/cell)\n");
+    println!("Training SynthNet and compiling dense/2T/4T sessions…\n");
+    let rows = serve_sweep_with(scale, exec, requests, 2024);
+    println!(
+        "{:<6} {:<12} {:>8} {:>6} {:>6} {:>10} {:>9} {:>9} {:>9} {:>7} {:>6}",
+        "SMT",
+        "Arrival",
+        "Offered",
+        "Done",
+        "Shed",
+        "Thru[rps]",
+        "p50[ms]",
+        "p95[ms]",
+        "p99[ms]",
+        "Batch",
+        "Depth"
+    );
+    for row in &rows {
+        let offered = if row.arrival == "closed_loop" {
+            format!("{}cl", row.offered as u64)
+        } else {
+            format!("{:.1}x", row.offered)
+        };
+        println!(
+            "{:<6} {:<12} {:>8} {:>6} {:>6} {:>10.1} {:>9.2} {:>9.2} {:>9.2} {:>7.2} {:>6}",
+            row.smt,
+            row.arrival,
+            offered,
+            row.completed,
+            row.rejected,
+            row.throughput_rps,
+            row.p50_ms,
+            row.p95_ms,
+            row.p99_ms,
+            row.mean_batch,
+            row.max_queue_depth
+        );
+    }
+    let path = std::path::Path::new("BENCH_serve.json");
+    match serve_summary(&rows).write(path) {
+        Ok(()) => println!("\nwrote {} (merged by record name)\n", path.display()),
         Err(e) => eprintln!("\nfailed to write {}: {e}\n", path.display()),
     }
 }

@@ -6,4 +6,5 @@
 
 pub mod accuracy;
 pub mod hw_exp;
+pub mod serve_exp;
 pub mod zoo_exp;

@@ -1,0 +1,275 @@
+//! The `repro serve` experiment: a serving sweep of offered load × NB-SMT
+//! configuration over the `nbsmt-serve` subsystem.
+//!
+//! A SynthNet model is trained and registered once; sessions are compiled
+//! for the dense baseline and the 2T / 4T SySMT design points. Each cell of
+//! the sweep replays a seeded arrival trace through the deterministic
+//! virtual-clock scheduler ([`nbsmt_serve::sim`]): model outputs are
+//! computed for real on the host execution layer, while service *time*
+//! comes from the integer [`ServiceModel`] in which a T-threaded SySMT
+//! session retires work T× faster (§IV). The table this prints — and the
+//! `BENCH_serve.json` it feeds — is therefore bit-reproducible on any
+//! machine at any `--threads` setting.
+
+use nbsmt_serve::config::{BatchPolicy, SchedulerConfig, SmtConfig};
+use nbsmt_serve::registry::ModelRegistry;
+use nbsmt_serve::sim::{simulate, ArrivalProcess, ServiceModel, SimOutcome};
+use nbsmt_tensor::tensor::Tensor;
+use nbsmt_workloads::synthnet::{train_synthnet, SynthTaskConfig};
+
+use crate::loadgen::{closed_loop, open_poisson};
+use crate::scale::{ExecSettings, Scale};
+use crate::summary::{ServeRecord, ServeSummary};
+
+/// One row of the serving sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRow {
+    /// NB-SMT design point label (`dense`, `2t`, `4t`).
+    pub smt: &'static str,
+    /// Arrival model label (`open_poisson`, `closed_loop`).
+    pub arrival: &'static str,
+    /// Offered load: for open loop, the multiplier of the dense session's
+    /// single-request service rate; for closed loop, the client count.
+    pub offered: f64,
+    /// Requests issued.
+    pub requests: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub rejected: u64,
+    /// Completed requests per second of virtual time.
+    pub throughput_rps: f64,
+    /// Median latency [ms].
+    pub p50_ms: f64,
+    /// 95th-percentile latency [ms].
+    pub p95_ms: f64,
+    /// 99th-percentile latency [ms].
+    pub p99_ms: f64,
+    /// Mean launched batch size.
+    pub mean_batch: f64,
+    /// Deepest queue observed.
+    pub max_queue_depth: u64,
+}
+
+impl ServeRow {
+    fn from_outcome(
+        smt: &'static str,
+        arrival: &'static str,
+        offered: f64,
+        requests: u64,
+        outcome: &SimOutcome,
+    ) -> ServeRow {
+        let m = &outcome.metrics;
+        ServeRow {
+            smt,
+            arrival,
+            offered,
+            requests,
+            completed: m.completed,
+            rejected: m.rejected,
+            throughput_rps: m.throughput_rps,
+            p50_ms: m.p50_ns as f64 / 1e6,
+            p95_ms: m.p95_ns as f64 / 1e6,
+            p99_ms: m.p99_ns as f64 / 1e6,
+            mean_batch: m.mean_batch_size,
+            max_queue_depth: m.max_queue_depth as u64,
+        }
+    }
+
+    /// The record id used in `BENCH_serve.json` (merge key across runs).
+    /// Includes the trace length so a short smoke run (e.g. CI's
+    /// `--requests 64`) merges in as its own records instead of replacing
+    /// the tracked full-length baseline under the same names.
+    pub fn record_name(&self) -> String {
+        if self.arrival == "closed_loop" {
+            format!(
+                "serve_synthnet_{}_closed_{}c_n{}",
+                self.smt, self.offered as u64, self.requests
+            )
+        } else {
+            format!(
+                "serve_synthnet_{}_open_x{:.1}_n{}",
+                self.smt, self.offered, self.requests
+            )
+        }
+    }
+}
+
+/// The serving sweep at the given scale and host-execution settings.
+///
+/// `requests` is the open-loop trace length (closed-loop cells issue the
+/// same total). Returns the table rows; offered open-loop load is expressed
+/// as a multiple of one dense session's single-request service rate, so the
+/// sweep stresses the same relative operating points at every scale.
+pub fn serve_sweep_with(
+    scale: Scale,
+    exec: &ExecSettings,
+    requests: usize,
+    seed: u64,
+) -> Vec<ServeRow> {
+    let task = SynthTaskConfig {
+        classes: 4,
+        image_size: 12,
+        noise: 0.2,
+    };
+    let trained = train_synthnet(
+        &task,
+        scale.train_per_class(),
+        scale.test_per_class(),
+        scale.epochs(),
+        seed,
+    )
+    .expect("SynthNet training succeeds");
+    let mut registry = ModelRegistry::new();
+    registry
+        .register_synthnet("synthnet", &trained, seed.wrapping_add(77))
+        .expect("calibration succeeds");
+
+    let pool = 32.min(requests.max(1));
+    let (inputs, _) = trained.sample_requests(pool, seed.wrapping_add(100));
+
+    let ctx = exec.context();
+    let service = ServiceModel::default();
+    let scheduler = SchedulerConfig {
+        batch: BatchPolicy {
+            max_batch: 8,
+            max_wait_ns: 2_000_000,
+        },
+        queue_capacity: 64,
+    };
+
+    let configs: [(&'static str, SmtConfig); 3] = [
+        ("dense", SmtConfig::Dense),
+        ("2t", SmtConfig::sysmt_2t()),
+        ("4t", SmtConfig::sysmt_4t()),
+    ];
+
+    // Offered load is expressed relative to the dense session's
+    // single-request service rate: 0.5× is comfortable, 2.0× only survives
+    // through batching (and the faster SMT design points). Anchoring every
+    // cell to the same dense rate is what makes the 2T/4T columns
+    // comparable against the baseline.
+    let dense_session = registry
+        .compile("synthnet", SmtConfig::Dense)
+        .expect("session compiles");
+    let base_rate = 1e9 / service.single_ns(&dense_session) as f64;
+
+    let mut rows = Vec::new();
+    for (label, smt) in configs {
+        let session = registry.compile("synthnet", smt).expect("session compiles");
+        for load_x in [0.5f64, 2.0] {
+            let rate = base_rate * load_x;
+            let arrivals = open_poisson(seed.wrapping_add((load_x * 10.0) as u64), rate, requests);
+            let outcome = run_cell(&session, &ctx, &inputs, &arrivals, scheduler, service);
+            rows.push(ServeRow::from_outcome(
+                label,
+                "open_poisson",
+                load_x,
+                requests as u64,
+                &outcome,
+            ));
+        }
+    }
+
+    // Closed loop on the 2T session: a fixed client population with think
+    // time equal to one dense single-request service time.
+    let session = registry
+        .compile("synthnet", SmtConfig::sysmt_2t())
+        .expect("session compiles");
+    let think_ns = service.single_ns(&dense_session);
+    for clients in [4usize, 16] {
+        let arrivals = closed_loop(clients, think_ns, requests);
+        let outcome = run_cell(&session, &ctx, &inputs, &arrivals, scheduler, service);
+        rows.push(ServeRow::from_outcome(
+            "2t",
+            "closed_loop",
+            clients as f64,
+            requests as u64,
+            &outcome,
+        ));
+    }
+    rows
+}
+
+fn run_cell(
+    session: &nbsmt_serve::session::Session,
+    ctx: &nbsmt_tensor::exec::ExecContext,
+    inputs: &[Tensor<f32>],
+    arrivals: &ArrivalProcess,
+    scheduler: SchedulerConfig,
+    service: ServiceModel,
+) -> SimOutcome {
+    simulate(session, ctx, inputs, arrivals, scheduler, service).expect("simulation succeeds")
+}
+
+/// Converts sweep rows into the `BENCH_serve.json` summary.
+pub fn serve_summary(rows: &[ServeRow]) -> ServeSummary {
+    let mut summary = ServeSummary::new();
+    for row in rows {
+        summary.push(ServeRecord {
+            name: row.record_name(),
+            smt: row.smt.to_string(),
+            arrival: row.arrival.to_string(),
+            offered: row.offered,
+            requests: row.requests,
+            completed: row.completed,
+            rejected: row.rejected,
+            throughput_rps: row.throughput_rps,
+            p50_ms: row.p50_ms,
+            p95_ms: row.p95_ms,
+            p99_ms: row.p99_ms,
+            mean_batch: row.mean_batch,
+            max_queue_depth: row.max_queue_depth,
+        });
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_the_full_grid_and_is_deterministic() {
+        let exec = ExecSettings::sequential();
+        let rows = serve_sweep_with(Scale::Quick, &exec, 48, 2024);
+        // 3 configs × 2 open-loop loads + 2 closed-loop cells.
+        assert_eq!(rows.len(), 8);
+        for smt in ["dense", "2t", "4t"] {
+            assert!(
+                rows.iter()
+                    .filter(|r| r.smt == smt && r.arrival == "open_poisson")
+                    .count()
+                    == 2
+            );
+        }
+        // Every open-loop request is accounted for.
+        for row in &rows {
+            if row.arrival == "open_poisson" {
+                assert_eq!(row.completed + row.rejected, row.requests);
+            } else {
+                assert_eq!(row.completed, row.requests);
+            }
+            assert!(row.p50_ms <= row.p95_ms && row.p95_ms <= row.p99_ms);
+        }
+        // Identical on a re-run — the whole sweep is virtual-clocked.
+        let again = serve_sweep_with(Scale::Quick, &exec, 48, 2024);
+        assert_eq!(rows, again);
+    }
+
+    #[test]
+    fn faster_design_points_serve_overload_better() {
+        let exec = ExecSettings::sequential();
+        let rows = serve_sweep_with(Scale::Quick, &exec, 64, 7);
+        let cell = |smt: &str, load: f64| {
+            rows.iter()
+                .find(|r| r.smt == smt && r.arrival == "open_poisson" && r.offered == load)
+                .expect("cell exists")
+        };
+        // At 2× the dense service rate, the 4T session sheds no more than
+        // the dense one (it has 4× the virtual throughput).
+        assert!(cell("4t", 2.0).rejected <= cell("dense", 2.0).rejected);
+        // And its p99 latency is no worse.
+        assert!(cell("4t", 2.0).p99_ms <= cell("dense", 2.0).p99_ms + 1e-9);
+    }
+}

@@ -1,0 +1,508 @@
+//! Minimal JSON value type with a stable writer and parser.
+//!
+//! The offline `serde` shim is derive-only (no serializer), so the benchmark
+//! summaries emit JSON by hand. This module centralizes that: string
+//! escaping, number formatting, pretty rendering, and a small
+//! recursive-descent parser — one place instead of ad-hoc `format!` calls
+//! per summary file. Both `BENCH_baseline.json` and `BENCH_serve.json` go
+//! through it, and the parser is what lets summaries *merge* into an
+//! existing file instead of silently overwriting it.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as f64, rendered without a trailing `.0` when
+    /// integral).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved on render.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj(fields: impl IntoIterator<Item = (impl Into<String>, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as u64 (truncating), if this is a non-negative
+    /// number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Pretty-renders with two-space indentation. Objects and arrays whose
+    /// members are all scalars render on one line (the record-per-line
+    /// layout of the tracked `BENCH_*.json` files); nested containers
+    /// render expanded.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn is_scalar(&self) -> bool {
+        !matches!(self, Json::Arr(_) | Json::Obj(_))
+    }
+
+    fn render_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(v) => out.push_str(&format_number(*v)),
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.render_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "\"{}\": ", escape(k));
+                    v.render_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let flat = match self {
+            Json::Arr(items) => items.iter().all(Json::is_scalar),
+            Json::Obj(fields) => fields.iter().all(|(_, v)| v.is_scalar()),
+            _ => true,
+        };
+        if flat {
+            self.render_compact(out);
+            return;
+        }
+        let pad = "  ".repeat(depth + 1);
+        match self {
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.render_into(out, depth + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&"  ".repeat(depth));
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(&pad);
+                    let _ = write!(out, "\"{}\": ", escape(k));
+                    v.render_into(out, depth + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&"  ".repeat(depth));
+                out.push('}');
+            }
+            _ => unreachable!("scalars are always flat"),
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] describing the first syntax error.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError::at(pos, "trailing characters after document"));
+        }
+        Ok(value)
+    }
+}
+
+/// Escapes a string for embedding between JSON quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a number: integral values render without a decimal point,
+/// everything else uses Rust's shortest round-trip float formatting.
+/// Non-finite values (JSON has no representation for them) render as `null`.
+pub fn format_number(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    if v == v.trunc() && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// A JSON syntax error with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl JsonError {
+    fn at(offset: usize, message: impl Into<String>) -> Self {
+        JsonError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), JsonError> {
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(JsonError::at(*pos, format!("expected '{}'", c as char)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(JsonError::at(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Json,
+) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(JsonError::at(*pos, format!("expected '{literal}'")))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if matches!(bytes.get(*pos), Some(b'-')) {
+        *pos += 1;
+    }
+    while matches!(
+        bytes.get(*pos),
+        Some(b'0'..=b'9') | Some(b'.') | Some(b'e') | Some(b'E') | Some(b'+') | Some(b'-')
+    ) {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| JsonError::at(start, "invalid number bytes"))?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| JsonError::at(start, format!("invalid number '{text}'")))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(JsonError::at(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| JsonError::at(*pos, "truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| JsonError::at(*pos, "invalid \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| JsonError::at(*pos, "invalid \\u escape"))?;
+                        // Surrogate pairs are not needed for benchmark ids;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(JsonError::at(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences arrive as
+                // raw bytes in the slice).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| JsonError::at(*pos, "invalid UTF-8 in string"))?;
+                let c = rest.chars().next().expect("nonempty by match arm");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if matches!(bytes.get(*pos), Some(b']')) {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(JsonError::at(*pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if matches!(bytes.get(*pos), Some(b'}')) {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(JsonError::at(*pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trip() {
+        let doc = Json::obj([
+            (
+                "records",
+                Json::Arr(vec![
+                    Json::obj([
+                        ("name", Json::str("gemm \"fast\"\\path")),
+                        ("mean_ns", Json::Num(12.5)),
+                        ("iters", Json::Num(3.0)),
+                        ("ok", Json::Bool(true)),
+                        ("note", Json::Null),
+                    ]),
+                    Json::obj([("name", Json::str("unicode é✓")), ("v", Json::Num(-0.25))]),
+                ]),
+            ),
+            ("count", Json::Num(2.0)),
+        ]);
+        let text = doc.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        // Scalar-only records stay on one line.
+        assert!(text.lines().any(|l| l.contains("\"mean_ns\": 12.5")));
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_number(3.0), "3");
+        assert_eq!(format_number(-41.0), "-41");
+        assert_eq!(format_number(2.5), "2.5");
+        assert_eq!(format_number(f64::NAN), "null");
+        assert_eq!(format_number(f64::INFINITY), "null");
+        // Round-trips through parse.
+        let v = Json::parse("123456789.25").unwrap();
+        assert_eq!(v.as_f64(), Some(123456789.25));
+    }
+
+    #[test]
+    fn escape_control_and_quotes() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        let parsed = Json::parse("\"a\\u0041\\n\"").unwrap();
+        assert_eq!(parsed.as_str(), Some("aA\n"));
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = Json::parse(r#"{"a": [1, 2], "b": "x", "n": 7}"#).unwrap();
+        assert_eq!(doc.get("n").and_then(Json::as_u64), Some(7));
+        assert_eq!(doc.get("b").and_then(Json::as_str), Some("x"));
+        assert_eq!(
+            doc.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        assert!(doc.get("missing").is_none());
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("123 456").is_err());
+        let err = Json::parse("nope").unwrap_err();
+        assert!(err.to_string().contains("byte 0"));
+    }
+
+    #[test]
+    fn parses_the_legacy_baseline_layout() {
+        // The exact shape PR 2's hand-rolled writer produced.
+        let legacy = "{\n  \"records\": [\n    {\"name\": \"gemm_i32_256_naive_1t\", \
+                      \"mean_ns\": 1234.5, \"iters\": 5, \"threads\": 1, \
+                      \"backend\": \"naive\", \"mac_ops\": 16777216, \
+                      \"gmacs_per_s\": 13.5919}\n  ]\n}\n";
+        let doc = Json::parse(legacy).unwrap();
+        let records = doc.get("records").and_then(Json::as_arr).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(
+            records[0].get("name").and_then(Json::as_str),
+            Some("gemm_i32_256_naive_1t")
+        );
+        assert_eq!(records[0].get("threads").and_then(Json::as_u64), Some(1));
+    }
+}

@@ -15,9 +15,12 @@
 
 pub mod engine;
 pub mod experiments;
+pub mod json;
+pub mod loadgen;
 pub mod scale;
 pub mod summary;
 
 pub use engine::{NbSmtEngine, NbSmtEngineConfig};
+pub use json::Json;
 pub use scale::{ExecSettings, Scale};
-pub use summary::{BenchRecord, BenchSummary};
+pub use summary::{BenchRecord, BenchSummary, ServeRecord, ServeSummary};

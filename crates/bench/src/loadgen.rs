@@ -1,0 +1,110 @@
+//! Seeded load generation for the serving experiments.
+//!
+//! Two arrival models, matching standard serving-benchmark methodology
+//! (e.g. MLPerf Inference's server / multi-stream scenarios):
+//!
+//! * **Open loop** — requests arrive by a Poisson process at a fixed offered
+//!   rate, independent of the server's progress. Models anonymous internet
+//!   traffic; overload shows up as queueing and shed load.
+//! * **Closed loop** — N clients submit, wait for the response, think, and
+//!   submit again. Models a fixed client population; load self-regulates to
+//!   the server's throughput.
+//!
+//! Both are fully determined by their seed: the exponential inter-arrival
+//! sampler draws from the workspace's seeded `StdRng` shim, and the closed
+//! loop needs no randomness at all (arrivals emerge from virtual-clock
+//! completions in `nbsmt_serve::sim`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nbsmt_serve::sim::ArrivalProcess;
+
+/// Generates an ascending open-loop Poisson arrival trace: `n` arrival
+/// timestamps (nanoseconds from t=0) with exponential inter-arrival times at
+/// `rate_rps` requests per second. Deterministic per `(seed, rate_rps, n)`.
+pub fn poisson_arrivals(seed: u64, rate_rps: f64, n: usize) -> Vec<u64> {
+    assert!(rate_rps > 0.0, "offered rate must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mean_gap_ns = 1e9 / rate_rps;
+    let mut t = 0.0f64;
+    let mut arrivals = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Inverse-CDF exponential sample; u is in [0, 1) so 1-u is in
+        // (0, 1] and the log is finite.
+        let u: f64 = rng.gen();
+        t += -(1.0 - u).ln() * mean_gap_ns;
+        arrivals.push(t.min(u64::MAX as f64) as u64);
+    }
+    arrivals
+}
+
+/// Builds the open-loop Poisson [`ArrivalProcess`] for the simulator.
+pub fn open_poisson(seed: u64, rate_rps: f64, n: usize) -> ArrivalProcess {
+    ArrivalProcess::Open {
+        arrivals_ns: poisson_arrivals(seed, rate_rps, n),
+    }
+}
+
+/// Builds the closed-loop [`ArrivalProcess`]: `clients` concurrent clients
+/// with `think_ns` between response and next submit, issuing
+/// `total_requests` overall.
+pub fn closed_loop(clients: usize, think_ns: u64, total_requests: usize) -> ArrivalProcess {
+    ArrivalProcess::Closed {
+        clients,
+        think_ns,
+        total_requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_trace_is_seed_deterministic_and_ascending() {
+        let a = poisson_arrivals(7, 1000.0, 256);
+        let b = poisson_arrivals(7, 1000.0, 256);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        let c = poisson_arrivals(8, 1000.0, 256);
+        assert_ne!(a, c, "different seeds must give different traces");
+    }
+
+    #[test]
+    fn poisson_mean_rate_is_close_to_offered() {
+        let rate = 2000.0;
+        let n = 4096;
+        let arrivals = poisson_arrivals(42, rate, n);
+        let span_s = *arrivals.last().unwrap() as f64 / 1e9;
+        let measured = n as f64 / span_s;
+        assert!(
+            (measured / rate - 1.0).abs() < 0.1,
+            "measured {measured:.0} rps vs offered {rate:.0} rps"
+        );
+    }
+
+    #[test]
+    fn arrival_process_builders() {
+        match open_poisson(1, 100.0, 8) {
+            ArrivalProcess::Open { arrivals_ns } => assert_eq!(arrivals_ns.len(), 8),
+            other => panic!("expected open loop, got {other:?}"),
+        }
+        match closed_loop(4, 100, 32) {
+            ArrivalProcess::Closed {
+                clients,
+                think_ns,
+                total_requests,
+            } => {
+                assert_eq!((clients, think_ns, total_requests), (4, 100, 32));
+            }
+            other => panic!("expected closed loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "offered rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = poisson_arrivals(1, 0.0, 4);
+    }
+}

@@ -1,17 +1,21 @@
 //! Machine-readable benchmark summaries.
 //!
-//! The `repro -- gemmbench` experiment times the GEMM backends and the
-//! NB-SMT layer emulation on the host and records the results here, then
-//! writes them as `BENCH_baseline.json` so the repository's performance
-//! trajectory can be tracked commit over commit. The JSON is emitted by
-//! hand (the offline `serde` shim has no serializer), with a stable,
-//! sorted-by-insertion layout.
+//! Two summary files track the repository's performance trajectory commit
+//! over commit: `BENCH_baseline.json` (`repro -- gemmbench`: timed GEMM
+//! backends and NB-SMT layers) and `BENCH_serve.json` (`repro -- serve`:
+//! serving throughput and latency per NB-SMT configuration and offered
+//! load). All JSON goes through [`crate::json`] — escaping, number
+//! formatting, and parsing live in one place — and writes **merge by record
+//! name** into an existing file instead of silently overwriting it, so
+//! re-running one experiment never discards the other experiments' records.
 
 use std::io::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
+
+use crate::json::Json;
 
 /// One timed benchmark entry.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,9 +43,35 @@ impl BenchRecord {
             self.mac_ops as f64 / self.mean_ns
         }
     }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("mean_ns", Json::Num((self.mean_ns * 10.0).round() / 10.0)),
+            ("iters", Json::Num(self.iters as f64)),
+            ("threads", Json::Num(self.threads as f64)),
+            ("backend", Json::str(&self.backend)),
+            ("mac_ops", Json::Num(self.mac_ops as f64)),
+            (
+                "gmacs_per_s",
+                Json::Num((self.gmacs_per_s() * 1e4).round() / 1e4),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<BenchRecord> {
+        Some(BenchRecord {
+            name: value.get("name")?.as_str()?.to_string(),
+            mean_ns: value.get("mean_ns")?.as_f64()?,
+            iters: value.get("iters")?.as_u64()?,
+            threads: value.get("threads")?.as_u64()? as usize,
+            backend: value.get("backend")?.as_str()?.to_string(),
+            mac_ops: value.get("mac_ops")?.as_u64()?,
+        })
+    }
 }
 
-/// A collection of benchmark records with a JSON writer.
+/// A collection of benchmark records with a merging JSON writer.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct BenchSummary {
     /// The recorded entries, in insertion order.
@@ -85,39 +115,229 @@ impl BenchSummary {
 
     /// Renders the summary as pretty-printed JSON.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"records\": [\n");
-        for (i, r) in self.records.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}, \
-                 \"threads\": {}, \"backend\": \"{}\", \"mac_ops\": {}, \
-                 \"gmacs_per_s\": {:.4}}}{}\n",
-                escape(&r.name),
-                r.mean_ns,
-                r.iters,
-                r.threads,
-                escape(&r.backend),
-                r.mac_ops,
-                r.gmacs_per_s(),
-                if i + 1 == self.records.len() { "" } else { "," }
-            ));
-        }
-        out.push_str("  ]\n}\n");
-        out
+        Json::obj([(
+            "records",
+            Json::Arr(self.records.iter().map(BenchRecord::to_json).collect()),
+        )])
+        .render()
     }
 
-    /// Writes the JSON summary to `path`.
+    /// Parses a summary previously written by [`Self::write`]. Returns
+    /// `None` when the document *or any single record* fails to convert —
+    /// a partially-understood file must take the merging write's `.bak`
+    /// path rather than silently losing the records we couldn't read.
+    pub fn parse(text: &str) -> Option<BenchSummary> {
+        let doc = Json::parse(text).ok()?;
+        let records = doc
+            .get("records")?
+            .as_arr()?
+            .iter()
+            .map(BenchRecord::from_json)
+            .collect::<Option<Vec<_>>>()?;
+        Some(BenchSummary { records })
+    }
+
+    /// Writes the summary to `path`, **merging** into an existing file:
+    /// records already present keep their position and are replaced when a
+    /// new record shares their name; new names append. An existing file
+    /// that fails to parse is preserved next to the new one as
+    /// `<path>.bak` rather than silently discarded.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let merged = merge_by_name(
+            read_existing(path, BenchSummary::parse)?.map(|s| s.records),
+            self.records.clone(),
+            |r| r.name.clone(),
+        );
+        let body = BenchSummary { records: merged }.to_json();
         let mut file = std::fs::File::create(path)?;
-        file.write_all(self.to_json().as_bytes())
+        file.write_all(body.as_bytes())
     }
 }
 
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+/// One serving-sweep entry: a (session configuration, arrival process,
+/// offered load) cell of the `repro serve` experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeRecord {
+    /// Record id, e.g. `serve_synthnet_2t_open_x2.0`.
+    pub name: String,
+    /// NB-SMT design point (`dense`, `2t`, `4t`).
+    pub smt: String,
+    /// Arrival process (`open_poisson` or `closed_loop`).
+    pub arrival: String,
+    /// Offered load: for open loop, the multiplier of the dense session's
+    /// single-request service rate (e.g. `2.0` = twice that rate); for
+    /// closed loop, the client count.
+    pub offered: f64,
+    /// Requests issued.
+    pub requests: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub rejected: u64,
+    /// Completed requests per second over the run.
+    pub throughput_rps: f64,
+    /// Median latency [ms].
+    pub p50_ms: f64,
+    /// 95th-percentile latency [ms].
+    pub p95_ms: f64,
+    /// 99th-percentile latency [ms].
+    pub p99_ms: f64,
+    /// Mean launched batch size.
+    pub mean_batch: f64,
+    /// Deepest queue observed.
+    pub max_queue_depth: u64,
+}
+
+impl ServeRecord {
+    fn to_json(&self) -> Json {
+        let r3 = |v: f64| (v * 1e3).round() / 1e3;
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("smt", Json::str(&self.smt)),
+            ("arrival", Json::str(&self.arrival)),
+            ("offered", Json::Num(r3(self.offered))),
+            ("requests", Json::Num(self.requests as f64)),
+            ("completed", Json::Num(self.completed as f64)),
+            ("rejected", Json::Num(self.rejected as f64)),
+            ("throughput_rps", Json::Num(r3(self.throughput_rps))),
+            ("p50_ms", Json::Num(r3(self.p50_ms))),
+            ("p95_ms", Json::Num(r3(self.p95_ms))),
+            ("p99_ms", Json::Num(r3(self.p99_ms))),
+            ("mean_batch", Json::Num(r3(self.mean_batch))),
+            ("max_queue_depth", Json::Num(self.max_queue_depth as f64)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<ServeRecord> {
+        Some(ServeRecord {
+            name: value.get("name")?.as_str()?.to_string(),
+            smt: value.get("smt")?.as_str()?.to_string(),
+            arrival: value.get("arrival")?.as_str()?.to_string(),
+            offered: value.get("offered")?.as_f64()?,
+            requests: value.get("requests")?.as_u64()?,
+            completed: value.get("completed")?.as_u64()?,
+            rejected: value.get("rejected")?.as_u64()?,
+            throughput_rps: value.get("throughput_rps")?.as_f64()?,
+            p50_ms: value.get("p50_ms")?.as_f64()?,
+            p95_ms: value.get("p95_ms")?.as_f64()?,
+            p99_ms: value.get("p99_ms")?.as_f64()?,
+            mean_batch: value.get("mean_batch")?.as_f64()?,
+            max_queue_depth: value.get("max_queue_depth")?.as_u64()?,
+        })
+    }
+}
+
+/// The `BENCH_serve.json` summary: serving records with the same
+/// merge-by-name write semantics as [`BenchSummary`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServeSummary {
+    /// The recorded serving runs, in insertion order.
+    pub runs: Vec<ServeRecord>,
+}
+
+impl ServeSummary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        ServeSummary::default()
+    }
+
+    /// Appends a run record.
+    pub fn push(&mut self, record: ServeRecord) {
+        self.runs.push(record);
+    }
+
+    /// Renders the summary as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        Json::obj([(
+            "runs",
+            Json::Arr(self.runs.iter().map(ServeRecord::to_json).collect()),
+        )])
+        .render()
+    }
+
+    /// Parses a summary previously written by [`Self::write`]. Like
+    /// [`BenchSummary::parse`], any unconvertible record fails the whole
+    /// parse so the merging write backs the file up instead of dropping it.
+    pub fn parse(text: &str) -> Option<ServeSummary> {
+        let doc = Json::parse(text).ok()?;
+        let runs = doc
+            .get("runs")?
+            .as_arr()?
+            .iter()
+            .map(ServeRecord::from_json)
+            .collect::<Option<Vec<_>>>()?;
+        Some(ServeSummary { runs })
+    }
+
+    /// Writes the summary to `path` with merge-by-name semantics (see
+    /// [`BenchSummary::write`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let merged = merge_by_name(
+            read_existing(path, ServeSummary::parse)?.map(|s| s.runs),
+            self.runs.clone(),
+            |r| r.name.clone(),
+        );
+        let body = ServeSummary { runs: merged }.to_json();
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(body.as_bytes())
+    }
+}
+
+/// Reads and parses an existing summary file. A present-but-unparsable file
+/// is moved aside to `<path>.bak` (returning `None`) so the caller's fresh
+/// write never destroys the only copy of unknown content.
+fn read_existing<T>(path: &Path, parse: impl Fn(&str) -> Option<T>) -> std::io::Result<Option<T>> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => match parse(&text) {
+            Some(parsed) => Ok(Some(parsed)),
+            None => {
+                // Pick the first free backup name (`.bak`, `.bak1`, …) so a
+                // repeated corrupt-file event never overwrites an earlier
+                // backup.
+                let mut n = 0u32;
+                let backup = loop {
+                    let suffix = if n == 0 {
+                        ".bak".to_string()
+                    } else {
+                        format!(".bak{n}")
+                    };
+                    let mut candidate = path.as_os_str().to_owned();
+                    candidate.push(&suffix);
+                    let candidate = std::path::PathBuf::from(candidate);
+                    if !candidate.exists() {
+                        break candidate;
+                    }
+                    n += 1;
+                };
+                std::fs::rename(path, &backup)?;
+                Ok(None)
+            }
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Merges `new` into `existing`: same-name records are replaced in place,
+/// new names append in their own order.
+fn merge_by_name<T>(existing: Option<Vec<T>>, new: Vec<T>, name: impl Fn(&T) -> String) -> Vec<T> {
+    let mut merged = existing.unwrap_or_default();
+    for record in new {
+        let key = name(&record);
+        match merged.iter().position(|r| name(r) == key) {
+            Some(i) => merged[i] = record,
+            None => merged.push(record),
+        }
+    }
+    merged
 }
 
 #[cfg(test)]
@@ -148,13 +368,141 @@ mod tests {
     }
 
     #[test]
-    fn write_emits_file() {
+    fn bench_summary_round_trips() {
+        let mut summary = BenchSummary::new();
+        summary.measure("a", 1, "naive", 64, 1, || {});
+        summary.measure("b", 8, "parallel", 128, 1, || {});
+        let parsed = BenchSummary::parse(&summary.to_json()).unwrap();
+        assert_eq!(parsed.records.len(), 2);
+        assert_eq!(parsed.records[0].name, "a");
+        assert_eq!(parsed.records[1].threads, 8);
+        assert_eq!(parsed.records[1].mac_ops, 128);
+    }
+
+    #[test]
+    fn write_merges_instead_of_overwriting() {
+        let path = std::env::temp_dir().join("nbsmt_bench_summary_merge_test.json");
+        let _ = std::fs::remove_file(&path);
+
+        let mut first = BenchSummary::new();
+        first.measure("keep_me", 1, "naive", 0, 1, || {});
+        first.measure("replace_me", 1, "naive", 0, 1, || {});
+        first.write(&path).unwrap();
+
+        let mut second = BenchSummary::new();
+        second.measure("replace_me", 4, "parallel", 0, 1, || {});
+        second.measure("new_record", 2, "blocked", 0, 1, || {});
+        second.write(&path).unwrap();
+
+        let merged = BenchSummary::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let names: Vec<&str> = merged.records.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["keep_me", "replace_me", "new_record"]);
+        assert_eq!(merged.records[1].threads, 4, "replaced in place");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unparsable_existing_file_is_backed_up() {
+        let path = std::env::temp_dir().join("nbsmt_bench_summary_bak_test.json");
+        let backup = std::env::temp_dir().join("nbsmt_bench_summary_bak_test.json.bak");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&backup);
+        std::fs::write(&path, "this is not json").unwrap();
+
         let mut summary = BenchSummary::new();
         summary.measure("x", 1, "naive", 0, 1, || {});
-        let path = std::env::temp_dir().join("nbsmt_bench_summary_test.json");
         summary.write(&path).unwrap();
-        let body = std::fs::read_to_string(&path).unwrap();
-        assert!(body.contains("\"records\""));
+
+        assert_eq!(
+            std::fs::read_to_string(&backup).unwrap(),
+            "this is not json"
+        );
+        assert!(
+            BenchSummary::parse(&std::fs::read_to_string(&path).unwrap())
+                .unwrap()
+                .records
+                .iter()
+                .any(|r| r.name == "x")
+        );
+
+        // A second corrupt-file event backs up to `.bak1` instead of
+        // destroying the first backup.
+        let backup1 = std::env::temp_dir().join("nbsmt_bench_summary_bak_test.json.bak1");
+        let _ = std::fs::remove_file(&backup1);
+        std::fs::write(&path, "also not json").unwrap();
+        summary.write(&path).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&backup).unwrap(),
+            "this is not json"
+        );
+        assert_eq!(std::fs::read_to_string(&backup1).unwrap(), "also not json");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&backup);
+        let _ = std::fs::remove_file(&backup1);
+    }
+
+    #[test]
+    fn partially_understood_document_is_backed_up_not_truncated() {
+        // Valid JSON whose second record is missing fields (schema drift):
+        // parse must fail as a whole so the merging write preserves the
+        // file as a backup instead of silently dropping that record.
+        let body = r#"{"records": [
+            {"name": "ok", "mean_ns": 1.0, "iters": 1, "threads": 1, "backend": "naive", "mac_ops": 0},
+            {"name": "from_the_future", "wall_ps": 17}
+        ]}"#;
+        assert!(BenchSummary::parse(body).is_none());
+
+        let path = std::env::temp_dir().join("nbsmt_bench_summary_drift_test.json");
+        let backup = std::env::temp_dir().join("nbsmt_bench_summary_drift_test.json.bak");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&backup);
+        std::fs::write(&path, body).unwrap();
+        let mut summary = BenchSummary::new();
+        summary.measure("x", 1, "naive", 0, 1, || {});
+        summary.write(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&backup).unwrap(), body);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&backup);
+    }
+
+    fn serve_record(name: &str) -> ServeRecord {
+        ServeRecord {
+            name: name.to_string(),
+            smt: "2t".to_string(),
+            arrival: "open_poisson".to_string(),
+            offered: 120.5,
+            requests: 256,
+            completed: 250,
+            rejected: 6,
+            throughput_rps: 118.2,
+            p50_ms: 4.25,
+            p95_ms: 9.5,
+            p99_ms: 14.0,
+            mean_batch: 3.2,
+            max_queue_depth: 17,
+        }
+    }
+
+    #[test]
+    fn serve_summary_round_trips_and_merges() {
+        let mut summary = ServeSummary::new();
+        summary.push(serve_record("serve_a"));
+        let parsed = ServeSummary::parse(&summary.to_json()).unwrap();
+        assert_eq!(parsed, summary);
+
+        let path = std::env::temp_dir().join("nbsmt_serve_summary_test.json");
+        let _ = std::fs::remove_file(&path);
+        summary.write(&path).unwrap();
+        let mut update = ServeSummary::new();
+        let mut changed = serve_record("serve_a");
+        changed.completed = 999;
+        update.push(changed);
+        update.push(serve_record("serve_b"));
+        update.write(&path).unwrap();
+        let merged = ServeSummary::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(merged.runs.len(), 2);
+        assert_eq!(merged.runs[0].completed, 999);
+        assert_eq!(merged.runs[1].name, "serve_b");
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,217 @@
+//! Determinism contract of the serving path, extending the
+//! `tests/exec_equivalence.rs` approach (bit-exactness across backends and
+//! host thread counts) from single GEMMs to the full queue → batcher →
+//! session pipeline.
+//!
+//! A seeded load generator plus the virtual-clock scheduler must produce
+//! **identical batch compositions** and **bit-identical model outputs** —
+//! across repeated runs, across host thread counts 1/2/8, and across GEMM
+//! backends. This is the property that makes `repro serve` reproducible on
+//! any machine and is enforced by CI on every push.
+
+use nbsmt_bench::loadgen::{closed_loop, open_poisson};
+use nbsmt_serve::config::{BatchPolicy, SchedulerConfig, SmtConfig};
+use nbsmt_serve::registry::ModelRegistry;
+use nbsmt_serve::sim::{simulate, ArrivalProcess, ServiceModel, SimOutcome};
+use nbsmt_tensor::exec::{ExecConfig, ExecContext, GemmBackendKind};
+use nbsmt_tensor::tensor::Tensor;
+use nbsmt_workloads::synthnet::quick_synthnet;
+
+struct Fixture {
+    registry: ModelRegistry,
+    inputs: Vec<Tensor<f32>>,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let trained = quick_synthnet(seed).expect("training succeeds");
+    let mut registry = ModelRegistry::new();
+    registry
+        .register_synthnet("synthnet", &trained, seed.wrapping_add(1))
+        .expect("calibration succeeds");
+    let (inputs, _) = trained.sample_requests(24, seed.wrapping_add(2));
+    Fixture { registry, inputs }
+}
+
+fn scheduler() -> SchedulerConfig {
+    SchedulerConfig {
+        batch: BatchPolicy {
+            max_batch: 4,
+            max_wait_ns: 500_000,
+        },
+        queue_capacity: 16,
+    }
+}
+
+fn run(
+    fixture: &Fixture,
+    smt: SmtConfig,
+    ctx: &ExecContext,
+    arrivals: &ArrivalProcess,
+) -> SimOutcome {
+    let session = fixture
+        .registry
+        .compile("synthnet", smt)
+        .expect("session compiles");
+    simulate(
+        &session,
+        ctx,
+        &fixture.inputs,
+        arrivals,
+        scheduler(),
+        ServiceModel::default(),
+    )
+    .expect("simulation succeeds")
+}
+
+/// Logits as raw bit patterns: `f32` equality is too weak a check for the
+/// contract — the serving path promises *bit*-identical outputs.
+fn logit_bits(outcome: &SimOutcome) -> Vec<(u64, Vec<u32>)> {
+    outcome
+        .responses
+        .iter()
+        .map(|(id, inf)| (*id, inf.logits.iter().map(|v| v.to_bits()).collect()))
+        .collect()
+}
+
+#[test]
+fn open_loop_is_identical_across_host_thread_counts() {
+    let fixture = fixture(31);
+    // Offered rate high enough that batches actually coalesce.
+    let arrivals = open_poisson(1234, 5_000.0, 64);
+    for smt in [
+        SmtConfig::Dense,
+        SmtConfig::sysmt_2t(),
+        SmtConfig::sysmt_4t(),
+    ] {
+        let reference = run(&fixture, smt, &ExecContext::sequential(), &arrivals);
+        assert!(reference.metrics.completed > 0);
+        for threads in [1usize, 2, 8] {
+            let ctx = ExecContext::with_threads(threads);
+            let outcome = run(&fixture, smt, &ctx, &arrivals);
+            // Batch compositions: same ids in the same batches at the same
+            // virtual times.
+            assert_eq!(
+                outcome.batches,
+                reference.batches,
+                "batch schedule must not depend on host threads ({threads}t, {:?})",
+                smt.label()
+            );
+            // Outputs: bit-identical logits per request.
+            assert_eq!(
+                logit_bits(&outcome),
+                logit_bits(&reference),
+                "logits must be bit-identical ({threads}t, {:?})",
+                smt.label()
+            );
+            // And the derived metrics agree exactly.
+            assert_eq!(outcome.metrics, reference.metrics);
+        }
+    }
+}
+
+#[test]
+fn open_loop_is_identical_across_gemm_backends() {
+    let fixture = fixture(37);
+    let arrivals = open_poisson(99, 3_000.0, 48);
+    let reference = run(
+        &fixture,
+        SmtConfig::sysmt_2t(),
+        &ExecContext::sequential(),
+        &arrivals,
+    );
+    for backend in [
+        GemmBackendKind::Naive,
+        GemmBackendKind::Blocked,
+        GemmBackendKind::Parallel,
+    ] {
+        let ctx = ExecContext::new(ExecConfig {
+            threads: 4,
+            backend,
+            ..ExecConfig::default()
+        });
+        let outcome = run(&fixture, SmtConfig::sysmt_2t(), &ctx, &arrivals);
+        assert_eq!(outcome, reference, "backend {backend} diverged");
+    }
+}
+
+#[test]
+fn closed_loop_is_identical_across_host_thread_counts() {
+    let fixture = fixture(41);
+    let arrivals = closed_loop(3, 200_000, 30);
+    let reference = run(
+        &fixture,
+        SmtConfig::sysmt_4t(),
+        &ExecContext::sequential(),
+        &arrivals,
+    );
+    assert_eq!(reference.metrics.completed, 30);
+    for threads in [2usize, 8] {
+        let outcome = run(
+            &fixture,
+            SmtConfig::sysmt_4t(),
+            &ExecContext::with_threads(threads),
+            &arrivals,
+        );
+        assert_eq!(outcome, reference);
+    }
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let fixture = fixture(43);
+    let arrivals = open_poisson(7, 4_000.0, 40);
+    let ctx = ExecContext::with_threads(8);
+    let a = run(&fixture, SmtConfig::sysmt_2t(), &ctx, &arrivals);
+    let b = run(&fixture, SmtConfig::sysmt_2t(), &ctx, &arrivals);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn seeded_traces_differ_but_each_is_self_consistent() {
+    let fixture = fixture(47);
+    let ctx = ExecContext::sequential();
+    let a = run(
+        &fixture,
+        SmtConfig::Dense,
+        &ctx,
+        &open_poisson(1, 4_000.0, 32),
+    );
+    let b = run(
+        &fixture,
+        SmtConfig::Dense,
+        &ctx,
+        &open_poisson(2, 4_000.0, 32),
+    );
+    assert_ne!(
+        a.batches, b.batches,
+        "different seeds must give different schedules"
+    );
+    assert_eq!(a.metrics.completed + a.metrics.rejected, 32);
+    assert_eq!(b.metrics.completed + b.metrics.rejected, 32);
+}
+
+#[test]
+fn overload_backpressure_is_deterministic_too() {
+    let fixture = fixture(53);
+    // Far past the virtual service rate: admission control must shed, and
+    // must shed the *same* requests every time, on every host config.
+    let arrivals = open_poisson(11, 1_000_000.0, 96);
+    let reference = run(
+        &fixture,
+        SmtConfig::Dense,
+        &ExecContext::sequential(),
+        &arrivals,
+    );
+    assert!(reference.metrics.rejected > 0, "overload must shed load");
+    assert_eq!(reference.metrics.completed + reference.metrics.rejected, 96);
+    for threads in [2usize, 8] {
+        let outcome = run(
+            &fixture,
+            SmtConfig::Dense,
+            &ExecContext::with_threads(threads),
+            &arrivals,
+        );
+        assert_eq!(outcome.rejected_ids, reference.rejected_ids);
+        assert_eq!(outcome, reference);
+    }
+}

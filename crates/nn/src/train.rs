@@ -236,6 +236,18 @@ impl Dataset {
             .expect("batch slice matches shape");
         (images, self.labels[start..start + len].to_vec())
     }
+
+    /// Extracts sample `index` as a single-image `[1, C, H, W]` tensor plus
+    /// its label — the request-construction hook used by the serving layer,
+    /// where every queue entry is one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn sample(&self, index: usize) -> (Tensor<f32>, usize) {
+        let (image, labels) = self.batch(index, 1);
+        (image, labels[0])
+    }
 }
 
 /// Per-epoch training record.

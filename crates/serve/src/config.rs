@@ -1,0 +1,276 @@
+//! Serving-side configuration: which NB-SMT design point a session runs at,
+//! and how the micro-batching scheduler coalesces requests.
+
+use nbsmt_core::policy::SharingPolicy;
+use nbsmt_core::ThreadCount;
+
+/// The NB-SMT design point a [`crate::session::Session`] executes at.
+///
+/// `Dense` is the conventional error-free 8-bit systolic array; `NbSmt`
+/// emulates a 1T/2T/4T SySMT with a sharing policy, exactly as the offline
+/// experiments do. Per-request configurations are expressed by compiling one
+/// session per design point and routing each request to the session it asked
+/// for — sessions are immutable and shareable, so this costs one compile per
+/// distinct configuration, not per request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SmtConfig {
+    /// Error-free 8-bit baseline (the conventional array).
+    Dense,
+    /// NB-SMT emulation at a thread count and sharing policy.
+    NbSmt {
+        /// Threads sharing each PE (1T/2T/4T).
+        threads: ThreadCount,
+        /// Sharing policy (which sparsity/width paths are tried first).
+        policy: SharingPolicy,
+        /// Whether the statistical column reordering of §IV-B is applied.
+        reorder: bool,
+        /// Keep the first compute layer at one thread, as the paper does.
+        first_layer_1t: bool,
+    },
+}
+
+impl SmtConfig {
+    /// The paper's 2T operating point: S+A policy, first layer at 1T.
+    pub fn sysmt_2t() -> Self {
+        SmtConfig::NbSmt {
+            threads: ThreadCount::Two,
+            policy: SharingPolicy::S_A,
+            reorder: false,
+            first_layer_1t: true,
+        }
+    }
+
+    /// The paper's 4T operating point: S+A policy, first layer at 1T.
+    pub fn sysmt_4t() -> Self {
+        SmtConfig::NbSmt {
+            threads: ThreadCount::Four,
+            policy: SharingPolicy::S_A,
+            reorder: false,
+            first_layer_1t: true,
+        }
+    }
+
+    /// Short label used in tables and record names (`dense`, `1t`, `2t`,
+    /// `4t`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SmtConfig::Dense => "dense",
+            SmtConfig::NbSmt { threads, .. } => match threads {
+                ThreadCount::One => "1t",
+                ThreadCount::Two => "2t",
+                ThreadCount::Four => "4t",
+            },
+        }
+    }
+
+    /// The modeled hardware speedup of this design point over the dense
+    /// array: a T-threaded SySMT retires a layer in 1/T of the baseline
+    /// cycles (§IV), so service time in the virtual-clock model divides by
+    /// this factor.
+    pub fn speedup(&self) -> u64 {
+        match self {
+            SmtConfig::Dense => 1,
+            SmtConfig::NbSmt { threads, .. } => threads.count() as u64,
+        }
+    }
+
+    /// A stable cache key distinguishing every field combination (used by
+    /// the registry's session cache).
+    pub fn cache_key(&self) -> String {
+        match self {
+            SmtConfig::Dense => "dense".to_string(),
+            SmtConfig::NbSmt {
+                threads,
+                policy,
+                reorder,
+                first_layer_1t,
+            } => format!(
+                "{}t-{}-r{}-f{}",
+                threads.count(),
+                policy.label(),
+                u8::from(*reorder),
+                u8::from(*first_layer_1t)
+            ),
+        }
+    }
+}
+
+/// How the scheduler coalesces queued requests into one execution batch.
+///
+/// A batch launches as soon as `max_batch` requests are waiting, or when the
+/// oldest queued request has waited `max_wait_ns`, whichever comes first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Largest batch the scheduler will form (`>= 1`).
+    pub max_batch: usize,
+    /// Longest the oldest request may wait before its batch launches
+    /// anyway, in nanoseconds.
+    pub max_wait_ns: u64,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 8,
+            max_wait_ns: 2_000_000, // 2 ms
+        }
+    }
+}
+
+/// Full scheduler configuration: the batching policy plus the admission
+/// bound of the request queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Batch coalescing policy.
+    pub batch: BatchPolicy,
+    /// Bounded-queue capacity. Submissions beyond it are rejected with
+    /// [`SubmitError::QueueFull`] so overload degrades by shedding load,
+    /// never by unbounded memory growth.
+    pub queue_capacity: usize,
+}
+
+impl SchedulerConfig {
+    /// Clamps the configuration to valid values: `max_batch >= 1` and
+    /// `queue_capacity >= max_batch` (a batch must be able to fit in the
+    /// queue).
+    pub fn normalized(mut self) -> Self {
+        self.batch.max_batch = self.batch.max_batch.max(1);
+        self.queue_capacity = self.queue_capacity.max(self.batch.max_batch);
+        self
+    }
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            batch: BatchPolicy::default(),
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Typed admission-control rejection returned by `submit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity; the request was shed.
+    QueueFull {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// The server is shutting down and accepts no new work.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "request rejected: queue at capacity {capacity}")
+            }
+            SubmitError::Closed => write!(f, "request rejected: server is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Errors raised while building or executing sessions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The registry has no model under the requested id.
+    UnknownModel(String),
+    /// A request's input does not match the session's expected shape.
+    BadRequest(String),
+    /// Model calibration or execution failed.
+    Model(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownModel(id) => write!(f, "unknown model '{id}'"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Model(msg) => write!(f, "model execution failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<nbsmt_nn::NnError> for ServeError {
+    fn from(e: nbsmt_nn::NnError) -> Self {
+        ServeError::Model(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_speedups() {
+        assert_eq!(SmtConfig::Dense.label(), "dense");
+        assert_eq!(SmtConfig::Dense.speedup(), 1);
+        assert_eq!(SmtConfig::sysmt_2t().label(), "2t");
+        assert_eq!(SmtConfig::sysmt_2t().speedup(), 2);
+        assert_eq!(SmtConfig::sysmt_4t().label(), "4t");
+        assert_eq!(SmtConfig::sysmt_4t().speedup(), 4);
+    }
+
+    #[test]
+    fn cache_keys_distinguish_configs() {
+        let keys = [
+            SmtConfig::Dense.cache_key(),
+            SmtConfig::sysmt_2t().cache_key(),
+            SmtConfig::sysmt_4t().cache_key(),
+            SmtConfig::NbSmt {
+                threads: ThreadCount::Two,
+                policy: SharingPolicy::S_A,
+                reorder: true,
+                first_layer_1t: true,
+            }
+            .cache_key(),
+        ];
+        for i in 0..keys.len() {
+            for j in 0..keys.len() {
+                if i != j {
+                    assert_ne!(keys[i], keys[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_config_normalizes() {
+        let cfg = SchedulerConfig {
+            batch: BatchPolicy {
+                max_batch: 0,
+                max_wait_ns: 0,
+            },
+            queue_capacity: 0,
+        }
+        .normalized();
+        assert_eq!(cfg.batch.max_batch, 1);
+        assert!(cfg.queue_capacity >= cfg.batch.max_batch);
+        let big = SchedulerConfig {
+            batch: BatchPolicy {
+                max_batch: 32,
+                max_wait_ns: 1,
+            },
+            queue_capacity: 4,
+        }
+        .normalized();
+        assert_eq!(big.queue_capacity, 32);
+    }
+
+    #[test]
+    fn error_displays() {
+        assert!(SubmitError::QueueFull { capacity: 8 }
+            .to_string()
+            .contains("capacity 8"));
+        assert!(SubmitError::Closed.to_string().contains("shut down"));
+        assert!(ServeError::UnknownModel("x".into())
+            .to_string()
+            .contains("'x'"));
+    }
+}

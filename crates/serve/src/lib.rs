@@ -1,0 +1,77 @@
+//! # nbsmt-serve
+//!
+//! The inference-serving layer of the NB-SMT / SySMT reproduction: it turns
+//! calibrated quantized models into long-lived, immutable [`Session`]s and
+//! absorbs concurrent request streams through a dynamic micro-batching
+//! scheduler with admission control — the piece that moves the repository
+//! from offline experiment reruns toward the ROADMAP's "serves heavy
+//! traffic" north star.
+//!
+//! The pipeline is `submit → bounded queue → batcher → session → response`:
+//!
+//! * [`registry::ModelRegistry`] calibrates registered models once and
+//!   compiles cached, `Arc`-shared [`Session`]s per NB-SMT design point
+//!   ([`config::SmtConfig`]: dense baseline or 1T/2T/4T SySMT with a sharing
+//!   policy). Requests pick their configuration by picking their session.
+//! * [`queue::BoundedQueue`] is the admission-control point: `submit` never
+//!   blocks and rejects with a typed [`config::SubmitError`] under overload.
+//! * The scheduler (threaded [`server::Server`], or the deterministic
+//!   virtual-clock [`sim::simulate`]) coalesces queued requests under a
+//!   `max_batch`/`max_wait` [`config::BatchPolicy`], executes the batch on an
+//!   `ExecContext`, and completes per-request
+//!   [`queue::ResponseHandle`]s.
+//! * [`metrics::ServeMetrics`] records throughput, a fixed-bucket latency
+//!   histogram (p50/p95/p99), the batch-size distribution, and queue depth.
+//!
+//! **Determinism contract.** Model outputs go through the execution layer of
+//! `nbsmt-tensor`, so logits are bit-identical for every host thread count
+//! and GEMM backend. The simulator additionally takes *time* from an integer
+//! [`sim::ServiceModel`] instead of the wall clock, making batch
+//! compositions, virtual latencies, and metrics bit-reproducible for a
+//! seeded arrival trace — `repro serve` and the scheduler tests run on this
+//! mode, the threaded server serves real traffic with the same policy code.
+//!
+//! ```
+//! use nbsmt_serve::prelude::*;
+//! use nbsmt_tensor::exec::ExecContext;
+//! use nbsmt_workloads::synthnet::quick_synthnet;
+//!
+//! let trained = quick_synthnet(5).expect("training succeeds");
+//! let mut registry = ModelRegistry::new();
+//! registry.register_synthnet("synthnet", &trained, 99).unwrap();
+//! let session = registry.compile("synthnet", SmtConfig::sysmt_2t()).unwrap();
+//!
+//! let (inputs, _) = trained.sample_requests(4, 100);
+//! let out = session
+//!     .infer_batch(&ExecContext::sequential(), &inputs)
+//!     .unwrap();
+//! assert_eq!(out.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod metrics;
+pub mod queue;
+pub mod registry;
+pub mod server;
+pub mod session;
+pub mod sim;
+
+pub use config::{BatchPolicy, SchedulerConfig, ServeError, SmtConfig, SubmitError};
+pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics};
+pub use registry::ModelRegistry;
+pub use server::{Client, RequestResult, Server};
+pub use session::{Inference, Session};
+pub use sim::{ArrivalProcess, BatchRecord, ServiceModel, SimOutcome};
+
+/// Convenience re-exports for serving code.
+pub mod prelude {
+    pub use crate::config::{BatchPolicy, SchedulerConfig, ServeError, SmtConfig, SubmitError};
+    pub use crate::metrics::MetricsSnapshot;
+    pub use crate::registry::ModelRegistry;
+    pub use crate::server::Server;
+    pub use crate::session::{Inference, Session};
+    pub use crate::sim::{simulate, ArrivalProcess, ServiceModel, SimOutcome};
+}

@@ -1,0 +1,246 @@
+//! Serving-grade metrics: a fixed-bucket latency histogram, batch-size
+//! distribution, queue-depth tracking, and completion/rejection counters.
+//!
+//! The histogram uses power-of-two nanosecond buckets (`[2^i, 2^{i+1})`),
+//! so recording is branch-free integer work and two runs that observe the
+//! same latencies produce identical state — quantile estimates are therefore
+//! deterministic, which the virtual-clock tests rely on.
+
+/// Number of power-of-two buckets: covers 1 ns up to ~2^48 ns (~3 days).
+const BUCKETS: usize = 48;
+
+/// Fixed-bucket latency histogram over nanoseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, ns: u64) {
+        let idx = (63 - ns.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Estimates the `q`-quantile (0 ≤ q ≤ 1) in nanoseconds by linear
+    /// interpolation inside the owning bucket. Returns 0 on an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lo = 1u64 << i;
+                let hi = lo << 1;
+                let into = (rank - seen) as f64 / c as f64;
+                return lo + ((hi - lo) as f64 * into) as u64;
+            }
+            seen += c;
+        }
+        1u64 << (BUCKETS - 1)
+    }
+}
+
+/// Aggregate serving metrics for one session / scheduler.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServeMetrics {
+    /// Per-request latency histogram (submit → response).
+    pub latency: LatencyHistogram,
+    /// `batch_sizes[s]` counts batches that launched with `s` requests.
+    pub batch_sizes: Vec<u64>,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub rejected: u64,
+    /// Deepest queue observed at batch-formation time.
+    pub max_queue_depth: usize,
+    /// Sum of queue depths sampled at batch-formation time (for the mean).
+    depth_sum: u64,
+}
+
+impl ServeMetrics {
+    /// Creates empty metrics.
+    pub fn new() -> Self {
+        ServeMetrics::default()
+    }
+
+    /// Records one completed request's latency.
+    pub fn record_latency(&mut self, ns: u64) {
+        self.latency.record(ns);
+        self.completed += 1;
+    }
+
+    /// Records one launched batch and the queue depth left behind it.
+    pub fn record_batch(&mut self, size: usize, queue_depth_after: usize) {
+        if self.batch_sizes.len() <= size {
+            self.batch_sizes.resize(size + 1, 0);
+        }
+        self.batch_sizes[size] += 1;
+        self.max_queue_depth = self.max_queue_depth.max(queue_depth_after + size);
+        self.depth_sum += (queue_depth_after + size) as u64;
+    }
+
+    /// Records one admission-control rejection.
+    pub fn record_rejected(&mut self) {
+        self.rejected += 1;
+    }
+
+    /// Number of batches launched.
+    pub fn batches(&self) -> u64 {
+        self.batch_sizes.iter().sum()
+    }
+
+    /// Mean batch size over all launched batches (0 when none launched).
+    pub fn mean_batch_size(&self) -> f64 {
+        let batches = self.batches();
+        if batches == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .batch_sizes
+            .iter()
+            .enumerate()
+            .map(|(size, &count)| size as u64 * count)
+            .sum();
+        weighted as f64 / batches as f64
+    }
+
+    /// Freezes a snapshot, deriving throughput from `elapsed_ns` (wall clock
+    /// for the threaded server, virtual makespan for the simulator).
+    pub fn snapshot(&self, elapsed_ns: u64) -> MetricsSnapshot {
+        MetricsSnapshot {
+            completed: self.completed,
+            rejected: self.rejected,
+            batches: self.batches(),
+            mean_batch_size: self.mean_batch_size(),
+            max_queue_depth: self.max_queue_depth,
+            p50_ns: self.latency.quantile(0.50),
+            p95_ns: self.latency.quantile(0.95),
+            p99_ns: self.latency.quantile(0.99),
+            throughput_rps: if elapsed_ns == 0 {
+                0.0
+            } else {
+                self.completed as f64 * 1e9 / elapsed_ns as f64
+            },
+            elapsed_ns,
+        }
+    }
+}
+
+/// A frozen view of [`ServeMetrics`] with derived quantiles and throughput.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub rejected: u64,
+    /// Batches launched.
+    pub batches: u64,
+    /// Mean launched batch size.
+    pub mean_batch_size: f64,
+    /// Deepest queue observed at batch-formation time.
+    pub max_queue_depth: usize,
+    /// Median latency estimate [ns].
+    pub p50_ns: u64,
+    /// 95th-percentile latency estimate [ns].
+    pub p95_ns: u64,
+    /// 99th-percentile latency estimate [ns].
+    pub p99_ns: u64,
+    /// Completed requests per second over the observation window.
+    pub throughput_rps: f64,
+    /// The observation window [ns].
+    pub elapsed_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bucketed() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for ns in [100u64, 200, 400, 800, 1600, 3200, 6400, 12800, 25600, 51200] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile(0.5);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // p50 of the ten samples above lands in the bucket of 800–1600.
+        assert!((512..4096).contains(&p50), "p50 {p50}");
+        assert!(p99 >= 32768, "p99 {p99}");
+    }
+
+    #[test]
+    fn histogram_is_deterministic_across_insertion_order() {
+        let samples = [5u64, 9000, 23, 77777, 1, 4096, 4097];
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for &s in &samples {
+            a.record(s);
+        }
+        for &s in samples.iter().rev() {
+            b.record(s);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extreme_latencies_clamp_into_last_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(0); // clamped to the 1 ns bucket
+        h.record(u64::MAX); // clamped to the final bucket
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) >= 1u64 << (BUCKETS - 1));
+    }
+
+    #[test]
+    fn metrics_aggregate_batches_and_latencies() {
+        let mut m = ServeMetrics::new();
+        m.record_batch(4, 2);
+        m.record_batch(8, 0);
+        m.record_batch(4, 1);
+        for _ in 0..16 {
+            m.record_latency(1_000_000);
+        }
+        m.record_rejected();
+        assert_eq!(m.batches(), 3);
+        assert!((m.mean_batch_size() - 16.0 / 3.0).abs() < 1e-9);
+        assert_eq!(m.max_queue_depth, 8);
+        let snap = m.snapshot(1_000_000_000);
+        assert_eq!(snap.completed, 16);
+        assert_eq!(snap.rejected, 1);
+        assert!((snap.throughput_rps - 16.0).abs() < 1e-9);
+        assert!(snap.p50_ns >= 524_288 && snap.p50_ns <= 2_097_152);
+        assert_eq!(m.snapshot(0).throughput_rps, 0.0);
+    }
+}

@@ -1,0 +1,353 @@
+//! Bounded MPSC request queue and one-shot response handles.
+//!
+//! The queue is the admission-control point of the serving layer: `try_push`
+//! never blocks and rejects with a typed error when the bound is hit, so
+//! overload sheds load instead of growing memory. The scheduler side blocks
+//! on `pop_blocking` / `pop_deadline` (the deadline variant implements the
+//! `max_wait` half of the batching policy).
+//!
+//! [`response_channel`] is the one-shot completion primitive: the scheduler
+//! keeps the [`ResponseSlot`], the client keeps the [`ResponseHandle`] and
+//! blocks on `wait`. Dropping an uncompleted slot cancels the handle rather
+//! than deadlocking it.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::config::SubmitError;
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer single-consumer queue with typed rejection.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue bounded at `capacity` (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking admission: enqueues `item` or rejects it.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] at capacity, [`SubmitError::Closed`] after
+    /// [`Self::close`].
+    pub fn try_push(&self, item: T) -> Result<(), SubmitError> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(SubmitError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained; `None` signals shutdown.
+    pub fn pop_blocking(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Blocks until an item is available, the queue closes, or `deadline`
+    /// passes — the batching scheduler's `max_wait` primitive.
+    pub fn pop_deadline(&self, deadline: Instant) -> PopResult<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return PopResult::Item(item);
+            }
+            if state.closed {
+                return PopResult::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return PopResult::TimedOut;
+            }
+            let (next, timeout) = self
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .expect("queue lock");
+            state = next;
+            if timeout.timed_out() && state.items.is_empty() {
+                return if state.closed {
+                    PopResult::Closed
+                } else {
+                    PopResult::TimedOut
+                };
+            }
+        }
+    }
+
+    /// Drains up to `max` queued items in one lock without waiting — the
+    /// scheduler claims everything already queued behind a batch's first
+    /// request this way before falling back to deadline-bounded pops.
+    pub fn drain_up_to(&self, max: usize) -> Vec<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        let take = state.items.len().min(max);
+        state.items.drain(..take).collect()
+    }
+
+    /// Closes the queue: future pushes are rejected, blocked pops drain the
+    /// remaining items and then observe shutdown.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Whether [`Self::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock").closed
+    }
+}
+
+/// Outcome of a deadline-bounded pop.
+#[derive(Debug)]
+pub enum PopResult<T> {
+    /// An item arrived before the deadline.
+    Item(T),
+    /// The deadline passed with the queue empty.
+    TimedOut,
+    /// The queue is closed and drained.
+    Closed,
+}
+
+struct SlotState<T> {
+    value: Option<T>,
+    cancelled: bool,
+}
+
+struct SlotInner<T> {
+    state: Mutex<SlotState<T>>,
+    ready: Condvar,
+}
+
+/// Scheduler-side completion half of a one-shot response channel.
+pub struct ResponseSlot<T> {
+    inner: Arc<SlotInner<T>>,
+    completed: bool,
+}
+
+/// Client-side waiting half of a one-shot response channel.
+pub struct ResponseHandle<T> {
+    inner: Arc<SlotInner<T>>,
+}
+
+/// The request was dropped before a response was produced (scheduler
+/// shutdown mid-flight).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "request cancelled before completion")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+/// Creates a linked one-shot `(completer, waiter)` pair.
+pub fn response_channel<T>() -> (ResponseSlot<T>, ResponseHandle<T>) {
+    let inner = Arc::new(SlotInner {
+        state: Mutex::new(SlotState {
+            value: None,
+            cancelled: false,
+        }),
+        ready: Condvar::new(),
+    });
+    (
+        ResponseSlot {
+            inner: Arc::clone(&inner),
+            completed: false,
+        },
+        ResponseHandle { inner },
+    )
+}
+
+impl<T> ResponseSlot<T> {
+    /// Delivers the response and wakes the waiter.
+    pub fn complete(mut self, value: T) {
+        {
+            let mut state = self.inner.state.lock().expect("slot lock");
+            state.value = Some(value);
+        }
+        self.completed = true;
+        self.inner.ready.notify_all();
+    }
+}
+
+impl<T> Drop for ResponseSlot<T> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.inner.state.lock().expect("slot lock").cancelled = true;
+            self.inner.ready.notify_all();
+        }
+    }
+}
+
+impl<T> ResponseHandle<T> {
+    /// Blocks until the response is delivered (or the request is cancelled).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] when the scheduler dropped the request without
+    /// completing it.
+    pub fn wait(self) -> Result<T, Cancelled> {
+        let mut state = self.inner.state.lock().expect("slot lock");
+        loop {
+            if let Some(value) = state.value.take() {
+                return Ok(value);
+            }
+            if state.cancelled {
+                return Err(Cancelled);
+            }
+            state = self.inner.ready.wait(state).expect("slot lock");
+        }
+    }
+
+    /// Non-blocking probe: consumes the handle and returns the response if
+    /// it is already available, or hands the handle back to keep waiting.
+    /// (Consuming `self` is what makes "took the value, then blocked on
+    /// `wait` forever" unrepresentable.)
+    ///
+    /// # Errors
+    ///
+    /// Returns the handle itself when no response has been delivered yet.
+    pub fn try_take(self) -> Result<T, Self> {
+        let value = self.inner.state.lock().expect("slot lock").value.take();
+        match value {
+            Some(v) => Ok(v),
+            None => Err(self),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn push_pop_and_capacity_reject() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.capacity(), 2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(SubmitError::QueueFull { capacity: 2 }));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_blocking(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.drain_up_to(8), vec![2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_rejects_pushes_and_drains_pops() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.try_push(8), Err(SubmitError::Closed));
+        assert_eq!(q.pop_blocking(), Some(7));
+        assert_eq!(q.pop_blocking(), None);
+    }
+
+    #[test]
+    fn pop_deadline_times_out_and_receives() {
+        let q = BoundedQueue::new(4);
+        let deadline = Instant::now() + Duration::from_millis(5);
+        assert!(matches!(q.pop_deadline(deadline), PopResult::TimedOut));
+        q.try_push(1).unwrap();
+        let deadline = Instant::now() + Duration::from_millis(50);
+        assert!(matches!(q.pop_deadline(deadline), PopResult::Item(1)));
+        q.close();
+        assert!(matches!(
+            q.pop_deadline(Instant::now() + Duration::from_millis(5)),
+            PopResult::Closed
+        ));
+    }
+
+    #[test]
+    fn cross_thread_pop_wakes() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let producer = Arc::clone(&q);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            producer.try_push(42).unwrap();
+        });
+        assert_eq!(q.pop_blocking(), Some(42));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn response_channel_completes_and_cancels() {
+        let (slot, handle) = response_channel::<u32>();
+        slot.complete(5);
+        assert_eq!(handle.wait(), Ok(5));
+
+        let (slot, handle) = response_channel::<u32>();
+        let handle = handle.try_take().expect_err("no response delivered yet");
+        drop(slot);
+        assert_eq!(handle.wait(), Err(Cancelled));
+
+        let (slot, handle) = response_channel::<u32>();
+        slot.complete(9);
+        assert_eq!(handle.try_take().ok(), Some(9));
+    }
+
+    #[test]
+    fn response_channel_cross_thread() {
+        let (slot, handle) = response_channel::<String>();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            slot.complete("done".to_string());
+        });
+        assert_eq!(handle.wait().unwrap(), "done");
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,158 @@
+//! The model registry: trained models in, immutable shared sessions out.
+//!
+//! Registration calibrates the quantized model once (the paper's quick
+//! statistics-gathering run); compiling a session then only freezes a design
+//! point around the already-calibrated weights, so serving many NB-SMT
+//! configurations of one model costs one calibration total. Compiled
+//! sessions are cached by `(model, SmtConfig)` and handed out as `Arc`s.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use nbsmt_nn::model::Model;
+use nbsmt_nn::quantized::QuantizedModel;
+use nbsmt_tensor::tensor::Tensor;
+use nbsmt_workloads::synthnet::TrainedSynthNet;
+
+use crate::config::{ServeError, SmtConfig};
+use crate::session::Session;
+
+/// A registered model: calibrated weights plus the request geometry.
+#[derive(Debug, Clone)]
+struct RegisteredModel {
+    quantized: QuantizedModel,
+    input_dims: [usize; 3],
+}
+
+/// Compiles and caches [`Session`]s from registered models.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: HashMap<String, RegisteredModel>,
+    sessions: Mutex<HashMap<(String, String), Arc<Session>>>,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ModelRegistry::default()
+    }
+
+    /// Registers a trained float model, calibrating it on
+    /// `calibration_inputs`. `input_dims` is the per-sample
+    /// `(channels, height, width)` request shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration failures.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        model: &Model,
+        calibration_inputs: &[Tensor<f32>],
+        input_dims: [usize; 3],
+    ) -> Result<(), ServeError> {
+        let quantized = QuantizedModel::calibrate(model, calibration_inputs)?;
+        self.models.insert(
+            name.into(),
+            RegisteredModel {
+                quantized,
+                input_dims,
+            },
+        );
+        Ok(())
+    }
+
+    /// Registers a [`TrainedSynthNet`], deriving the calibration batch and
+    /// request shape from its task (the session-construction hook used by
+    /// `repro serve` and the tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration failures.
+    pub fn register_synthnet(
+        &mut self,
+        name: impl Into<String>,
+        trained: &TrainedSynthNet,
+        calib_seed: u64,
+    ) -> Result<(), ServeError> {
+        let calib = trained.calibration_inputs(8, calib_seed);
+        let s = trained.task.image_size;
+        self.register(name, &trained.model, &[calib], [1, s, s])
+    }
+
+    /// Registered model ids, sorted.
+    pub fn model_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.models.keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Compiles (or fetches from cache) the session for `(name, smt)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] for unregistered ids and
+    /// propagates compile failures.
+    pub fn compile(&self, name: &str, smt: SmtConfig) -> Result<Arc<Session>, ServeError> {
+        let key = (name.to_string(), smt.cache_key());
+        if let Some(hit) = self
+            .sessions
+            .lock()
+            .expect("session cache lock")
+            .get(&key)
+            .cloned()
+        {
+            return Ok(hit);
+        }
+        let registered = self
+            .models
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
+        let session = Arc::new(Session::new(
+            name,
+            registered.quantized.clone(),
+            smt,
+            registered.input_dims,
+        )?);
+        self.sessions
+            .lock()
+            .expect("session cache lock")
+            .insert(key, Arc::clone(&session));
+        Ok(session)
+    }
+
+    /// Number of cached compiled sessions.
+    pub fn compiled_count(&self) -> usize {
+        self.sessions.lock().expect("session cache lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbsmt_workloads::synthnet::quick_synthnet;
+
+    #[test]
+    fn registry_compiles_and_caches_sessions() {
+        let trained = quick_synthnet(13).expect("training succeeds");
+        let mut registry = ModelRegistry::new();
+        registry
+            .register_synthnet("synthnet", &trained, 404)
+            .unwrap();
+        assert_eq!(registry.model_ids(), vec!["synthnet".to_string()]);
+
+        let a = registry.compile("synthnet", SmtConfig::Dense).unwrap();
+        let b = registry.compile("synthnet", SmtConfig::Dense).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same config must hit the cache");
+        assert_eq!(registry.compiled_count(), 1);
+
+        let c = registry.compile("synthnet", SmtConfig::sysmt_2t()).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(registry.compiled_count(), 2);
+
+        assert!(matches!(
+            registry.compile("nope", SmtConfig::Dense),
+            Err(ServeError::UnknownModel(_))
+        ));
+    }
+}

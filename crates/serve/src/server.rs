@@ -1,0 +1,306 @@
+//! The long-lived threaded server: bounded queue → micro-batching scheduler
+//! → session, on the real clock.
+//!
+//! One scheduler thread owns the batch loop: it blocks for the first queued
+//! request, keeps the batch open until `max_batch` requests arrived or the
+//! first request has waited `max_wait_ns`, executes the coalesced batch on
+//! the session, and completes every request's [`ResponseHandle`]. Admission
+//! control is the bounded queue itself — `submit` never blocks and returns a
+//! typed [`SubmitError`] under overload.
+//!
+//! For deterministic, replayable scheduling (tests, the `repro serve`
+//! sweep), use the virtual-clock simulator in [`crate::sim`] instead: it
+//! runs the same policy arithmetic without real-time jitter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use nbsmt_tensor::exec::ExecContext;
+use nbsmt_tensor::tensor::Tensor;
+
+use crate::config::{SchedulerConfig, ServeError, SubmitError};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::queue::{response_channel, BoundedQueue, PopResult, ResponseHandle, ResponseSlot};
+use crate::session::{Inference, Session};
+
+/// Result delivered to each request's [`ResponseHandle`].
+pub type RequestResult = Result<Inference, ServeError>;
+
+struct QueuedRequest {
+    input: Tensor<f32>,
+    submitted: Instant,
+    slot: ResponseSlot<RequestResult>,
+}
+
+/// A running serving instance for one session.
+pub struct Server {
+    queue: Arc<BoundedQueue<QueuedRequest>>,
+    rejected: Arc<AtomicU64>,
+    worker: Option<JoinHandle<ServeMetrics>>,
+    started: Instant,
+}
+
+/// Cheap cloneable submission handle.
+#[derive(Clone)]
+pub struct Client {
+    queue: Arc<BoundedQueue<QueuedRequest>>,
+    rejected: Arc<AtomicU64>,
+}
+
+impl Client {
+    /// Submits one request; returns immediately with a waitable handle.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] under overload, [`SubmitError::Closed`]
+    /// after shutdown began.
+    pub fn submit(&self, input: Tensor<f32>) -> Result<ResponseHandle<RequestResult>, SubmitError> {
+        let (slot, handle) = response_channel();
+        let queued = QueuedRequest {
+            input,
+            submitted: Instant::now(),
+            slot,
+        };
+        match self.queue.try_push(queued) {
+            Ok(()) => Ok(handle),
+            Err(e) => {
+                // Only admission-control rejections count as shed load; a
+                // submit racing shutdown (`Closed`) was never offered to the
+                // queue bound.
+                if matches!(e, SubmitError::QueueFull { .. }) {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+impl Server {
+    /// Starts a server: spawns the scheduler thread over `session`,
+    /// executing batches on `ctx`.
+    pub fn start(session: Arc<Session>, config: SchedulerConfig, ctx: ExecContext) -> Server {
+        let config = config.normalized();
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let worker_queue = Arc::clone(&queue);
+        let worker = std::thread::Builder::new()
+            .name(format!("nbsmt-serve-{}", session.name()))
+            .spawn(move || scheduler_loop(&worker_queue, &session, &config, &ctx))
+            .expect("spawning the scheduler thread succeeds");
+        Server {
+            queue,
+            rejected: Arc::new(AtomicU64::new(0)),
+            worker: Some(worker),
+            started: Instant::now(),
+        }
+    }
+
+    /// A new submission handle.
+    pub fn client(&self) -> Client {
+        Client {
+            queue: Arc::clone(&self.queue),
+            rejected: Arc::clone(&self.rejected),
+        }
+    }
+
+    /// Current queue depth (approximate under concurrency).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stops accepting work, drains the queue, joins the scheduler, and
+    /// returns the final metrics snapshot (wall-clock window).
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.queue.close();
+        let mut metrics = self
+            .worker
+            .take()
+            .expect("worker present until shutdown")
+            .join()
+            .expect("scheduler thread exits cleanly");
+        metrics.rejected += self.rejected.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        metrics.snapshot(elapsed)
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.queue.close();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn scheduler_loop(
+    queue: &BoundedQueue<QueuedRequest>,
+    session: &Session,
+    config: &SchedulerConfig,
+    ctx: &ExecContext,
+) -> ServeMetrics {
+    let mut metrics = ServeMetrics::new();
+    let max_batch = config.batch.max_batch;
+    let max_wait = Duration::from_nanos(config.batch.max_wait_ns);
+    while let Some(first) = queue.pop_blocking() {
+        // Keep the batch open until it fills or the first request's wait
+        // budget is spent. Requests already queued behind `first` are
+        // claimed in one lock; only the remainder waits on the deadline.
+        let deadline = first.submitted + max_wait;
+        let mut batch = vec![first];
+        batch.extend(queue.drain_up_to(max_batch - batch.len()));
+        while batch.len() < max_batch {
+            match queue.pop_deadline(deadline) {
+                PopResult::Item(item) => batch.push(item),
+                PopResult::TimedOut | PopResult::Closed => break,
+            }
+        }
+        metrics.record_batch(batch.len(), queue.len());
+        execute_batch(session, ctx, batch, &mut metrics);
+    }
+    metrics
+}
+
+fn execute_batch(
+    session: &Session,
+    ctx: &ExecContext,
+    batch: Vec<QueuedRequest>,
+    metrics: &mut ServeMetrics,
+) {
+    let inputs: Vec<&Tensor<f32>> = batch.iter().map(|r| &r.input).collect();
+    match session.infer_batch_refs(ctx, &inputs) {
+        Ok(responses) => {
+            let done = Instant::now();
+            for (request, response) in batch.into_iter().zip(responses) {
+                let latency = done
+                    .saturating_duration_since(request.submitted)
+                    .as_nanos()
+                    .min(u128::from(u64::MAX)) as u64;
+                metrics.record_latency(latency);
+                request.slot.complete(Ok(response));
+            }
+        }
+        Err(e) => {
+            // A malformed request poisons only its own batch; every member
+            // learns the error and the server keeps serving.
+            for request in batch {
+                request.slot.complete(Err(e.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BatchPolicy, SmtConfig};
+    use crate::session::compile_session;
+    use nbsmt_workloads::synthnet::quick_synthnet;
+
+    fn test_session() -> (Arc<Session>, Vec<Tensor<f32>>) {
+        let trained = quick_synthnet(19).expect("training succeeds");
+        let calib = trained.calibration_inputs(8, 900);
+        let s = trained.task.image_size;
+        let session = compile_session(
+            "synthnet",
+            &trained.model,
+            &[calib],
+            SmtConfig::sysmt_2t(),
+            [1, s, s],
+        )
+        .unwrap();
+        let (inputs, _) = trained.sample_requests(16, 901);
+        (Arc::new(session), inputs)
+    }
+
+    #[test]
+    fn serves_requests_end_to_end() {
+        let (session, inputs) = test_session();
+        let server = Server::start(
+            session,
+            SchedulerConfig {
+                batch: BatchPolicy {
+                    max_batch: 4,
+                    max_wait_ns: 1_000_000,
+                },
+                queue_capacity: 32,
+            },
+            ExecContext::sequential(),
+        );
+        let client = server.client();
+        let handles: Vec<_> = inputs
+            .iter()
+            .map(|i| client.submit(i.clone()).expect("queue has room"))
+            .collect();
+        for handle in handles {
+            let inference = handle
+                .wait()
+                .expect("not cancelled")
+                .expect("no model error");
+            assert!(!inference.logits.is_empty());
+        }
+        let snapshot = server.shutdown();
+        assert_eq!(snapshot.completed, 16);
+        assert_eq!(snapshot.rejected, 0);
+        assert!(snapshot.batches >= 4, "max_batch 4 ⇒ at least 4 batches");
+        assert!(snapshot.p99_ns >= snapshot.p50_ns);
+        assert!(snapshot.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn overload_rejects_with_typed_error() {
+        let (session, inputs) = test_session();
+        let server = Server::start(
+            session,
+            SchedulerConfig {
+                batch: BatchPolicy {
+                    max_batch: 1,
+                    max_wait_ns: 0,
+                },
+                queue_capacity: 1,
+            },
+            ExecContext::sequential(),
+        );
+        let client = server.client();
+        let mut accepted = Vec::new();
+        let mut rejected = 0usize;
+        // Burst far past the queue bound; some must shed.
+        for _ in 0..20 {
+            for input in &inputs {
+                match client.submit(input.clone()) {
+                    Ok(h) => accepted.push(h),
+                    Err(SubmitError::QueueFull { capacity }) => {
+                        assert_eq!(capacity, 1);
+                        rejected += 1;
+                    }
+                    Err(SubmitError::Closed) => unreachable!("server is running"),
+                }
+            }
+        }
+        for handle in accepted {
+            let _ = handle.wait().expect("accepted requests complete");
+        }
+        let snapshot = server.shutdown();
+        assert!(rejected > 0, "burst must overflow a capacity-1 queue");
+        assert_eq!(snapshot.rejected, rejected as u64);
+        assert!(snapshot.completed >= 1);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_closed() {
+        let (session, inputs) = test_session();
+        let server = Server::start(
+            session,
+            SchedulerConfig::default(),
+            ExecContext::sequential(),
+        );
+        let client = server.client();
+        let _ = server.shutdown();
+        assert_eq!(
+            client.submit(inputs[0].clone()).map(|_| ()),
+            Err(SubmitError::Closed)
+        );
+    }
+}

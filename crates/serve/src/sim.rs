@@ -1,0 +1,544 @@
+//! Deterministic virtual-clock serving simulator.
+//!
+//! Replays the exact micro-batching policy of the threaded server —
+//! bounded-queue admission, `max_batch`/`max_wait` coalescing, serial batch
+//! execution — as a discrete-event simulation over integer nanoseconds. The
+//! model outputs are computed for real on an [`ExecContext`] (bit-identical
+//! across host thread counts by the execution layer's contract), while
+//! *time* comes from a [`ServiceModel`] instead of the wall clock, so two
+//! runs of the same seeded trace produce identical batch compositions,
+//! latencies, and metrics — on any machine, at any host thread count.
+//!
+//! Two arrival models are supported, matching the `nbsmt-bench` load
+//! generator: **open loop** (a pre-generated arrival trace, e.g. Poisson)
+//! and **closed loop** (N clients that submit, wait for the response, think,
+//! and submit again — arrivals emerge from completions).
+
+use std::collections::VecDeque;
+
+use nbsmt_tensor::exec::ExecContext;
+use nbsmt_tensor::tensor::Tensor;
+
+use crate::config::{SchedulerConfig, ServeError};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::session::{Inference, Session};
+
+/// Deterministic service-time model for the virtual clock.
+///
+/// A batch of `B` requests costs
+/// `batch_overhead_ns + B * macs_per_sample * ns_per_mac_x1024 / 1024 /
+/// speedup` nanoseconds, where `speedup` is the session's SMT design-point
+/// speedup (1 for dense, T for a T-threaded SySMT). All integer arithmetic —
+/// no floats, no platform-dependent rounding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceModel {
+    /// Nanoseconds per dense MAC, scaled by 1024 (1024 = 1 ns/MAC).
+    pub ns_per_mac_x1024: u64,
+    /// Fixed per-batch launch cost in nanoseconds.
+    pub batch_overhead_ns: u64,
+}
+
+impl Default for ServiceModel {
+    fn default() -> Self {
+        ServiceModel {
+            // 2 ns per dense MAC (0.5 GMAC/s): a deliberately modest host
+            // so quick-scale sweeps show real queueing behaviour.
+            ns_per_mac_x1024: 2048,
+            batch_overhead_ns: 20_000,
+        }
+    }
+}
+
+impl ServiceModel {
+    /// Virtual service time of a batch of `batch` requests on `session`.
+    pub fn service_ns(&self, session: &Session, batch: usize) -> u64 {
+        let macs = session.macs_per_sample() as u128 * batch as u128;
+        let work = macs * self.ns_per_mac_x1024 as u128 / 1024 / session.smt().speedup() as u128;
+        self.batch_overhead_ns + work.min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Service time of a single request (the natural unit for choosing
+    /// offered loads relative to capacity).
+    pub fn single_ns(&self, session: &Session) -> u64 {
+        self.service_ns(session, 1)
+    }
+}
+
+/// How requests arrive at the simulated server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Open loop: a fixed trace of arrival times (ns, ascending). Request
+    /// `i` uses input `i % inputs.len()`.
+    Open {
+        /// Ascending arrival timestamps in virtual nanoseconds.
+        arrivals_ns: Vec<u64>,
+    },
+    /// Closed loop: `clients` clients each submit at `t = 0`, wait for
+    /// their response, think, and submit again until `total_requests` have
+    /// been issued overall. The queue bound is raised to at least `clients`
+    /// for the run — each client holds at most one slot, so a smaller bound
+    /// would permanently orphan the shed clients.
+    Closed {
+        /// Number of concurrent clients.
+        clients: usize,
+        /// Think time between receiving a response and the next submit.
+        think_ns: u64,
+        /// Total requests to issue across all clients.
+        total_requests: usize,
+    },
+}
+
+/// One launched batch in the simulated schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRecord {
+    /// Virtual launch time [ns].
+    pub launch_ns: u64,
+    /// Virtual completion time [ns].
+    pub finish_ns: u64,
+    /// Request ids coalesced into this batch, in queue order.
+    pub request_ids: Vec<u64>,
+    /// Queue depth left behind after the batch was drained.
+    pub queue_depth_after: usize,
+}
+
+/// The full, deterministic outcome of a simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// `(request id, inference)` for every completed request, in completion
+    /// order.
+    pub responses: Vec<(u64, Inference)>,
+    /// Ids shed by admission control, in arrival order.
+    pub rejected_ids: Vec<u64>,
+    /// Every launched batch, in launch order.
+    pub batches: Vec<BatchRecord>,
+    /// Metrics snapshot over the virtual makespan.
+    pub metrics: MetricsSnapshot,
+    /// Virtual time at which the last batch finished [ns].
+    pub makespan_ns: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingArrival {
+    id: u64,
+    time_ns: u64,
+    input_index: usize,
+    client: usize,
+}
+
+/// Runs the simulation: `inputs` is the request-input pool, `arrivals`
+/// the arrival process, `scheduler` the batching/admission policy, and
+/// `service` the virtual-clock cost model. Model outputs are computed for
+/// real on `ctx`.
+///
+/// # Errors
+///
+/// Propagates session-execution failures; rejects an empty input pool or an
+/// unsorted open-loop trace as [`ServeError::BadRequest`].
+pub fn simulate(
+    session: &Session,
+    ctx: &ExecContext,
+    inputs: &[Tensor<f32>],
+    arrivals: &ArrivalProcess,
+    scheduler: SchedulerConfig,
+    service: ServiceModel,
+) -> Result<SimOutcome, ServeError> {
+    if inputs.is_empty() {
+        return Err(ServeError::BadRequest("empty request-input pool".into()));
+    }
+    let scheduler = scheduler.normalized();
+    let max_batch = scheduler.batch.max_batch;
+    let max_wait = scheduler.batch.max_wait_ns;
+    let mut capacity = scheduler.queue_capacity;
+    if let ArrivalProcess::Closed { clients, .. } = arrivals {
+        // Closed loop: each client has at most one request in flight, so a
+        // queue bound below the population would orphan clients forever (a
+        // shed submission is never retried — the client simply dies). Raise
+        // the bound to the client count: admission control is an open-loop
+        // concern; a closed loop self-regulates by construction.
+        capacity = capacity.max(*clients);
+    }
+
+    // Pending arrivals, always sorted by (time, id). Open loop prefills the
+    // whole trace; closed loop seeds one submission per client and grows on
+    // completions.
+    let mut pending: VecDeque<PendingArrival> = VecDeque::new();
+    let mut next_id = 0u64;
+    let mut remaining_closed = 0usize;
+    let think_ns = match arrivals {
+        ArrivalProcess::Open { arrivals_ns } => {
+            if arrivals_ns.windows(2).any(|w| w[0] > w[1]) {
+                return Err(ServeError::BadRequest(
+                    "open-loop arrival trace must be ascending".into(),
+                ));
+            }
+            for &t in arrivals_ns {
+                pending.push_back(PendingArrival {
+                    id: next_id,
+                    time_ns: t,
+                    input_index: next_id as usize % inputs.len(),
+                    client: 0,
+                });
+                next_id += 1;
+            }
+            0
+        }
+        ArrivalProcess::Closed {
+            clients,
+            think_ns,
+            total_requests,
+        } => {
+            let clients = (*clients).max(1).min(*total_requests);
+            remaining_closed = total_requests.saturating_sub(clients);
+            for c in 0..clients {
+                pending.push_back(PendingArrival {
+                    id: next_id,
+                    time_ns: 0,
+                    input_index: next_id as usize % inputs.len(),
+                    client: c,
+                });
+                next_id += 1;
+            }
+            *think_ns
+        }
+    };
+
+    let mut queue: VecDeque<PendingArrival> = VecDeque::new();
+    let mut metrics = ServeMetrics::new();
+    let mut responses = Vec::new();
+    let mut rejected_ids = Vec::new();
+    let mut batches = Vec::new();
+    let mut t_free = 0u64;
+
+    while !pending.is_empty() || !queue.is_empty() {
+        if queue.is_empty() {
+            // Worker idle: fast-forward to the next arrival (always admitted
+            // into an empty queue).
+            let first = pending.pop_front().expect("pending nonempty");
+            queue.push_back(first);
+        }
+        let oldest = queue.front().expect("queue nonempty").time_ns;
+        // The worker can launch from `open`; the batch closes at `close`
+        // unless it fills earlier (mirrors the threaded scheduler's
+        // first-request-anchored deadline).
+        let open = t_free.max(oldest);
+        let close = open.max(oldest.saturating_add(max_wait));
+
+        // Phase 1 — decide the launch instant without mutating state: the
+        // earliest time >= `open` at which max_batch requests are queued, or
+        // `close`.
+        let mut launch = close;
+        {
+            let mut len = queue.len();
+            if len >= max_batch {
+                launch = open;
+            } else {
+                for arrival in pending.iter() {
+                    if arrival.time_ns > close {
+                        break;
+                    }
+                    if len < capacity {
+                        len += 1;
+                    }
+                    if len >= max_batch {
+                        launch = open.max(arrival.time_ns);
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Phase 2 — replay admission for every arrival up to `launch`
+        // against the bounded queue.
+        while let Some(arrival) = pending.front().copied() {
+            if arrival.time_ns > launch {
+                break;
+            }
+            pending.pop_front();
+            if queue.len() < capacity {
+                queue.push_back(arrival);
+            } else {
+                rejected_ids.push(arrival.id);
+                metrics.record_rejected();
+            }
+        }
+
+        // Drain and execute the batch.
+        let take = queue.len().min(max_batch);
+        let batch: Vec<PendingArrival> = queue.drain(..take).collect();
+        let batch_inputs: Vec<&Tensor<f32>> =
+            batch.iter().map(|r| &inputs[r.input_index]).collect();
+        let outputs = session.infer_batch_refs(ctx, &batch_inputs)?;
+        let finish = launch.saturating_add(service.service_ns(session, batch.len()));
+        metrics.record_batch(batch.len(), queue.len());
+        for (request, inference) in batch.iter().zip(outputs) {
+            metrics.record_latency(finish.saturating_sub(request.time_ns));
+            responses.push((request.id, inference));
+        }
+        batches.push(BatchRecord {
+            launch_ns: launch,
+            finish_ns: finish,
+            request_ids: batch.iter().map(|r| r.id).collect(),
+            queue_depth_after: queue.len(),
+        });
+        t_free = finish;
+
+        // Closed loop: each completed client thinks, then submits again
+        // (completions are strictly after `launch`, so these arrivals can
+        // never belong to the batch that produced them).
+        if remaining_closed > 0 {
+            for request in &batch {
+                if remaining_closed == 0 {
+                    break;
+                }
+                remaining_closed -= 1;
+                let arrival = PendingArrival {
+                    id: next_id,
+                    time_ns: finish.saturating_add(think_ns),
+                    input_index: next_id as usize % inputs.len(),
+                    client: request.client,
+                };
+                next_id += 1;
+                // Keep `pending` sorted by (time, id); completions share one
+                // finish time so a linear scan from the back is cheap.
+                let pos = pending
+                    .iter()
+                    .rposition(|p| (p.time_ns, p.id) <= (arrival.time_ns, arrival.id))
+                    .map(|p| p + 1)
+                    .unwrap_or(0);
+                pending.insert(pos, arrival);
+            }
+        }
+    }
+
+    let makespan_ns = t_free;
+    Ok(SimOutcome {
+        responses,
+        rejected_ids,
+        batches,
+        metrics: metrics.snapshot(makespan_ns),
+        makespan_ns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BatchPolicy, SmtConfig};
+    use crate::session::compile_session;
+    use nbsmt_workloads::synthnet::quick_synthnet;
+
+    fn test_setup() -> (Session, Vec<Tensor<f32>>) {
+        let trained = quick_synthnet(23).expect("training succeeds");
+        let calib = trained.calibration_inputs(8, 301);
+        let s = trained.task.image_size;
+        let session = compile_session(
+            "synthnet",
+            &trained.model,
+            &[calib],
+            SmtConfig::sysmt_2t(),
+            [1, s, s],
+        )
+        .unwrap();
+        let (inputs, _) = trained.sample_requests(8, 302);
+        (session, inputs)
+    }
+
+    fn policy(max_batch: usize, max_wait_ns: u64, capacity: usize) -> SchedulerConfig {
+        SchedulerConfig {
+            batch: BatchPolicy {
+                max_batch,
+                max_wait_ns,
+            },
+            queue_capacity: capacity,
+        }
+    }
+
+    #[test]
+    fn widely_spaced_arrivals_run_unbatched() {
+        let (session, inputs) = test_setup();
+        let ctx = ExecContext::sequential();
+        let service = ServiceModel::default();
+        let gap = service.single_ns(&session) * 4;
+        let arrivals = ArrivalProcess::Open {
+            arrivals_ns: (0..6).map(|i| i * gap).collect(),
+        };
+        let out = simulate(
+            &session,
+            &ctx,
+            &inputs,
+            &arrivals,
+            policy(8, 1_000, 64),
+            service,
+        )
+        .unwrap();
+        assert_eq!(out.metrics.completed, 6);
+        assert_eq!(out.metrics.batches, 6, "spaced arrivals must not coalesce");
+        assert!(out.rejected_ids.is_empty());
+    }
+
+    #[test]
+    fn simultaneous_arrivals_coalesce_to_max_batch() {
+        let (session, inputs) = test_setup();
+        let ctx = ExecContext::sequential();
+        let arrivals = ArrivalProcess::Open {
+            arrivals_ns: vec![0; 8],
+        };
+        let out = simulate(
+            &session,
+            &ctx,
+            &inputs,
+            &arrivals,
+            policy(4, 1_000_000, 64),
+            ServiceModel::default(),
+        )
+        .unwrap();
+        assert_eq!(out.batches.len(), 2);
+        assert_eq!(out.batches[0].request_ids, vec![0, 1, 2, 3]);
+        assert_eq!(out.batches[1].request_ids, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn max_wait_closes_a_partial_batch() {
+        let (session, inputs) = test_setup();
+        let ctx = ExecContext::sequential();
+        // Second arrival lands after the first's wait budget: two batches.
+        let arrivals = ArrivalProcess::Open {
+            arrivals_ns: vec![0, 2_000],
+        };
+        let out = simulate(
+            &session,
+            &ctx,
+            &inputs,
+            &arrivals,
+            policy(8, 1_000, 1_000),
+            ServiceModel {
+                ns_per_mac_x1024: 0,
+                batch_overhead_ns: 10,
+            },
+        )
+        .unwrap();
+        assert_eq!(out.batches.len(), 2);
+        assert_eq!(out.batches[0].launch_ns, 1_000);
+        // And within the budget: one batch.
+        let arrivals = ArrivalProcess::Open {
+            arrivals_ns: vec![0, 500],
+        };
+        let out = simulate(
+            &session,
+            &ctx,
+            &inputs,
+            &arrivals,
+            policy(8, 1_000, 1_000),
+            ServiceModel {
+                ns_per_mac_x1024: 0,
+                batch_overhead_ns: 10,
+            },
+        )
+        .unwrap();
+        assert_eq!(out.batches.len(), 1);
+        assert_eq!(out.batches[0].request_ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn overload_sheds_and_accounts_every_request() {
+        let (session, inputs) = test_setup();
+        let ctx = ExecContext::sequential();
+        let n = 40u64;
+        let arrivals = ArrivalProcess::Open {
+            arrivals_ns: (0..n).map(|i| i * 10).collect(),
+        };
+        let service = ServiceModel::default(); // far slower than arrivals
+        let out = simulate(
+            &session,
+            &ctx,
+            &inputs,
+            &arrivals,
+            policy(2, 1_000, 4),
+            service,
+        )
+        .unwrap();
+        assert!(out.metrics.rejected > 0, "overload must shed load");
+        assert_eq!(out.metrics.completed + out.metrics.rejected, n);
+        assert_eq!(
+            out.responses.len() + out.rejected_ids.len(),
+            n as usize,
+            "every request is either answered or rejected"
+        );
+        assert!(out.metrics.max_queue_depth <= 4 + 2);
+    }
+
+    #[test]
+    fn closed_loop_population_survives_a_small_queue_bound() {
+        // 16 clients against a capacity-4 scheduler: the bound is raised to
+        // the population so no client is shed at t=0 and orphaned — every
+        // request completes.
+        let (session, inputs) = test_setup();
+        let ctx = ExecContext::sequential();
+        let arrivals = ArrivalProcess::Closed {
+            clients: 16,
+            think_ns: 1_000,
+            total_requests: 48,
+        };
+        let out = simulate(
+            &session,
+            &ctx,
+            &inputs,
+            &arrivals,
+            policy(4, 10_000, 4),
+            ServiceModel::default(),
+        )
+        .unwrap();
+        assert_eq!(out.metrics.completed, 48);
+        assert!(out.rejected_ids.is_empty());
+    }
+
+    #[test]
+    fn closed_loop_issues_exactly_total_requests() {
+        let (session, inputs) = test_setup();
+        let ctx = ExecContext::sequential();
+        let arrivals = ArrivalProcess::Closed {
+            clients: 3,
+            think_ns: 1_000,
+            total_requests: 12,
+        };
+        let out = simulate(
+            &session,
+            &ctx,
+            &inputs,
+            &arrivals,
+            policy(4, 10_000, 16),
+            ServiceModel::default(),
+        )
+        .unwrap();
+        assert_eq!(out.metrics.completed, 12);
+        assert!(out.rejected_ids.is_empty(), "closed loop cannot overflow");
+        // No client ever has two requests in flight: at most `clients`
+        // requests per batch.
+        for batch in &out.batches {
+            assert!(batch.request_ids.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn simulation_is_bit_deterministic_across_runs() {
+        let (session, inputs) = test_setup();
+        let ctx = ExecContext::sequential();
+        let arrivals = ArrivalProcess::Open {
+            arrivals_ns: (0..16).map(|i| i * 50_000).collect(),
+        };
+        let run = || {
+            simulate(
+                &session,
+                &ctx,
+                &inputs,
+                &arrivals,
+                policy(4, 100_000, 16),
+                ServiceModel::default(),
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+}

@@ -136,6 +136,38 @@ impl TrainedSynthNet {
         let (images, labels) = self.test.batch(0, self.test.len());
         self.model.accuracy(&images, &labels)
     }
+
+    /// Per-sample input dimensions `(channels, height, width)` of this
+    /// network's requests.
+    pub fn input_dims(&self) -> [usize; 3] {
+        [1, self.task.image_size, self.task.image_size]
+    }
+
+    /// A calibration batch of `samples` per class drawn from the task with
+    /// `seed` — the quantization-calibration hook for session construction
+    /// (the paper's "quick statistics gathering run").
+    pub fn calibration_inputs(&self, samples_per_class: usize, seed: u64) -> Tensor<f32> {
+        let calib = generate_dataset(&self.task, samples_per_class, seed);
+        let (images, _) = calib.batch(0, calib.len());
+        images
+    }
+
+    /// `n` single-sample request tensors (each `[1, C, H, W]`) with their
+    /// ground-truth labels, drawn from a fresh seeded dataset — the
+    /// request-pool hook the serving load generator feeds from.
+    pub fn sample_requests(&self, n: usize, seed: u64) -> (Vec<Tensor<f32>>, Vec<usize>) {
+        let per_class = n.div_ceil(self.task.classes).max(1);
+        let pool = generate_dataset(&self.task, per_class, seed);
+        let take = n.min(pool.len());
+        let mut inputs = Vec::with_capacity(take);
+        let mut labels = Vec::with_capacity(take);
+        for i in 0..take {
+            let (image, label) = pool.sample(i);
+            inputs.push(image);
+            labels.push(label);
+        }
+        (inputs, labels)
+    }
 }
 
 /// Trains SynthNet end to end. `train_per_class` / `test_per_class` control

@@ -21,6 +21,7 @@ pub use nbsmt_core as core;
 pub use nbsmt_hw as hw;
 pub use nbsmt_nn as nn;
 pub use nbsmt_quant as quant;
+pub use nbsmt_serve as serve;
 pub use nbsmt_sparsity as sparsity;
 pub use nbsmt_systolic as systolic;
 pub use nbsmt_tensor as tensor;
@@ -38,6 +39,11 @@ pub mod prelude {
     pub use nbsmt_nn::model::Model;
     pub use nbsmt_quant::qtensor::{QuantMatrix, QuantTensor};
     pub use nbsmt_quant::scheme::QuantScheme;
+    pub use nbsmt_serve::config::{BatchPolicy, SchedulerConfig, SmtConfig, SubmitError};
+    pub use nbsmt_serve::registry::ModelRegistry;
+    pub use nbsmt_serve::server::Server;
+    pub use nbsmt_serve::session::{Inference, Session};
+    pub use nbsmt_serve::sim::{simulate, ArrivalProcess, ServiceModel};
     pub use nbsmt_sparsity::stats::UtilizationBreakdown;
     pub use nbsmt_systolic::array::{OutputStationaryArray, SystolicConfig};
     pub use nbsmt_tensor::exec::{ExecConfig, ExecContext, GemmBackend, GemmBackendKind};

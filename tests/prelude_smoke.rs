@@ -64,3 +64,40 @@ fn prelude_covers_the_cross_crate_surface() {
     ]);
     assert_eq!(quad.total(), 6);
 }
+
+#[test]
+fn prelude_covers_the_serving_layer() {
+    // Serving config types resolve through the prelude.
+    assert_eq!(SmtConfig::sysmt_2t().label(), "2t");
+    assert_eq!(SmtConfig::sysmt_4t().speedup(), 4);
+    let scheduler = SchedulerConfig {
+        batch: BatchPolicy {
+            max_batch: 0,
+            max_wait_ns: 100,
+        },
+        queue_capacity: 0,
+    }
+    .normalized();
+    assert!(scheduler.queue_capacity >= scheduler.batch.max_batch);
+    assert!(matches!(
+        SubmitError::QueueFull { capacity: 4 },
+        SubmitError::QueueFull { capacity: 4 }
+    ));
+    // The service model is pure integer arithmetic; the registry constructs
+    // empty. (Session compilation is exercised by the serve crate's own
+    // tests and the bench determinism suite — training a model here would
+    // slow every smoke run.)
+    let registry = ModelRegistry::new();
+    assert!(registry.model_ids().is_empty());
+    let model = ServiceModel {
+        ns_per_mac_x1024: 1024,
+        batch_overhead_ns: 5,
+    };
+    assert_eq!(model.batch_overhead_ns, 5);
+    assert!(matches!(
+        ArrivalProcess::Open {
+            arrivals_ns: vec![0, 1]
+        },
+        ArrivalProcess::Open { .. }
+    ));
+}
