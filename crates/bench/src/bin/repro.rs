@@ -5,7 +5,7 @@
 //! ```text
 //! cargo run -p nbsmt-bench --release --bin repro -- <experiment> \
 //!     [--full] [--threads N] [--backend {naive,blocked,parallel}] \
-//!     [--requests N] [--list]
+//!     [--requests N] [--replicas N[,N...]] [--list]
 //! ```
 //!
 //! Run `repro -- --list` to enumerate the experiments with one-line
@@ -20,7 +20,8 @@
 //! and `serve` write `BENCH_baseline.json` / `BENCH_serve.json`; they only
 //! run when requested explicitly (neither is part of `all`, so regenerating
 //! tables never clobbers the tracked summaries). `--requests N` sets the
-//! serving sweep's trace length.
+//! serving sweep's trace length, and `--replicas N[,N...]` the replica
+//! counts the `shard` sweep runs at (default `1,2,4`).
 
 use std::env;
 
@@ -29,7 +30,9 @@ use nbsmt_bench::experiments::accuracy::{
     table5_slowdown, AccuracyBench,
 };
 use nbsmt_bench::experiments::hw_exp::table2_rows;
-use nbsmt_bench::experiments::serve_exp::{serve_summary, serve_sweep_with};
+use nbsmt_bench::experiments::serve_exp::{
+    serve_summary, serve_sweep_with, shard_summary, shard_sweep_with,
+};
 use nbsmt_bench::experiments::zoo_exp::{
     energy_savings_with, fig1_utilization, fig8_mse_vs_sparsity_with, fig9_utilization_gain_with,
     table1_inventory,
@@ -90,6 +93,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "serving sweep: offered load × NB-SMT config → BENCH_serve.json (explicit only)",
     ),
     (
+        "shard",
+        "sharded serving sweep: replicas × route × {dense,adaptive} → BENCH_serve.json (explicit only)",
+    ),
+    (
         "all",
         "every paper table and figure above (not the bench writers)",
     ),
@@ -107,6 +114,7 @@ fn main() {
     let mut full = false;
     let mut exec = ExecSettings::parallel();
     let mut requests = 256usize;
+    let mut replicas: Vec<usize> = vec![1, 2, 4];
     let mut experiment: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -127,6 +135,26 @@ fn main() {
                 });
                 if requests == 0 {
                     eprintln!("--requests must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--replicas" => {
+                let value = it.next().unwrap_or_else(|| {
+                    eprintln!("--replicas requires a value");
+                    std::process::exit(2);
+                });
+                replicas = value
+                    .split(',')
+                    .map(|part| match part.trim().parse::<usize>() {
+                        Ok(n) if n >= 1 => n,
+                        _ => {
+                            eprintln!("--replicas: '{part}' is not a replica count");
+                            std::process::exit(2);
+                        }
+                    })
+                    .collect();
+                if replicas.is_empty() {
+                    eprintln!("--replicas needs at least one count");
                     std::process::exit(2);
                 }
             }
@@ -215,6 +243,9 @@ fn main() {
     }
     if experiment == "serve" {
         run_serve(scale, &exec, requests);
+    }
+    if experiment == "shard" {
+        run_shard(scale, &exec, requests, &replicas);
     }
 
     // Accuracy experiments share a single trained SynthNet.
@@ -605,6 +636,54 @@ fn run_serve(scale: Scale, exec: &ExecSettings, requests: usize) {
     }
     let path = std::path::Path::new("BENCH_serve.json");
     match serve_summary(&rows).write(path) {
+        Ok(()) => println!("\nwrote {} (merged by record name)\n", path.display()),
+        Err(e) => eprintln!("\nfailed to write {}: {e}\n", path.display()),
+    }
+}
+
+/// The sharded serving sweep: replicas × route policy × {pinned dense,
+/// adaptive dense→2T→4T} through the `nbsmt-serve` replica-pool simulator,
+/// merged into `BENCH_serve.json`.
+fn run_shard(scale: Scale, exec: &ExecSettings, requests: usize, replicas: &[usize]) {
+    println!(
+        "## shard — replicas × route × {{dense, adaptive}} ({requests} requests/cell, replicas {replicas:?})\n"
+    );
+    println!("Training SynthNet and compiling the dense/2T/4T ladder…\n");
+    let rows = shard_sweep_with(scale, exec, requests, replicas, 2024);
+    println!(
+        "{:<4} {:<6} {:<9} {:>8} {:>6} {:>6} {:>10} {:>9} {:>9} {:>7} {:>6} {:>14}",
+        "R",
+        "Route",
+        "Policy",
+        "Offered",
+        "Done",
+        "Shed",
+        "Thru[rps]",
+        "p95[ms]",
+        "p99[ms]",
+        "Batch",
+        "Trans",
+        "Batches/mode"
+    );
+    for row in &rows {
+        println!(
+            "{:<4} {:<6} {:<9} {:>7.1}x {:>6} {:>6} {:>10.1} {:>9.2} {:>9.2} {:>7.2} {:>6} {:>14}",
+            row.replicas,
+            row.route,
+            row.policy,
+            row.offered,
+            row.completed,
+            row.rejected,
+            row.throughput_rps,
+            row.p95_ms,
+            row.p99_ms,
+            row.mean_batch,
+            row.mode_transitions,
+            format!("{:?}", row.batches_per_mode),
+        );
+    }
+    let path = std::path::Path::new("BENCH_serve.json");
+    match shard_summary(&rows).write(path) {
         Ok(()) => println!("\nwrote {} (merged by record name)\n", path.display()),
         Err(e) => eprintln!("\nfailed to write {}: {e}\n", path.display()),
     }

@@ -11,9 +11,11 @@
 //! `BENCH_serve.json` it feeds — is therefore bit-reproducible on any
 //! machine at any `--threads` setting.
 
-use nbsmt_serve::config::{BatchPolicy, SchedulerConfig, SmtConfig};
+use nbsmt_serve::config::{
+    AdaptivePolicy, BatchPolicy, PoolConfig, RoutePolicy, SchedulerConfig, SmtConfig,
+};
 use nbsmt_serve::registry::ModelRegistry;
-use nbsmt_serve::sim::{simulate, ArrivalProcess, ServiceModel, SimOutcome};
+use nbsmt_serve::sim::{simulate, simulate_pool, ArrivalProcess, ServiceModel, SimOutcome};
 use nbsmt_tensor::tensor::Tensor;
 use nbsmt_workloads::synthnet::{train_synthnet, SynthTaskConfig};
 
@@ -95,6 +97,62 @@ impl ServeRow {
     }
 }
 
+/// The shared substrate of both serving sweeps: one trained, calibrated
+/// SynthNet, the request-input pool, the virtual-clock service model, and
+/// the dense session's single-request service time — the anchor every
+/// offered load is expressed against. Keeping this in one place is what
+/// makes the `serve` and `shard` rows of `BENCH_serve.json` comparable:
+/// both sweeps stress the same model at loads relative to the same rate.
+struct SweepFixture {
+    registry: ModelRegistry,
+    inputs: Vec<Tensor<f32>>,
+    service: ServiceModel,
+    /// One dense single-request service time [ns].
+    dense_single_ns: u64,
+}
+
+impl SweepFixture {
+    fn prepare(scale: Scale, requests: usize, seed: u64) -> SweepFixture {
+        let task = SynthTaskConfig {
+            classes: 4,
+            image_size: 12,
+            noise: 0.2,
+        };
+        let trained = train_synthnet(
+            &task,
+            scale.train_per_class(),
+            scale.test_per_class(),
+            scale.epochs(),
+            seed,
+        )
+        .expect("SynthNet training succeeds");
+        let mut registry = ModelRegistry::new();
+        registry
+            .register_synthnet("synthnet", &trained, seed.wrapping_add(77))
+            .expect("calibration succeeds");
+        let pool_size = 32.min(requests.max(1));
+        let (inputs, _) = trained.sample_requests(pool_size, seed.wrapping_add(100));
+        let service = ServiceModel::default();
+        let dense_single_ns = {
+            let dense = registry
+                .compile("synthnet", SmtConfig::Dense)
+                .expect("session compiles");
+            service.single_ns(&dense)
+        };
+        SweepFixture {
+            registry,
+            inputs,
+            service,
+            dense_single_ns,
+        }
+    }
+
+    /// One dense session's single-request service rate [requests/s].
+    fn dense_rate_rps(&self) -> f64 {
+        1e9 / self.dense_single_ns as f64
+    }
+}
+
 /// The serving sweep at the given scale and host-execution settings.
 ///
 /// `requests` is the open-loop trace length (closed-loop cells issue the
@@ -107,29 +165,14 @@ pub fn serve_sweep_with(
     requests: usize,
     seed: u64,
 ) -> Vec<ServeRow> {
-    let task = SynthTaskConfig {
-        classes: 4,
-        image_size: 12,
-        noise: 0.2,
-    };
-    let trained = train_synthnet(
-        &task,
-        scale.train_per_class(),
-        scale.test_per_class(),
-        scale.epochs(),
-        seed,
-    )
-    .expect("SynthNet training succeeds");
-    let mut registry = ModelRegistry::new();
-    registry
-        .register_synthnet("synthnet", &trained, seed.wrapping_add(77))
-        .expect("calibration succeeds");
-
-    let pool = 32.min(requests.max(1));
-    let (inputs, _) = trained.sample_requests(pool, seed.wrapping_add(100));
+    let SweepFixture {
+        registry,
+        inputs,
+        service,
+        dense_single_ns,
+    } = SweepFixture::prepare(scale, requests, seed);
 
     let ctx = exec.context();
-    let service = ServiceModel::default();
     let scheduler = SchedulerConfig {
         batch: BatchPolicy {
             max_batch: 8,
@@ -149,10 +192,7 @@ pub fn serve_sweep_with(
     // through batching (and the faster SMT design points). Anchoring every
     // cell to the same dense rate is what makes the 2T/4T columns
     // comparable against the baseline.
-    let dense_session = registry
-        .compile("synthnet", SmtConfig::Dense)
-        .expect("session compiles");
-    let base_rate = 1e9 / service.single_ns(&dense_session) as f64;
+    let base_rate = 1e9 / dense_single_ns as f64;
 
     let mut rows = Vec::new();
     for (label, smt) in configs {
@@ -176,7 +216,7 @@ pub fn serve_sweep_with(
     let session = registry
         .compile("synthnet", SmtConfig::sysmt_2t())
         .expect("session compiles");
-    let think_ns = service.single_ns(&dense_session);
+    let think_ns = dense_single_ns;
     for clients in [4usize, 16] {
         let arrivals = closed_loop(clients, think_ns, requests);
         let outcome = run_cell(&session, &ctx, &inputs, &arrivals, scheduler, service);
@@ -220,6 +260,199 @@ pub fn serve_summary(rows: &[ServeRow]) -> ServeSummary {
             p99_ms: row.p99_ms,
             mean_batch: row.mean_batch,
             max_queue_depth: row.max_queue_depth,
+            replicas: 1,
+            route: "-".to_string(),
+            mode_transitions: 0,
+        });
+    }
+    summary
+}
+
+/// One row of the sharded serving sweep (`repro shard`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRow {
+    /// Replica count of the pool.
+    pub replicas: usize,
+    /// Route policy label (`rr`, `lo`, `hash`).
+    pub route: &'static str,
+    /// Mode-selection label: `dense` (pinned rung 0) or `adaptive`
+    /// (dense → 2T → 4T ladder under the depth policy).
+    pub policy: &'static str,
+    /// Offered open-loop load as a multiple of the pool's *aggregate* dense
+    /// service rate (replicas × one dense session's single-request rate).
+    pub offered: f64,
+    /// Requests issued.
+    pub requests: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub rejected: u64,
+    /// Completed requests per second of virtual time.
+    pub throughput_rps: f64,
+    /// Median latency [ms].
+    pub p50_ms: f64,
+    /// 95th-percentile latency [ms].
+    pub p95_ms: f64,
+    /// 99th-percentile latency [ms].
+    pub p99_ms: f64,
+    /// Mean launched batch size.
+    pub mean_batch: f64,
+    /// Deepest per-replica queue observed.
+    pub max_queue_depth: u64,
+    /// Adaptive mode switches over the run.
+    pub mode_transitions: u64,
+    /// Batches executed per ladder rung.
+    pub batches_per_mode: Vec<u64>,
+}
+
+impl ShardRow {
+    /// The record id used in `BENCH_serve.json` (merge key across runs).
+    pub fn record_name(&self) -> String {
+        format!(
+            "shard_synthnet_r{}_{}_{}_x{:.1}_n{}",
+            self.replicas, self.route, self.policy, self.offered, self.requests
+        )
+    }
+}
+
+/// The sharded serving sweep: replicas × route policy × {pinned dense,
+/// adaptive dense→2T→4T}, each cell replaying a seeded open-loop Poisson
+/// trace through [`simulate_pool`]. Offered load is expressed relative to
+/// the pool's aggregate dense service rate, so "2.0×" stresses every
+/// replica count at the same relative operating point — the sweep that
+/// demonstrates the paper's trade operationally: under overload the
+/// adaptive pool walks up the SMT ladder and sheds (bounded) accuracy
+/// instead of requests.
+pub fn shard_sweep_with(
+    scale: Scale,
+    exec: &ExecSettings,
+    requests: usize,
+    replica_counts: &[usize],
+    seed: u64,
+) -> Vec<ShardRow> {
+    let fixture = SweepFixture::prepare(scale, requests, seed);
+    let ladder = fixture
+        .registry
+        .compile_ladder(
+            "synthnet",
+            &[
+                SmtConfig::Dense,
+                SmtConfig::sysmt_2t(),
+                SmtConfig::sysmt_4t(),
+            ],
+        )
+        .expect("ladder compiles");
+    let (inputs, service) = (&fixture.inputs, fixture.service);
+
+    let ctx = exec.context();
+    // Tighter per-replica queue than the unsharded sweep: the shard cells
+    // are about *shedding* behaviour under overload, and a deep queue would
+    // need a very long trace before admission control engages at all.
+    let scheduler = SchedulerConfig {
+        batch: BatchPolicy {
+            max_batch: 8,
+            max_wait_ns: 2_000_000,
+        },
+        queue_capacity: 16,
+    };
+    let base_rate = fixture.dense_rate_rps();
+
+    // Trigger well before the queue is full: with max_batch 8 draining a
+    // 16-deep queue, a post-drain depth of 4 means the queue was at 12 of
+    // 16 — escalate *before* admission control starts shedding, not after.
+    let adaptive = AdaptivePolicy {
+        depth_high: 4,
+        depth_low: 1,
+        p95_high_ns: 0,
+        eval_every_batches: 1,
+    };
+    let routes = [
+        RoutePolicy::RoundRobin,
+        RoutePolicy::LeastOutstanding,
+        RoutePolicy::Hashed,
+    ];
+
+    let mut rows = Vec::new();
+    for &replicas in replica_counts {
+        let replicas = replicas.max(1);
+        for route in routes {
+            for (policy_label, ladder_slice, policy) in [
+                ("dense", &ladder[..1], AdaptivePolicy::pinned()),
+                ("adaptive", &ladder[..], adaptive),
+            ] {
+                // 2.0× the aggregate dense rate everywhere (the overload
+                // point); the comfortable 0.5× point only on round-robin —
+                // it adds nothing per route policy.
+                let loads: &[f64] = if route == RoutePolicy::RoundRobin {
+                    &[0.5, 2.0]
+                } else {
+                    &[2.0]
+                };
+                for &load_x in loads {
+                    let rate = base_rate * replicas as f64 * load_x;
+                    let arrivals =
+                        open_poisson(seed.wrapping_add((load_x * 10.0) as u64), rate, requests);
+                    let outcome = simulate_pool(
+                        ladder_slice,
+                        &ctx,
+                        inputs,
+                        &arrivals,
+                        PoolConfig {
+                            replicas,
+                            route,
+                            scheduler,
+                            adaptive: policy,
+                        },
+                        service,
+                    )
+                    .expect("pool simulation succeeds");
+                    let m = &outcome.metrics;
+                    rows.push(ShardRow {
+                        replicas,
+                        route: route.label(),
+                        policy: policy_label,
+                        offered: load_x,
+                        requests: requests as u64,
+                        completed: m.completed,
+                        rejected: m.rejected,
+                        throughput_rps: m.throughput_rps,
+                        p50_ms: m.p50_ns as f64 / 1e6,
+                        p95_ms: m.p95_ns as f64 / 1e6,
+                        p99_ms: m.p99_ns as f64 / 1e6,
+                        mean_batch: m.mean_batch_size,
+                        max_queue_depth: m.max_queue_depth as u64,
+                        mode_transitions: m.mode_transitions,
+                        batches_per_mode: m.batches_per_mode.clone(),
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Converts shard-sweep rows into the `BENCH_serve.json` summary (same
+/// merge-by-name file as the unsharded sweep).
+pub fn shard_summary(rows: &[ShardRow]) -> ServeSummary {
+    let mut summary = ServeSummary::new();
+    for row in rows {
+        summary.push(ServeRecord {
+            name: row.record_name(),
+            smt: row.policy.to_string(),
+            arrival: "open_poisson".to_string(),
+            offered: row.offered,
+            requests: row.requests,
+            completed: row.completed,
+            rejected: row.rejected,
+            throughput_rps: row.throughput_rps,
+            p50_ms: row.p50_ms,
+            p95_ms: row.p95_ms,
+            p99_ms: row.p99_ms,
+            mean_batch: row.mean_batch,
+            max_queue_depth: row.max_queue_depth,
+            replicas: row.replicas as u64,
+            route: row.route.to_string(),
+            mode_transitions: row.mode_transitions,
         });
     }
     summary
@@ -255,6 +488,97 @@ mod tests {
         // Identical on a re-run — the whole sweep is virtual-clocked.
         let again = serve_sweep_with(Scale::Quick, &exec, 48, 2024);
         assert_eq!(rows, again);
+    }
+
+    #[test]
+    fn shard_sweep_covers_the_grid_and_is_deterministic() {
+        let exec = ExecSettings::sequential();
+        let rows = shard_sweep_with(Scale::Quick, &exec, 48, &[1, 2], 2024);
+        // Per replica count: rr × {dense, adaptive} × {0.5, 2.0} + (lo,
+        // hash) × {dense, adaptive} × {2.0} = 8 cells.
+        assert_eq!(rows.len(), 16);
+        for row in &rows {
+            assert_eq!(row.completed + row.rejected, row.requests);
+            assert!(row.p50_ms <= row.p95_ms && row.p95_ms <= row.p99_ms);
+            assert!(!row.record_name().is_empty());
+        }
+        // Record names are unique (the merge key must not collide).
+        let mut names: Vec<String> = rows.iter().map(ShardRow::record_name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), rows.len());
+        let again = shard_sweep_with(Scale::Quick, &exec, 48, &[1, 2], 2024);
+        assert_eq!(rows, again);
+    }
+
+    #[test]
+    fn adaptive_pool_absorbs_overload_with_fewer_sheds_than_dense() {
+        // The acceptance criterion of the sharded sweep: at 2.0× the
+        // aggregate dense service rate, the adaptive ladder sheds fewer
+        // requests than the dense-only pool — it trades accuracy (higher
+        // rungs) for requests, on every route policy and replica count.
+        let exec = ExecSettings::sequential();
+        let rows = shard_sweep_with(Scale::Quick, &exec, 192, &[1, 2], 7);
+        let cell = |replicas: usize, route: &str, policy: &str, load: f64| {
+            rows.iter()
+                .find(|r| {
+                    r.replicas == replicas
+                        && r.route == route
+                        && r.policy == policy
+                        && r.offered == load
+                })
+                .expect("cell exists")
+        };
+        for replicas in [1usize, 2] {
+            for route in ["rr", "lo", "hash"] {
+                let dense = cell(replicas, route, "dense", 2.0);
+                let adaptive = cell(replicas, route, "adaptive", 2.0);
+                assert!(
+                    dense.rejected > 0,
+                    "dense-only must shed at 2x ({replicas} replicas, {route})"
+                );
+                assert!(
+                    adaptive.rejected < dense.rejected,
+                    "adaptive must shed less ({replicas} replicas, {route}): {} vs {}",
+                    adaptive.rejected,
+                    dense.rejected
+                );
+                assert!(
+                    adaptive.mode_transitions > 0,
+                    "overload must drive mode switches ({replicas} replicas, {route})"
+                );
+                assert!(adaptive.batches_per_mode.iter().skip(1).sum::<u64>() > 0);
+            }
+        }
+        // At the comfortable 0.5x point the adaptive pool stays (almost)
+        // dense: no sheds either way.
+        let easy = cell(2, "rr", "adaptive", 0.5);
+        assert_eq!(easy.rejected, 0);
+    }
+
+    #[test]
+    fn shard_summary_round_trips_records() {
+        let exec = ExecSettings::sequential();
+        let rows = shard_sweep_with(Scale::Quick, &exec, 32, &[2], 11);
+        let summary = shard_summary(&rows);
+        assert_eq!(summary.runs.len(), rows.len());
+        // The writer rounds floats to 3 decimals, so one render→parse pass
+        // is lossy by design; after that, the round trip must be exact.
+        let parsed = ServeSummary::parse(&summary.to_json()).expect("summary parses");
+        let again = ServeSummary::parse(&parsed.to_json()).expect("re-render parses");
+        assert_eq!(again, parsed);
+        for (a, b) in parsed.runs.iter().zip(summary.runs.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(
+                (a.completed, a.rejected, a.mode_transitions),
+                (b.completed, b.rejected, b.mode_transitions)
+            );
+        }
+        assert!(parsed.runs.iter().all(|r| r.replicas == 2));
+        assert!(parsed
+            .runs
+            .iter()
+            .any(|r| r.smt == "adaptive" && r.route == "rr"));
     }
 
     #[test]

@@ -46,6 +46,17 @@ pub fn open_poisson(seed: u64, rate_rps: f64, n: usize) -> ArrivalProcess {
     }
 }
 
+/// Builds the all-at-once burst [`ArrivalProcess`]: `n` requests arriving
+/// at t=0. This is the lockstep trace of the sharded determinism contract —
+/// with every arrival preceding the first launch, a paused-then-resumed
+/// threaded [`nbsmt_serve::pool::ReplicaPool`] and the virtual-clock
+/// simulator form bit-identical batches.
+pub fn burst(n: usize) -> ArrivalProcess {
+    ArrivalProcess::Open {
+        arrivals_ns: vec![0; n],
+    }
+}
+
 /// Builds the closed-loop [`ArrivalProcess`]: `clients` concurrent clients
 /// with `think_ns` between response and next submit, issuing
 /// `total_requests` overall.
@@ -99,6 +110,14 @@ mod tests {
                 assert_eq!((clients, think_ns, total_requests), (4, 100, 32));
             }
             other => panic!("expected closed loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn burst_arrives_all_at_once() {
+        match burst(5) {
+            ArrivalProcess::Open { arrivals_ns } => assert_eq!(arrivals_ns, vec![0; 5]),
+            other => panic!("expected open loop, got {other:?}"),
         }
     }
 

@@ -190,6 +190,12 @@ pub struct ServeRecord {
     pub mean_batch: f64,
     /// Deepest queue observed.
     pub max_queue_depth: u64,
+    /// Replica count the cell ran with (1 for the unsharded sweep).
+    pub replicas: u64,
+    /// Route policy label (`rr`, `lo`, `hash`; `-` for the unsharded sweep).
+    pub route: String,
+    /// Adaptive mode switches over the run (0 for fixed design points).
+    pub mode_transitions: u64,
 }
 
 impl ServeRecord {
@@ -209,6 +215,9 @@ impl ServeRecord {
             ("p99_ms", Json::Num(r3(self.p99_ms))),
             ("mean_batch", Json::Num(r3(self.mean_batch))),
             ("max_queue_depth", Json::Num(self.max_queue_depth as f64)),
+            ("replicas", Json::Num(self.replicas as f64)),
+            ("route", Json::str(&self.route)),
+            ("mode_transitions", Json::Num(self.mode_transitions as f64)),
         ])
     }
 
@@ -227,6 +236,19 @@ impl ServeRecord {
             p99_ms: value.get("p99_ms")?.as_f64()?,
             mean_batch: value.get("mean_batch")?.as_f64()?,
             max_queue_depth: value.get("max_queue_depth")?.as_u64()?,
+            // Sharding fields postdate the original schema: records written
+            // before the shard sweep existed parse with the unsharded
+            // defaults instead of failing the whole document to `.bak`.
+            replicas: value.get("replicas").and_then(Json::as_u64).unwrap_or(1),
+            route: value
+                .get("route")
+                .and_then(Json::as_str)
+                .unwrap_or("-")
+                .to_string(),
+            mode_transitions: value
+                .get("mode_transitions")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
         })
     }
 }
@@ -480,7 +502,30 @@ mod tests {
             p99_ms: 14.0,
             mean_batch: 3.2,
             max_queue_depth: 17,
+            replicas: 2,
+            route: "rr".to_string(),
+            mode_transitions: 4,
         }
+    }
+
+    #[test]
+    fn serve_records_without_shard_fields_parse_with_defaults() {
+        // A record written before the shard sweep existed: the new fields
+        // fall back to unsharded defaults instead of failing the document.
+        let legacy = r#"{"runs": [
+            {"name": "serve_old", "smt": "2t", "arrival": "open_poisson",
+             "offered": 2.0, "requests": 10, "completed": 9, "rejected": 1,
+             "throughput_rps": 5.0, "p50_ms": 1.0, "p95_ms": 2.0,
+             "p99_ms": 3.0, "mean_batch": 2.5, "max_queue_depth": 4}
+        ]}"#;
+        let parsed = ServeSummary::parse(legacy).expect("legacy schema parses");
+        assert_eq!(parsed.runs.len(), 1);
+        assert_eq!(parsed.runs[0].replicas, 1);
+        assert_eq!(parsed.runs[0].route, "-");
+        assert_eq!(parsed.runs[0].mode_transitions, 0);
+        // A record missing a *required* field still fails the whole parse.
+        let broken = r#"{"runs": [{"name": "x", "smt": "2t"}]}"#;
+        assert!(ServeSummary::parse(broken).is_none());
     }
 
     #[test]

@@ -9,10 +9,18 @@
 //! backends. This is the property that makes `repro serve` reproducible on
 //! any machine and is enforced by CI on every push.
 
-use nbsmt_bench::loadgen::{closed_loop, open_poisson};
-use nbsmt_serve::config::{BatchPolicy, SchedulerConfig, SmtConfig};
+use std::sync::Arc;
+
+use nbsmt_bench::loadgen::{burst, closed_loop, open_poisson};
+use nbsmt_serve::config::{
+    AdaptivePolicy, BatchPolicy, PoolConfig, RoutePolicy, SchedulerConfig, SmtConfig,
+};
+use nbsmt_serve::pool::ReplicaPool;
 use nbsmt_serve::registry::ModelRegistry;
-use nbsmt_serve::sim::{simulate, ArrivalProcess, ServiceModel, SimOutcome};
+use nbsmt_serve::session::Session;
+use nbsmt_serve::sim::{
+    simulate, simulate_pool, ArrivalProcess, PoolSimOutcome, ServiceModel, SimOutcome,
+};
 use nbsmt_tensor::exec::{ExecConfig, ExecContext, GemmBackendKind};
 use nbsmt_tensor::tensor::Tensor;
 use nbsmt_workloads::synthnet::quick_synthnet;
@@ -188,6 +196,305 @@ fn seeded_traces_differ_but_each_is_self_consistent() {
     );
     assert_eq!(a.metrics.completed + a.metrics.rejected, 32);
     assert_eq!(b.metrics.completed + b.metrics.rejected, 32);
+}
+
+fn ladder(fixture: &Fixture) -> Vec<Arc<Session>> {
+    fixture
+        .registry
+        .compile_ladder(
+            "synthnet",
+            &[
+                SmtConfig::Dense,
+                SmtConfig::sysmt_2t(),
+                SmtConfig::sysmt_4t(),
+            ],
+        )
+        .expect("ladder compiles")
+}
+
+fn pool_config(replicas: usize, route: RoutePolicy) -> PoolConfig {
+    PoolConfig {
+        replicas,
+        route,
+        scheduler: SchedulerConfig {
+            batch: BatchPolicy {
+                max_batch: 4,
+                max_wait_ns: 500_000,
+            },
+            queue_capacity: 32,
+        },
+        adaptive: AdaptivePolicy {
+            depth_high: 3,
+            depth_low: 1,
+            p95_high_ns: 0,
+            eval_every_batches: 1,
+        },
+    }
+}
+
+fn run_pool(fixture: &Fixture, ctx: &ExecContext, config: PoolConfig) -> PoolSimOutcome {
+    // Offered rate high enough that queues build, batches coalesce, and the
+    // adaptive ladder gets exercised.
+    let arrivals = open_poisson(4242, 20_000.0, 72);
+    simulate_pool(
+        &ladder(fixture),
+        ctx,
+        &fixture.inputs,
+        &arrivals,
+        config,
+        ServiceModel::default(),
+    )
+    .expect("pool simulation succeeds")
+}
+
+fn pool_logit_bits(outcome: &PoolSimOutcome) -> Vec<(u64, Vec<u32>)> {
+    outcome
+        .responses
+        .iter()
+        .map(|(id, inf)| (*id, inf.logits.iter().map(|v| v.to_bits()).collect()))
+        .collect()
+}
+
+#[test]
+fn sharded_sim_is_identical_across_host_thread_counts_and_replicas() {
+    let fixture = fixture(61);
+    for replicas in [1usize, 2, 4] {
+        for route in [
+            RoutePolicy::RoundRobin,
+            RoutePolicy::LeastOutstanding,
+            RoutePolicy::Hashed,
+        ] {
+            let config = pool_config(replicas, route);
+            let reference = run_pool(&fixture, &ExecContext::sequential(), config);
+            assert!(reference.metrics.completed > 0);
+            for threads in [2usize, 8] {
+                let outcome = run_pool(&fixture, &ExecContext::with_threads(threads), config);
+                assert_eq!(
+                    outcome.batches, reference.batches,
+                    "batch schedule must not depend on host threads \
+                     ({replicas} replicas, {route:?}, {threads}t)"
+                );
+                assert_eq!(
+                    outcome.transitions, reference.transitions,
+                    "mode transitions must not depend on host threads \
+                     ({replicas} replicas, {route:?}, {threads}t)"
+                );
+                assert_eq!(pool_logit_bits(&outcome), pool_logit_bits(&reference));
+                assert_eq!(outcome.metrics, reference.metrics);
+                assert_eq!(outcome.per_replica, reference.per_replica);
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_sim_is_identical_across_gemm_backends() {
+    let fixture = fixture(67);
+    let config = pool_config(2, RoutePolicy::RoundRobin);
+    let reference = run_pool(&fixture, &ExecContext::sequential(), config);
+    assert!(
+        reference.metrics.mode_transitions > 0,
+        "the trace must exercise adaptive switching"
+    );
+    for backend in [
+        GemmBackendKind::Naive,
+        GemmBackendKind::Blocked,
+        GemmBackendKind::Parallel,
+    ] {
+        let ctx = ExecContext::new(ExecConfig {
+            threads: 4,
+            backend,
+            ..ExecConfig::default()
+        });
+        let outcome = run_pool(&fixture, &ctx, config);
+        assert_eq!(outcome, reference, "backend {backend} diverged");
+    }
+}
+
+#[test]
+fn sharded_sim_repeated_runs_are_bit_identical() {
+    let fixture = fixture(71);
+    let ctx = ExecContext::with_threads(8);
+    let a = run_pool(&fixture, &ctx, pool_config(4, RoutePolicy::Hashed));
+    let b = run_pool(&fixture, &ctx, pool_config(4, RoutePolicy::Hashed));
+    assert_eq!(a, b);
+}
+
+/// The lockstep half of the sharded determinism contract: with the whole
+/// trace submitted before any worker runs (paused pool + burst trace), the
+/// threaded [`ReplicaPool`] and the virtual-clock [`simulate_pool`] must
+/// produce **identical batch compositions**, **identical mode transitions**,
+/// and **bit-identical logits** — per replica, for every route policy and
+/// replica count. Wall-clock quantities are the only divergence allowed.
+#[test]
+fn threaded_pool_and_simulator_agree_in_lockstep() {
+    let fixture = fixture(73);
+    let n = fixture.inputs.len(); // 24 requests, ids 0..24
+    for replicas in [1usize, 2, 4] {
+        for route in [
+            RoutePolicy::RoundRobin,
+            RoutePolicy::LeastOutstanding,
+            RoutePolicy::Hashed,
+        ] {
+            let config = pool_config(replicas, route);
+
+            // Virtual-clock run over the burst trace.
+            let sim = simulate_pool(
+                &ladder(&fixture),
+                &ExecContext::sequential(),
+                &fixture.inputs,
+                &burst(n),
+                config,
+                ServiceModel::default(),
+            )
+            .expect("pool simulation succeeds");
+
+            // Threaded run: start paused, submit the same burst
+            // single-threaded (id i → input i), then resume.
+            let mut pool =
+                ReplicaPool::start_paused(ladder(&fixture), config, ExecConfig::default(), true)
+                    .expect("pool starts");
+            let client = pool.client();
+            let handles: Vec<_> = fixture
+                .inputs
+                .iter()
+                .enumerate()
+                .map(|(i, input)| {
+                    client
+                        .submit(i as u64, input.clone())
+                        .expect("burst fits the queues")
+                })
+                .collect();
+            pool.resume();
+            let mut threaded_logits: Vec<(u64, Vec<u32>)> = handles
+                .into_iter()
+                .enumerate()
+                .map(|(i, handle)| {
+                    let inference = handle
+                        .wait()
+                        .expect("not cancelled")
+                        .expect("no model error");
+                    (
+                        i as u64,
+                        inference.logits.iter().map(|v| v.to_bits()).collect(),
+                    )
+                })
+                .collect();
+            let snapshot = pool.shutdown();
+
+            // Batch compositions and modes, per replica in launch order.
+            let sim_log: Vec<(usize, usize, Vec<u64>)> = (0..replicas)
+                .flat_map(|r| {
+                    sim.batches
+                        .iter()
+                        .filter(move |b| b.replica == r)
+                        .map(|b| (b.replica, b.mode, b.request_ids.clone()))
+                })
+                .collect();
+            let threaded_log: Vec<(usize, usize, Vec<u64>)> = snapshot
+                .batch_log
+                .iter()
+                .map(|b| (b.replica, b.mode, b.keys.clone()))
+                .collect();
+            assert_eq!(
+                threaded_log, sim_log,
+                "batch compositions diverged ({replicas} replicas, {route:?})"
+            );
+
+            // Mode transitions, bit for bit.
+            assert_eq!(
+                snapshot.transitions, sim.transitions,
+                "mode transitions diverged ({replicas} replicas, {route:?})"
+            );
+
+            // Logits, bit for bit (order-normalized: the threaded pool
+            // completes in wall-clock order).
+            let mut sim_logits = pool_logit_bits(&sim);
+            sim_logits.sort_by_key(|(id, _)| *id);
+            threaded_logits.sort_by_key(|(id, _)| *id);
+            assert_eq!(
+                threaded_logits, sim_logits,
+                "logits diverged ({replicas} replicas, {route:?})"
+            );
+
+            // Both drivers agree on the aggregate counters that are not
+            // wall-clock derived.
+            assert_eq!(snapshot.total.completed, sim.metrics.completed);
+            assert_eq!(snapshot.total.rejected, sim.metrics.rejected);
+            assert_eq!(snapshot.total.batches, sim.metrics.batches);
+            assert_eq!(
+                snapshot.total.batches_per_mode,
+                sim.metrics.batches_per_mode
+            );
+            assert_eq!(
+                snapshot.total.mode_transitions,
+                sim.metrics.mode_transitions
+            );
+        }
+    }
+}
+
+/// Shedding under lockstep: when the burst overflows the per-replica
+/// queues, the threaded pool and the simulator agree on *how many* requests
+/// each replica shed (rejections are attributed to the replica the router
+/// picked, in both drivers), not just on what was served.
+#[test]
+fn lockstep_shedding_attribution_matches() {
+    let fixture = fixture(79);
+    let n = fixture.inputs.len(); // 24 requests into 2×capacity-4 queues
+    let config = PoolConfig {
+        scheduler: SchedulerConfig {
+            batch: BatchPolicy {
+                max_batch: 4,
+                max_wait_ns: 0,
+            },
+            queue_capacity: 4,
+        },
+        ..pool_config(2, RoutePolicy::RoundRobin)
+    };
+    let sim = simulate_pool(
+        &ladder(&fixture),
+        &ExecContext::sequential(),
+        &fixture.inputs,
+        &burst(n),
+        config,
+        ServiceModel::default(),
+    )
+    .expect("pool simulation succeeds");
+    assert!(sim.metrics.rejected > 0, "the burst must overflow");
+
+    let mut pool = ReplicaPool::start_paused(ladder(&fixture), config, ExecConfig::default(), true)
+        .expect("pool starts");
+    let client = pool.client();
+    let mut handles = Vec::new();
+    for (i, input) in fixture.inputs.iter().enumerate() {
+        if let Ok(handle) = client.submit(i as u64, input.clone()) {
+            handles.push(handle);
+        }
+    }
+    pool.resume();
+    for handle in handles {
+        let _ = handle.wait().expect("accepted requests complete");
+    }
+    let snapshot = pool.shutdown();
+
+    assert_eq!(snapshot.total.completed, sim.metrics.completed);
+    assert_eq!(snapshot.total.rejected, sim.metrics.rejected);
+    for (r, (threaded, simulated)) in snapshot
+        .per_replica
+        .iter()
+        .zip(sim.per_replica.iter())
+        .enumerate()
+    {
+        assert_eq!(
+            threaded.rejected, simulated.rejected,
+            "replica {r} shed counts diverged"
+        );
+        assert_eq!(
+            threaded.completed, simulated.completed,
+            "replica {r} completion counts diverged"
+        );
+    }
 }
 
 #[test]

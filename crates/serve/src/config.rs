@@ -149,6 +149,254 @@ impl Default for SchedulerConfig {
     }
 }
 
+/// How the router in front of a replica pool picks a replica for each
+/// submission.
+///
+/// All three policies are pure functions of the submission sequence and the
+/// queue depths at submission time, so a single-threaded submitter drives
+/// them deterministically — the property the sharded determinism contract
+/// builds on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Strict rotation in submission order.
+    RoundRobin,
+    /// The replica with the shallowest queue at submission time; ties break
+    /// to the lowest replica index.
+    LeastOutstanding,
+    /// A stable integer hash of the request key — the affinity policy: the
+    /// same key always lands on the same replica.
+    Hashed,
+}
+
+impl RoutePolicy {
+    /// Short label used in record names and CLI flags (`rr`, `lo`, `hash`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutePolicy::RoundRobin => "rr",
+            RoutePolicy::LeastOutstanding => "lo",
+            RoutePolicy::Hashed => "hash",
+        }
+    }
+
+    /// Parses a label produced by [`Self::label`].
+    pub fn parse(s: &str) -> Option<RoutePolicy> {
+        match s {
+            "rr" | "roundrobin" => Some(RoutePolicy::RoundRobin),
+            "lo" | "leastoutstanding" => Some(RoutePolicy::LeastOutstanding),
+            "hash" | "hashed" => Some(RoutePolicy::Hashed),
+            _ => None,
+        }
+    }
+}
+
+/// The stable 64-bit mixer behind [`RoutePolicy::Hashed`] (the splitmix64
+/// finalizer): platform-independent, so hashed routing replays identically
+/// everywhere.
+pub fn route_hash(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// SLO-aware mode selection: when a replica falls behind, step **up** the
+/// configured [`SmtConfig`] ladder (dense → 2T → 4T), trading bounded
+/// accuracy for T× virtual throughput — the paper's trade made operational:
+/// under overload the system sheds *accuracy* instead of *requests*. When
+/// the pressure clears, step back down toward the error-free baseline.
+///
+/// Two triggers escalate: the queue depth left behind a launched batch
+/// reaching `depth_high`, or (optionally) the replica's observed p95 latency
+/// reaching `p95_high_ns`. Only the depth trigger is part of the lockstep
+/// determinism contract — p95 is measured on the real clock in the threaded
+/// pool and on the virtual clock in the simulator, so the two drivers can
+/// only agree bit-for-bit when `p95_high_ns` is 0 (disabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptivePolicy {
+    /// Escalate one rung when the queue depth left behind a launched batch
+    /// reaches this value.
+    pub depth_high: usize,
+    /// De-escalate one rung when that depth falls to this value or below.
+    pub depth_low: usize,
+    /// Optional escalation trigger on the replica's observed p95 latency in
+    /// nanoseconds; 0 disables it.
+    pub p95_high_ns: u64,
+    /// Evaluate the policy only every this many batches (≥ 1) — a cooldown
+    /// against mode thrash.
+    pub eval_every_batches: u64,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy {
+            depth_high: 8,
+            depth_low: 1,
+            p95_high_ns: 0,
+            eval_every_batches: 1,
+        }
+    }
+}
+
+impl AdaptivePolicy {
+    /// A policy that never leaves rung 0 — the "dense-only" baseline every
+    /// adaptive sweep is compared against.
+    pub fn pinned() -> Self {
+        AdaptivePolicy {
+            depth_high: usize::MAX,
+            depth_low: 0,
+            p95_high_ns: 0,
+            eval_every_batches: 1,
+        }
+    }
+
+    /// The pure decision function both scheduler drivers share: given the
+    /// current rung, the ladder length, the queue depth left behind the
+    /// batch, and the observed p95, returns the rung the *next* batch runs
+    /// at.
+    pub fn decide(&self, mode: usize, rungs: usize, depth: usize, p95_ns: u64) -> usize {
+        let hot = depth >= self.depth_high || (self.p95_high_ns > 0 && p95_ns >= self.p95_high_ns);
+        if hot {
+            (mode + 1).min(rungs.saturating_sub(1))
+        } else if mode > 0 && depth <= self.depth_low {
+            mode - 1
+        } else {
+            mode
+        }
+    }
+}
+
+/// One adaptive mode switch, recorded identically by the threaded pool and
+/// the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModeTransition {
+    /// Replica that switched.
+    pub replica: usize,
+    /// Replica-local batch count at the moment of evaluation (1-based: the
+    /// first launched batch is 1).
+    pub batch_index: u64,
+    /// Ladder rung before the switch.
+    pub from: usize,
+    /// Ladder rung after the switch.
+    pub to: usize,
+    /// Queue depth that triggered the evaluation.
+    pub queue_depth: usize,
+}
+
+/// Per-replica adaptive-policy state machine: wraps [`AdaptivePolicy`] with
+/// the current rung, the evaluation cadence, and the transition log. The
+/// threaded pool and the virtual-clock simulator both drive this exact type,
+/// which is what makes their mode transitions comparable bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct AdaptiveState {
+    policy: AdaptivePolicy,
+    replica: usize,
+    rungs: usize,
+    mode: usize,
+    batches_seen: u64,
+    transitions: Vec<ModeTransition>,
+}
+
+impl AdaptiveState {
+    /// Fresh state for `replica` over a ladder of `rungs` design points
+    /// (clamped to at least 1), starting at rung 0.
+    pub fn new(policy: AdaptivePolicy, replica: usize, rungs: usize) -> Self {
+        AdaptiveState {
+            policy,
+            replica,
+            rungs: rungs.max(1),
+            mode: 0,
+            batches_seen: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// The rung the next batch executes at.
+    pub fn mode(&self) -> usize {
+        self.mode
+    }
+
+    /// Mode switches so far, in order.
+    pub fn transitions(&self) -> &[ModeTransition] {
+        &self.transitions
+    }
+
+    /// Consumes the state, yielding the transition log.
+    pub fn into_transitions(self) -> Vec<ModeTransition> {
+        self.transitions
+    }
+
+    /// Observes one launched batch (called *after* its latencies were
+    /// recorded): every `eval_every_batches` batches the policy is
+    /// re-evaluated, and the switch — if any — applies from the next batch
+    /// on. Returns the transition when the mode changed.
+    pub fn observe_batch(
+        &mut self,
+        queue_depth_after: usize,
+        p95_ns: u64,
+    ) -> Option<ModeTransition> {
+        self.batches_seen += 1;
+        if !self
+            .batches_seen
+            .is_multiple_of(self.policy.eval_every_batches.max(1))
+        {
+            return None;
+        }
+        let next = self
+            .policy
+            .decide(self.mode, self.rungs, queue_depth_after, p95_ns);
+        if next == self.mode {
+            return None;
+        }
+        let transition = ModeTransition {
+            replica: self.replica,
+            batch_index: self.batches_seen,
+            from: self.mode,
+            to: next,
+            queue_depth: queue_depth_after,
+        };
+        self.mode = next;
+        self.transitions.push(transition.clone());
+        Some(transition)
+    }
+}
+
+/// Configuration of a replica pool: how many workers, how the router spreads
+/// submissions across them, the per-replica scheduler, and the adaptive
+/// mode-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Number of replica workers (clamped to at least 1).
+    pub replicas: usize,
+    /// Router policy in front of the per-replica queues.
+    pub route: RoutePolicy,
+    /// Per-replica batching and admission configuration.
+    pub scheduler: SchedulerConfig,
+    /// SLO-aware mode-selection policy (use [`AdaptivePolicy::pinned`] for a
+    /// fixed design point).
+    pub adaptive: AdaptivePolicy,
+}
+
+impl PoolConfig {
+    /// Clamps to valid values (`replicas >= 1` plus
+    /// [`SchedulerConfig::normalized`]).
+    pub fn normalized(mut self) -> Self {
+        self.replicas = self.replicas.max(1);
+        self.scheduler = self.scheduler.normalized();
+        self
+    }
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            replicas: 1,
+            route: RoutePolicy::RoundRobin,
+            scheduler: SchedulerConfig::default(),
+            adaptive: AdaptivePolicy::default(),
+        }
+    }
+}
+
 /// Typed admission-control rejection returned by `submit`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitError {
@@ -261,6 +509,100 @@ mod tests {
         }
         .normalized();
         assert_eq!(big.queue_capacity, 32);
+    }
+
+    #[test]
+    fn route_policy_labels_round_trip_and_hash_is_stable() {
+        for policy in [
+            RoutePolicy::RoundRobin,
+            RoutePolicy::LeastOutstanding,
+            RoutePolicy::Hashed,
+        ] {
+            assert_eq!(RoutePolicy::parse(policy.label()), Some(policy));
+        }
+        assert_eq!(RoutePolicy::parse("nope"), None);
+        // splitmix64 reference values — the hash must never drift, or hashed
+        // routing stops replaying across versions.
+        assert_eq!(route_hash(0), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(route_hash(1), 0x910a_2dec_8902_5cc1);
+        assert_ne!(route_hash(2) % 4, route_hash(3) % 4);
+    }
+
+    #[test]
+    fn adaptive_policy_escalates_and_recovers() {
+        let policy = AdaptivePolicy {
+            depth_high: 4,
+            depth_low: 1,
+            p95_high_ns: 0,
+            eval_every_batches: 1,
+        };
+        // Deep queue walks up the ladder one rung at a time, clamped at the
+        // top; shallow queue walks back down, clamped at 0.
+        assert_eq!(policy.decide(0, 3, 4, 0), 1);
+        assert_eq!(policy.decide(1, 3, 9, 0), 2);
+        assert_eq!(policy.decide(2, 3, 9, 0), 2);
+        assert_eq!(policy.decide(2, 3, 1, 0), 1);
+        assert_eq!(policy.decide(0, 3, 0, 0), 0);
+        // In-between depths hold the current mode.
+        assert_eq!(policy.decide(1, 3, 2, 0), 1);
+        // p95 trigger escalates independently of depth.
+        let slo = AdaptivePolicy {
+            p95_high_ns: 1_000,
+            ..policy
+        };
+        assert_eq!(slo.decide(0, 3, 0, 2_000), 1);
+        assert_eq!(slo.decide(0, 3, 0, 500), 0);
+        // Pinned never moves.
+        let pinned = AdaptivePolicy::pinned();
+        assert_eq!(pinned.decide(0, 3, usize::MAX - 1, u64::MAX), 0);
+    }
+
+    #[test]
+    fn adaptive_state_records_transitions_with_cooldown() {
+        let policy = AdaptivePolicy {
+            depth_high: 4,
+            depth_low: 0,
+            p95_high_ns: 0,
+            eval_every_batches: 2,
+        };
+        let mut state = AdaptiveState::new(policy, 1, 3);
+        assert_eq!(state.mode(), 0);
+        // Batch 1: cooldown, no evaluation even though the queue is deep.
+        assert_eq!(state.observe_batch(10, 0), None);
+        // Batch 2: evaluated, escalates.
+        let t = state.observe_batch(10, 0).expect("escalates");
+        assert_eq!((t.replica, t.batch_index, t.from, t.to), (1, 2, 0, 1));
+        assert_eq!(state.mode(), 1);
+        // Batches 3–4: second escalation at the next evaluation point.
+        assert_eq!(state.observe_batch(10, 0), None);
+        assert!(state.observe_batch(10, 0).is_some());
+        assert_eq!(state.mode(), 2);
+        // Pressure clears: walks back down.
+        assert_eq!(state.observe_batch(0, 0), None);
+        let down = state.observe_batch(0, 0).expect("recovers");
+        assert_eq!((down.from, down.to), (2, 1));
+        assert_eq!(state.transitions().len(), 3);
+        assert_eq!(state.into_transitions().len(), 3);
+    }
+
+    #[test]
+    fn pool_config_normalizes() {
+        let cfg = PoolConfig {
+            replicas: 0,
+            route: RoutePolicy::Hashed,
+            scheduler: SchedulerConfig {
+                batch: BatchPolicy {
+                    max_batch: 0,
+                    max_wait_ns: 0,
+                },
+                queue_capacity: 0,
+            },
+            adaptive: AdaptivePolicy::default(),
+        }
+        .normalized();
+        assert_eq!(cfg.replicas, 1);
+        assert_eq!(cfg.scheduler.batch.max_batch, 1);
+        assert!(cfg.scheduler.queue_capacity >= 1);
     }
 
     #[test]

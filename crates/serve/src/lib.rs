@@ -21,7 +21,14 @@
 //!   `ExecContext`, and completes per-request
 //!   [`queue::ResponseHandle`]s.
 //! * [`metrics::ServeMetrics`] records throughput, a fixed-bucket latency
-//!   histogram (p50/p95/p99), the batch-size distribution, and queue depth.
+//!   histogram (p50/p95/p99), the batch-size distribution, queue depth, and
+//!   — for pools — per-mode batch counts and mode transitions.
+//! * [`pool::ReplicaPool`] shards the whole pipeline: a deterministic router
+//!   ([`config::RoutePolicy`]) spreads submissions over N replica workers,
+//!   and each replica's [`config::AdaptiveState`] walks a ladder of
+//!   [`config::SmtConfig`] design points (dense → 2T → 4T) under queue-depth
+//!   or p95 pressure, shedding *accuracy* instead of *requests* under
+//!   overload. [`sim::simulate_pool`] is its virtual-clock mirror.
 //!
 //! **Determinism contract.** Model outputs go through the execution layer of
 //! `nbsmt-tensor`, so logits are bit-identical for every host thread count
@@ -53,25 +60,38 @@
 
 pub mod config;
 pub mod metrics;
+pub mod pool;
 pub mod queue;
 pub mod registry;
 pub mod server;
 pub mod session;
 pub mod sim;
 
-pub use config::{BatchPolicy, SchedulerConfig, ServeError, SmtConfig, SubmitError};
+pub use config::{
+    AdaptivePolicy, AdaptiveState, BatchPolicy, ModeTransition, PoolConfig, RoutePolicy,
+    SchedulerConfig, ServeError, SmtConfig, SubmitError,
+};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics};
+pub use pool::{PoolBatchLog, PoolClient, PoolSnapshot, ReplicaPool};
 pub use registry::ModelRegistry;
 pub use server::{Client, RequestResult, Server};
 pub use session::{Inference, Session};
-pub use sim::{ArrivalProcess, BatchRecord, ServiceModel, SimOutcome};
+pub use sim::{
+    ArrivalProcess, BatchRecord, PoolBatchRecord, PoolSimOutcome, ServiceModel, SimOutcome,
+};
 
 /// Convenience re-exports for serving code.
 pub mod prelude {
-    pub use crate::config::{BatchPolicy, SchedulerConfig, ServeError, SmtConfig, SubmitError};
+    pub use crate::config::{
+        AdaptivePolicy, BatchPolicy, PoolConfig, RoutePolicy, SchedulerConfig, ServeError,
+        SmtConfig, SubmitError,
+    };
     pub use crate::metrics::MetricsSnapshot;
+    pub use crate::pool::{PoolClient, PoolSnapshot, ReplicaPool};
     pub use crate::registry::ModelRegistry;
     pub use crate::server::Server;
     pub use crate::session::{Inference, Session};
-    pub use crate::sim::{simulate, ArrivalProcess, ServiceModel, SimOutcome};
+    pub use crate::sim::{
+        simulate, simulate_pool, ArrivalProcess, PoolSimOutcome, ServiceModel, SimOutcome,
+    };
 }

@@ -43,6 +43,15 @@ impl LatencyHistogram {
         self.total
     }
 
+    /// Adds another histogram's observations into this one (replica-pool
+    /// metric aggregation).
+    pub fn absorb(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+
     /// Estimates the `q`-quantile (0 ≤ q ≤ 1) in nanoseconds by linear
     /// interpolation inside the owning bucket. Returns 0 on an empty
     /// histogram.
@@ -81,6 +90,11 @@ pub struct ServeMetrics {
     pub rejected: u64,
     /// Deepest queue observed at batch-formation time.
     pub max_queue_depth: usize,
+    /// Adaptive mode switches (replica pools; 0 for a fixed-mode server).
+    pub mode_transitions: u64,
+    /// `batches_per_mode[m]` counts batches executed at ladder rung `m`
+    /// (empty when the scheduler never records modes).
+    pub batches_per_mode: Vec<u64>,
     /// Sum of queue depths sampled at batch-formation time (for the mean).
     depth_sum: u64,
 }
@@ -112,6 +126,44 @@ impl ServeMetrics {
         self.rejected += 1;
     }
 
+    /// Records the ladder rung one launched batch executed at.
+    pub fn record_mode_batch(&mut self, mode: usize) {
+        if self.batches_per_mode.len() <= mode {
+            self.batches_per_mode.resize(mode + 1, 0);
+        }
+        self.batches_per_mode[mode] += 1;
+    }
+
+    /// Records one adaptive mode switch.
+    pub fn record_transition(&mut self) {
+        self.mode_transitions += 1;
+    }
+
+    /// Folds another replica's metrics into this one: histograms and
+    /// counters add, extrema take the max — the pool-level aggregate over
+    /// per-replica schedulers.
+    pub fn merge(&mut self, other: &ServeMetrics) {
+        self.latency.absorb(&other.latency);
+        if self.batch_sizes.len() < other.batch_sizes.len() {
+            self.batch_sizes.resize(other.batch_sizes.len(), 0);
+        }
+        for (size, &count) in other.batch_sizes.iter().enumerate() {
+            self.batch_sizes[size] += count;
+        }
+        if self.batches_per_mode.len() < other.batches_per_mode.len() {
+            self.batches_per_mode
+                .resize(other.batches_per_mode.len(), 0);
+        }
+        for (mode, &count) in other.batches_per_mode.iter().enumerate() {
+            self.batches_per_mode[mode] += count;
+        }
+        self.completed += other.completed;
+        self.rejected += other.rejected;
+        self.mode_transitions += other.mode_transitions;
+        self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+        self.depth_sum += other.depth_sum;
+    }
+
     /// Number of batches launched.
     pub fn batches(&self) -> u64 {
         self.batch_sizes.iter().sum()
@@ -141,6 +193,8 @@ impl ServeMetrics {
             batches: self.batches(),
             mean_batch_size: self.mean_batch_size(),
             max_queue_depth: self.max_queue_depth,
+            mode_transitions: self.mode_transitions,
+            batches_per_mode: self.batches_per_mode.clone(),
             p50_ns: self.latency.quantile(0.50),
             p95_ns: self.latency.quantile(0.95),
             p99_ns: self.latency.quantile(0.99),
@@ -167,6 +221,11 @@ pub struct MetricsSnapshot {
     pub mean_batch_size: f64,
     /// Deepest queue observed at batch-formation time.
     pub max_queue_depth: usize,
+    /// Adaptive mode switches over the window (0 for fixed-mode servers).
+    pub mode_transitions: u64,
+    /// Batches executed per ladder rung (empty when modes were not
+    /// recorded).
+    pub batches_per_mode: Vec<u64>,
     /// Median latency estimate [ns].
     pub p50_ns: u64,
     /// 95th-percentile latency estimate [ns].
@@ -221,6 +280,98 @@ mod tests {
         h.record(u64::MAX); // clamped to the final bucket
         assert_eq!(h.count(), 2);
         assert!(h.quantile(1.0) >= 1u64 << (BUCKETS - 1));
+    }
+
+    #[test]
+    fn empty_histogram_returns_zero_for_every_quantile() {
+        let h = LatencyHistogram::new();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn single_sample_puts_every_quantile_at_its_bucket_upper_edge() {
+        let mut h = LatencyHistogram::new();
+        h.record(100); // bucket [64, 128)
+                       // rank is always 1, so interpolation lands on the bucket's upper
+                       // edge regardless of q — and all quantiles agree.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 128, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_interpolates_exactly_at_bucket_boundaries() {
+        // Four samples in the [1024, 2048) bucket: rank r interpolates to
+        // 1024 + 1024 * r/4.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..4 {
+            h.record(1024);
+        }
+        assert_eq!(h.quantile(0.25), 1024 + 256);
+        assert_eq!(h.quantile(0.5), 1024 + 512);
+        assert_eq!(h.quantile(0.75), 1024 + 768);
+        assert_eq!(h.quantile(1.0), 2048);
+        // q=0 clamps the rank to 1 (never 0 — an empty prefix has no
+        // sample to name).
+        assert_eq!(h.quantile(0.0), 1024 + 256);
+        // A power-of-two observation belongs to the bucket it *opens*:
+        // 2048 goes to [2048, 4096), not [1024, 2048).
+        h.record(2048);
+        assert_eq!(h.quantile(1.0), 4096);
+    }
+
+    #[test]
+    fn top_bucket_saturates_instead_of_overflowing() {
+        let mut h = LatencyHistogram::new();
+        // Anything at or past 2^47 ns lands in the final bucket, including
+        // u64::MAX — whose naive bucket index (63) must clamp to BUCKETS-1.
+        h.record(1u64 << 47);
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.count(), 3);
+        let top_lo = 1u64 << (BUCKETS - 1);
+        for q in [0.5, 0.95, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= top_lo, "q={q} gave {v}");
+            assert!(v <= top_lo << 1, "q={q} gave {v}");
+        }
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_recording_everything_in_one_place() {
+        let mut a = ServeMetrics::new();
+        let mut b = ServeMetrics::new();
+        let mut whole = ServeMetrics::new();
+        for (target, latencies, batch) in [
+            (&mut a, [1_000u64, 2_000].as_slice(), (2usize, 3usize)),
+            (&mut b, [50_000, 60_000, 70_000].as_slice(), (3, 7)),
+        ] {
+            target.record_batch(batch.0, batch.1);
+            whole.record_batch(batch.0, batch.1);
+            for &ns in latencies {
+                target.record_latency(ns);
+                whole.record_latency(ns);
+            }
+        }
+        a.record_mode_batch(0);
+        whole.record_mode_batch(0);
+        b.record_mode_batch(2);
+        whole.record_mode_batch(2);
+        b.record_transition();
+        whole.record_transition();
+        b.record_rejected();
+        whole.record_rejected();
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+        assert_eq!(merged.snapshot(1_000), whole.snapshot(1_000));
+        let snap = merged.snapshot(1_000);
+        assert_eq!(snap.mode_transitions, 1);
+        assert_eq!(snap.batches_per_mode, vec![1, 0, 1]);
     }
 
     #[test]

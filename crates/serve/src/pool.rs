@@ -1,0 +1,596 @@
+//! Multi-replica sharded serving: a deterministic router in front of N
+//! scheduler workers, each owning its own [`BoundedQueue`], its own
+//! [`ExecContext`], and an SLO-aware [`AdaptiveState`] that walks the
+//! session ladder (dense → 2T → 4T) under pressure.
+//!
+//! The pool is the threaded half of the sharded serving layer; the
+//! discrete-event half is [`crate::sim::simulate_pool`]. Both drive the same
+//! router arithmetic ([`RoutePolicy`], [`crate::config::route_hash`]) and
+//! the same adaptive state machine, which yields the **lockstep determinism
+//! contract**: when every request is submitted before the workers start (a
+//! paused pool resumed after a burst, or equivalently a virtual trace whose
+//! arrivals all precede the first launch), batch compositions, executed
+//! modes, mode transitions, and logits are bit-identical between the
+//! threaded pool and the simulator — for every host thread count and GEMM
+//! backend. Wall-clock quantities (latencies, throughput) are the only
+//! fields allowed to differ.
+//!
+//! Routing is decided at submission time from the submission sequence and
+//! the per-replica queue depths alone, so a single-threaded submitter drives
+//! all three policies deterministically. Under live traffic the same code
+//! serves real load: `p95_high_ns` then escalates on observed wall-clock
+//! tail latency, which is exactly the SLO-aware behaviour the virtual clock
+//! models with virtual time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use nbsmt_tensor::exec::{ExecConfig, ExecContext};
+use nbsmt_tensor::tensor::Tensor;
+
+use crate::config::{route_hash, ServeError};
+use crate::config::{AdaptiveState, ModeTransition, PoolConfig, RoutePolicy, SubmitError};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::queue::{response_channel, BoundedQueue, ResponseHandle, ResponseSlot};
+use crate::server::RequestResult;
+use crate::session::Session;
+
+struct PooledRequest {
+    key: u64,
+    input: Tensor<f32>,
+    submitted: Instant,
+    slot: ResponseSlot<RequestResult>,
+}
+
+/// One launched batch as the threaded pool recorded it (no timestamps —
+/// wall-clock times are outside the determinism contract).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolBatchLog {
+    /// Replica that executed the batch.
+    pub replica: usize,
+    /// Ladder rung the batch executed at.
+    pub mode: usize,
+    /// Request keys coalesced into the batch, in queue order.
+    pub keys: Vec<u64>,
+    /// Queue depth left behind after the batch was drained.
+    pub queue_depth_after: usize,
+}
+
+/// Final state of a drained replica pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolSnapshot {
+    /// Pool-level aggregate (per-replica metrics merged).
+    pub total: MetricsSnapshot,
+    /// Per-replica metrics over the same window. Admission-control
+    /// rejections are attributed to the replica the router picked, matching
+    /// the simulator's accounting.
+    pub per_replica: Vec<MetricsSnapshot>,
+    /// Every adaptive mode switch, grouped by replica in replica order.
+    pub transitions: Vec<ModeTransition>,
+    /// Per-batch log (replica order, launch order within a replica); only
+    /// recorded when the pool was started with recording enabled.
+    pub batch_log: Vec<PoolBatchLog>,
+}
+
+struct RouterCore {
+    policy: RoutePolicy,
+    queues: Vec<Arc<BoundedQueue<PooledRequest>>>,
+    rr: AtomicU64,
+    /// Admission-control rejections per replica, attributed to the replica
+    /// the router picked — the same accounting as the simulator's.
+    rejected: Vec<AtomicU64>,
+}
+
+impl RouterCore {
+    fn pick(&self, key: u64) -> usize {
+        let n = self.queues.len();
+        match self.policy {
+            RoutePolicy::RoundRobin => (self.rr.fetch_add(1, Ordering::Relaxed) as usize) % n,
+            RoutePolicy::Hashed => (route_hash(key) % n as u64) as usize,
+            RoutePolicy::LeastOutstanding => {
+                // Shallowest queue wins; ties break to the lowest index.
+                let mut best = 0usize;
+                let mut best_len = usize::MAX;
+                for (i, queue) in self.queues.iter().enumerate() {
+                    let len = queue.len();
+                    if len < best_len {
+                        best = i;
+                        best_len = len;
+                    }
+                }
+                best
+            }
+        }
+    }
+}
+
+/// Cheap cloneable submission handle onto a [`ReplicaPool`].
+#[derive(Clone)]
+pub struct PoolClient {
+    router: Arc<RouterCore>,
+}
+
+impl PoolClient {
+    /// Routes and submits one request. `key` identifies the request: it is
+    /// the hash input for [`RoutePolicy::Hashed`], and the identity under
+    /// which the batch log reports the request.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the routed replica's queue is at
+    /// capacity (the router does not fail over — a deterministic router
+    /// must not let load silently leak across replicas), and
+    /// [`SubmitError::Closed`] after shutdown began.
+    pub fn submit(
+        &self,
+        key: u64,
+        input: Tensor<f32>,
+    ) -> Result<ResponseHandle<RequestResult>, SubmitError> {
+        let replica = self.router.pick(key);
+        let (slot, handle) = response_channel();
+        let queued = PooledRequest {
+            key,
+            input,
+            submitted: Instant::now(),
+            slot,
+        };
+        match self.router.queues[replica].try_push(queued) {
+            Ok(()) => Ok(handle),
+            Err(e) => {
+                if matches!(e, SubmitError::QueueFull { .. }) {
+                    self.router.rejected[replica].fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+struct ReplicaOutcome {
+    metrics: ServeMetrics,
+    transitions: Vec<ModeTransition>,
+    log: Vec<PoolBatchLog>,
+}
+
+struct Replica {
+    queue: Arc<BoundedQueue<PooledRequest>>,
+    worker: Option<JoinHandle<ReplicaOutcome>>,
+}
+
+/// A running sharded serving instance: router → N replica workers, each
+/// executing batches against the shared session ladder at its own adaptive
+/// mode.
+pub struct ReplicaPool {
+    replicas: Vec<Replica>,
+    router: Arc<RouterCore>,
+    sessions: Arc<Vec<Arc<Session>>>,
+    config: PoolConfig,
+    exec: ExecConfig,
+    record_log: bool,
+    started: Instant,
+    running: bool,
+}
+
+impl ReplicaPool {
+    /// Starts a pool over `sessions` (the adaptive ladder, rung 0 first —
+    /// typically dense → 2T → 4T; a single-session ladder never switches).
+    /// Each replica builds its own [`ExecContext`] from `exec`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty ladder as [`ServeError::BadRequest`].
+    pub fn start(
+        sessions: Vec<Arc<Session>>,
+        config: PoolConfig,
+        exec: ExecConfig,
+    ) -> Result<ReplicaPool, ServeError> {
+        let mut pool = Self::start_paused(sessions, config, exec, false)?;
+        pool.resume();
+        Ok(pool)
+    }
+
+    /// Builds the pool with every queue live but **no workers running**:
+    /// submissions accumulate in the per-replica queues until
+    /// [`Self::resume`] spawns the workers. This is the lockstep-replay
+    /// mode — with the whole trace queued up front, batch formation is a
+    /// pure function of queue contents and the run is bit-comparable to
+    /// [`crate::sim::simulate_pool`]. `record_log` additionally captures the
+    /// per-batch composition log (unbounded memory — test/replay use only).
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty ladder as [`ServeError::BadRequest`].
+    pub fn start_paused(
+        sessions: Vec<Arc<Session>>,
+        config: PoolConfig,
+        exec: ExecConfig,
+        record_log: bool,
+    ) -> Result<ReplicaPool, ServeError> {
+        if sessions.is_empty() {
+            return Err(ServeError::BadRequest(
+                "replica pool needs at least one session in the ladder".into(),
+            ));
+        }
+        let config = config.normalized();
+        let replicas: Vec<Replica> = (0..config.replicas)
+            .map(|_| Replica {
+                queue: Arc::new(BoundedQueue::new(config.scheduler.queue_capacity)),
+                worker: None,
+            })
+            .collect();
+        let router = Arc::new(RouterCore {
+            policy: config.route,
+            queues: replicas.iter().map(|r| Arc::clone(&r.queue)).collect(),
+            rr: AtomicU64::new(0),
+            rejected: (0..config.replicas).map(|_| AtomicU64::new(0)).collect(),
+        });
+        Ok(ReplicaPool {
+            replicas,
+            router,
+            sessions: Arc::new(sessions),
+            config,
+            exec,
+            record_log,
+            started: Instant::now(),
+            running: false,
+        })
+    }
+
+    /// Spawns the replica workers (idempotent).
+    pub fn resume(&mut self) {
+        if self.running {
+            return;
+        }
+        self.running = true;
+        for (index, replica) in self.replicas.iter_mut().enumerate() {
+            let queue = Arc::clone(&replica.queue);
+            let sessions = Arc::clone(&self.sessions);
+            let scheduler = self.config.scheduler;
+            let adaptive = self.config.adaptive;
+            let exec = self.exec;
+            let record_log = self.record_log;
+            let worker = std::thread::Builder::new()
+                .name(format!("nbsmt-pool-{index}"))
+                .spawn(move || {
+                    let ctx = ExecContext::new(exec);
+                    replica_loop(
+                        index, &queue, &sessions, &scheduler, adaptive, &ctx, record_log,
+                    )
+                })
+                .expect("spawning a replica worker succeeds");
+            replica.worker = Some(worker);
+        }
+    }
+
+    /// Number of replica workers.
+    pub fn replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// A new submission handle.
+    pub fn client(&self) -> PoolClient {
+        PoolClient {
+            router: Arc::clone(&self.router),
+        }
+    }
+
+    /// Current per-replica queue depths (approximate under concurrency).
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.replicas.iter().map(|r| r.queue.len()).collect()
+    }
+
+    /// Stops accepting work, drains every queue, joins the workers, and
+    /// returns the final pool snapshot. A pool shut down while paused
+    /// resumes first so queued work still completes.
+    pub fn shutdown(mut self) -> PoolSnapshot {
+        self.resume();
+        for replica in &self.replicas {
+            replica.queue.close();
+        }
+        let elapsed = self.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let mut total = ServeMetrics::new();
+        let mut per_replica = Vec::new();
+        let mut transitions = Vec::new();
+        let mut batch_log = Vec::new();
+        for (index, replica) in self.replicas.iter_mut().enumerate() {
+            let mut outcome = replica
+                .worker
+                .take()
+                .expect("worker present until shutdown")
+                .join()
+                .expect("replica worker exits cleanly");
+            outcome.metrics.rejected += self.router.rejected[index].load(Ordering::Relaxed);
+            total.merge(&outcome.metrics);
+            per_replica.push(outcome.metrics.snapshot(elapsed));
+            transitions.extend(outcome.transitions);
+            batch_log.extend(outcome.log);
+        }
+        PoolSnapshot {
+            total: total.snapshot(elapsed),
+            per_replica,
+            transitions,
+            batch_log,
+        }
+    }
+}
+
+impl Drop for ReplicaPool {
+    fn drop(&mut self) {
+        for replica in &self.replicas {
+            replica.queue.close();
+        }
+        for replica in &mut self.replicas {
+            if let Some(worker) = replica.worker.take() {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+fn replica_loop(
+    index: usize,
+    queue: &BoundedQueue<PooledRequest>,
+    sessions: &[Arc<Session>],
+    scheduler: &crate::config::SchedulerConfig,
+    adaptive: crate::config::AdaptivePolicy,
+    ctx: &ExecContext,
+    record_log: bool,
+) -> ReplicaOutcome {
+    let mut metrics = ServeMetrics::new();
+    let mut state = AdaptiveState::new(adaptive, index, sessions.len());
+    let mut log = Vec::new();
+    let max_batch = scheduler.batch.max_batch;
+    let max_wait = Duration::from_nanos(scheduler.batch.max_wait_ns);
+    while let Some(first) = queue.pop_blocking() {
+        let deadline = first.submitted + max_wait;
+        let batch = queue.collect_batch(first, max_batch, deadline);
+        let depth_after = queue.len();
+        let mode = state.mode();
+        metrics.record_batch(batch.len(), depth_after);
+        metrics.record_mode_batch(mode);
+        if record_log {
+            log.push(PoolBatchLog {
+                replica: index,
+                mode,
+                keys: batch.iter().map(|r| r.key).collect(),
+                queue_depth_after: depth_after,
+            });
+        }
+        crate::server::execute_batch(&sessions[mode], ctx, batch, &mut metrics);
+        // Policy evaluation runs after the batch's latencies landed in the
+        // histogram; a switch applies from the next batch on.
+        let p95 = metrics.latency.quantile(0.95);
+        if state.observe_batch(depth_after, p95).is_some() {
+            metrics.record_transition();
+        }
+    }
+    ReplicaOutcome {
+        metrics,
+        transitions: state.into_transitions(),
+        log,
+    }
+}
+
+impl crate::server::BatchItem for PooledRequest {
+    fn input(&self) -> &Tensor<f32> {
+        &self.input
+    }
+    fn submitted(&self) -> Instant {
+        self.submitted
+    }
+    fn into_slot(self) -> ResponseSlot<RequestResult> {
+        self.slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AdaptivePolicy, BatchPolicy, SchedulerConfig, SmtConfig};
+    use crate::registry::ModelRegistry;
+    use nbsmt_workloads::synthnet::quick_synthnet;
+
+    fn ladder_fixture() -> (Vec<Arc<Session>>, Vec<Tensor<f32>>) {
+        let trained = quick_synthnet(29).expect("training succeeds");
+        let mut registry = ModelRegistry::new();
+        registry
+            .register_synthnet("synthnet", &trained, 600)
+            .unwrap();
+        let ladder = registry
+            .compile_ladder(
+                "synthnet",
+                &[
+                    SmtConfig::Dense,
+                    SmtConfig::sysmt_2t(),
+                    SmtConfig::sysmt_4t(),
+                ],
+            )
+            .unwrap();
+        let (inputs, _) = trained.sample_requests(24, 601);
+        (ladder, inputs)
+    }
+
+    fn pool_config(replicas: usize, route: RoutePolicy) -> PoolConfig {
+        PoolConfig {
+            replicas,
+            route,
+            scheduler: SchedulerConfig {
+                batch: BatchPolicy {
+                    max_batch: 4,
+                    max_wait_ns: 500_000,
+                },
+                queue_capacity: 64,
+            },
+            adaptive: AdaptivePolicy::default(),
+        }
+    }
+
+    #[test]
+    fn pool_serves_across_replicas_end_to_end() {
+        let (ladder, inputs) = ladder_fixture();
+        let pool = ReplicaPool::start(
+            ladder,
+            pool_config(2, RoutePolicy::RoundRobin),
+            ExecConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(pool.replicas(), 2);
+        let client = pool.client();
+        let handles: Vec<_> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, input)| client.submit(i as u64, input.clone()).expect("room"))
+            .collect();
+        for handle in handles {
+            let inference = handle.wait().expect("not cancelled").expect("no error");
+            assert!(!inference.logits.is_empty());
+        }
+        let snapshot = pool.shutdown();
+        assert_eq!(snapshot.total.completed, inputs.len() as u64);
+        assert_eq!(snapshot.per_replica.len(), 2);
+        let per_replica_total: u64 = snapshot.per_replica.iter().map(|m| m.completed).sum();
+        assert_eq!(per_replica_total, snapshot.total.completed);
+        // Round-robin splits 24 single-threaded submissions 12/12.
+        assert!(snapshot.per_replica.iter().all(|m| m.completed == 12));
+    }
+
+    #[test]
+    fn paused_pool_replays_batches_deterministically() {
+        let (ladder, inputs) = ladder_fixture();
+        let run = || {
+            let mut pool = ReplicaPool::start_paused(
+                ladder.clone(),
+                pool_config(2, RoutePolicy::Hashed),
+                ExecConfig::default(),
+                true,
+            )
+            .unwrap();
+            let client = pool.client();
+            let handles: Vec<_> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, input)| client.submit(i as u64, input.clone()).expect("room"))
+                .collect();
+            pool.resume();
+            for handle in handles {
+                let _ = handle.wait().expect("completes");
+            }
+            pool.shutdown()
+        };
+        let a = run();
+        let b = run();
+        let key = |s: &PoolSnapshot| {
+            (
+                s.batch_log.clone(),
+                s.transitions.clone(),
+                s.total.completed,
+                s.total.batches_per_mode.clone(),
+            )
+        };
+        assert_eq!(key(&a), key(&b));
+        assert!(!a.batch_log.is_empty());
+        // Every batch ran at 4 or fewer requests and modes stay on-ladder.
+        for batch in &a.batch_log {
+            assert!(batch.keys.len() <= 4);
+            assert!(batch.mode < 3);
+        }
+    }
+
+    #[test]
+    fn least_outstanding_balances_and_full_queue_sheds() {
+        let (ladder, inputs) = ladder_fixture();
+        let config = PoolConfig {
+            scheduler: SchedulerConfig {
+                batch: BatchPolicy {
+                    max_batch: 2,
+                    max_wait_ns: 0,
+                },
+                queue_capacity: 2,
+            },
+            ..pool_config(2, RoutePolicy::LeastOutstanding)
+        };
+        let mut pool =
+            ReplicaPool::start_paused(ladder, config, ExecConfig::default(), false).unwrap();
+        let client = pool.client();
+        let mut accepted = Vec::new();
+        let mut rejected = 0u64;
+        // Paused pool: 2 replicas × capacity 2 admit exactly 4; the rest
+        // shed with the typed error.
+        for (i, input) in inputs.iter().enumerate() {
+            match client.submit(i as u64, input.clone()) {
+                Ok(h) => accepted.push(h),
+                Err(SubmitError::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 2);
+                    rejected += 1;
+                }
+                Err(SubmitError::Closed) => unreachable!("pool is open"),
+            }
+        }
+        assert_eq!(accepted.len(), 4);
+        assert_eq!(pool.queue_depths(), vec![2, 2], "LO must balance exactly");
+        pool.resume();
+        for handle in accepted {
+            let _ = handle.wait().expect("accepted requests complete");
+        }
+        let snapshot = pool.shutdown();
+        assert_eq!(snapshot.total.completed, 4);
+        assert_eq!(snapshot.total.rejected, rejected);
+    }
+
+    #[test]
+    fn adaptive_pool_escalates_under_burst() {
+        let (ladder, inputs) = ladder_fixture();
+        let config = PoolConfig {
+            replicas: 1,
+            route: RoutePolicy::RoundRobin,
+            scheduler: SchedulerConfig {
+                batch: BatchPolicy {
+                    max_batch: 2,
+                    max_wait_ns: 0,
+                },
+                queue_capacity: 64,
+            },
+            adaptive: AdaptivePolicy {
+                depth_high: 4,
+                depth_low: 0,
+                p95_high_ns: 0,
+                eval_every_batches: 1,
+            },
+        };
+        let mut pool =
+            ReplicaPool::start_paused(ladder, config, ExecConfig::default(), true).unwrap();
+        let client = pool.client();
+        let handles: Vec<_> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, input)| client.submit(i as u64, input.clone()).expect("room"))
+            .collect();
+        pool.resume();
+        for handle in handles {
+            let _ = handle.wait().expect("completes");
+        }
+        let snapshot = pool.shutdown();
+        // 24 queued requests drain in 12 batches of 2; depth stays ≥ 4 for
+        // the early batches, so the ladder must have been climbed.
+        assert!(
+            snapshot.total.mode_transitions > 0,
+            "burst must trigger escalation"
+        );
+        assert!(snapshot.transitions[0].to > snapshot.transitions[0].from);
+        assert!(
+            snapshot.total.batches_per_mode.len() > 1,
+            "batches must have run at more than one rung: {:?}",
+            snapshot.total.batches_per_mode
+        );
+    }
+
+    #[test]
+    fn empty_ladder_is_rejected() {
+        assert!(matches!(
+            ReplicaPool::start(Vec::new(), PoolConfig::default(), ExecConfig::default()),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+}

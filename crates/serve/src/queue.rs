@@ -133,6 +133,24 @@ impl<T> BoundedQueue<T> {
         state.items.drain(..take).collect()
     }
 
+    /// Collects one batch around `first`: claims everything already queued
+    /// in one lock, then blocks on `deadline` for the remainder — the
+    /// coalescing step shared by the single-session scheduler and every
+    /// replica-pool worker. Returns between 1 and `max_batch` items.
+    pub fn collect_batch(&self, first: T, max_batch: usize, deadline: Instant) -> Vec<T> {
+        let mut batch = vec![first];
+        if batch.len() < max_batch {
+            batch.extend(self.drain_up_to(max_batch - batch.len()));
+        }
+        while batch.len() < max_batch {
+            match self.pop_deadline(deadline) {
+                PopResult::Item(item) => batch.push(item),
+                PopResult::TimedOut | PopResult::Closed => break,
+            }
+        }
+        batch
+    }
+
     /// Closes the queue: future pushes are rejected, blocked pops drain the
     /// remaining items and then observe shutdown.
     pub fn close(&self) {

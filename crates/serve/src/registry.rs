@@ -121,6 +121,21 @@ impl ModelRegistry {
         Ok(session)
     }
 
+    /// Compiles the full ladder of design points for `name`, in rung order —
+    /// the session vector a replica pool or adaptive simulator executes
+    /// against (rung 0 first, typically dense → 2T → 4T).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::compile`].
+    pub fn compile_ladder(
+        &self,
+        name: &str,
+        ladder: &[SmtConfig],
+    ) -> Result<Vec<Arc<Session>>, ServeError> {
+        ladder.iter().map(|&smt| self.compile(name, smt)).collect()
+    }
+
     /// Number of cached compiled sessions.
     pub fn compiled_count(&self) -> usize {
         self.sessions.lock().expect("session cache lock").len()
@@ -152,6 +167,18 @@ mod tests {
 
         assert!(matches!(
             registry.compile("nope", SmtConfig::Dense),
+            Err(ServeError::UnknownModel(_))
+        ));
+
+        // The ladder helper hits the same cache in rung order.
+        let ladder = registry
+            .compile_ladder("synthnet", &[SmtConfig::Dense, SmtConfig::sysmt_2t()])
+            .unwrap();
+        assert_eq!(ladder.len(), 2);
+        assert!(Arc::ptr_eq(&ladder[0], &a));
+        assert!(Arc::ptr_eq(&ladder[1], &c));
+        assert!(matches!(
+            registry.compile_ladder("nope", &[SmtConfig::Dense]),
             Err(ServeError::UnknownModel(_))
         ));
     }

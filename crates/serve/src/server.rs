@@ -22,7 +22,7 @@ use nbsmt_tensor::tensor::Tensor;
 
 use crate::config::{SchedulerConfig, ServeError, SubmitError};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
-use crate::queue::{response_channel, BoundedQueue, PopResult, ResponseHandle, ResponseSlot};
+use crate::queue::{response_channel, BoundedQueue, ResponseHandle, ResponseSlot};
 use crate::session::{Inference, Session};
 
 /// Result delivered to each request's [`ResponseHandle`].
@@ -32,6 +32,27 @@ struct QueuedRequest {
     input: Tensor<f32>,
     submitted: Instant,
     slot: ResponseSlot<RequestResult>,
+}
+
+/// A queued request as the batch executor sees it — implemented by the
+/// single-session server's and the replica pool's request types so both
+/// schedulers share one [`execute_batch`].
+pub(crate) trait BatchItem {
+    fn input(&self) -> &Tensor<f32>;
+    fn submitted(&self) -> Instant;
+    fn into_slot(self) -> ResponseSlot<RequestResult>;
+}
+
+impl BatchItem for QueuedRequest {
+    fn input(&self) -> &Tensor<f32> {
+        &self.input
+    }
+    fn submitted(&self) -> Instant {
+        self.submitted
+    }
+    fn into_slot(self) -> ResponseSlot<RequestResult> {
+        self.slot
+    }
 }
 
 /// A running serving instance for one session.
@@ -149,44 +170,39 @@ fn scheduler_loop(
         // budget is spent. Requests already queued behind `first` are
         // claimed in one lock; only the remainder waits on the deadline.
         let deadline = first.submitted + max_wait;
-        let mut batch = vec![first];
-        batch.extend(queue.drain_up_to(max_batch - batch.len()));
-        while batch.len() < max_batch {
-            match queue.pop_deadline(deadline) {
-                PopResult::Item(item) => batch.push(item),
-                PopResult::TimedOut | PopResult::Closed => break,
-            }
-        }
+        let batch = queue.collect_batch(first, max_batch, deadline);
         metrics.record_batch(batch.len(), queue.len());
         execute_batch(session, ctx, batch, &mut metrics);
     }
     metrics
 }
 
-fn execute_batch(
+/// Executes one coalesced batch and completes every member's response slot
+/// — shared by the single-session scheduler and the replica-pool workers.
+pub(crate) fn execute_batch<R: BatchItem>(
     session: &Session,
     ctx: &ExecContext,
-    batch: Vec<QueuedRequest>,
+    batch: Vec<R>,
     metrics: &mut ServeMetrics,
 ) {
-    let inputs: Vec<&Tensor<f32>> = batch.iter().map(|r| &r.input).collect();
+    let inputs: Vec<&Tensor<f32>> = batch.iter().map(BatchItem::input).collect();
     match session.infer_batch_refs(ctx, &inputs) {
         Ok(responses) => {
             let done = Instant::now();
             for (request, response) in batch.into_iter().zip(responses) {
                 let latency = done
-                    .saturating_duration_since(request.submitted)
+                    .saturating_duration_since(request.submitted())
                     .as_nanos()
                     .min(u128::from(u64::MAX)) as u64;
                 metrics.record_latency(latency);
-                request.slot.complete(Ok(response));
+                request.into_slot().complete(Ok(response));
             }
         }
         Err(e) => {
             // A malformed request poisons only its own batch; every member
             // learns the error and the server keeps serving.
             for request in batch {
-                request.slot.complete(Err(e.clone()));
+                request.into_slot().complete(Err(e.clone()));
             }
         }
     }

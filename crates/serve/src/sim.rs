@@ -14,12 +14,16 @@
 //! and **closed loop** (N clients that submit, wait for the response, think,
 //! and submit again — arrivals emerge from completions).
 
+use std::borrow::Borrow;
 use std::collections::VecDeque;
 
 use nbsmt_tensor::exec::ExecContext;
 use nbsmt_tensor::tensor::Tensor;
 
-use crate::config::{SchedulerConfig, ServeError};
+use crate::config::{
+    route_hash, AdaptivePolicy, AdaptiveState, ModeTransition, PoolConfig, RoutePolicy,
+    SchedulerConfig, ServeError,
+};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::session::{Inference, Session};
 
@@ -125,10 +129,15 @@ struct PendingArrival {
     client: usize,
 }
 
-/// Runs the simulation: `inputs` is the request-input pool, `arrivals`
-/// the arrival process, `scheduler` the batching/admission policy, and
-/// `service` the virtual-clock cost model. Model outputs are computed for
-/// real on `ctx`.
+/// Runs the single-session simulation: `inputs` is the request-input pool,
+/// `arrivals` the arrival process, `scheduler` the batching/admission
+/// policy, and `service` the virtual-clock cost model. Model outputs are
+/// computed for real on `ctx`.
+///
+/// This is the single-replica specialization of [`simulate_pool`]: one
+/// replica, a pinned single-rung ladder, and the pool outcome projected
+/// down to [`SimOutcome`] — one event loop owns the scheduling semantics,
+/// so the single and sharded simulators cannot drift apart.
 ///
 /// # Errors
 ///
@@ -142,25 +151,62 @@ pub fn simulate(
     scheduler: SchedulerConfig,
     service: ServiceModel,
 ) -> Result<SimOutcome, ServeError> {
-    if inputs.is_empty() {
-        return Err(ServeError::BadRequest("empty request-input pool".into()));
-    }
-    let scheduler = scheduler.normalized();
-    let max_batch = scheduler.batch.max_batch;
-    let max_wait = scheduler.batch.max_wait_ns;
-    let mut capacity = scheduler.queue_capacity;
-    if let ArrivalProcess::Closed { clients, .. } = arrivals {
-        // Closed loop: each client has at most one request in flight, so a
-        // queue bound below the population would orphan clients forever (a
-        // shed submission is never retried — the client simply dies). Raise
-        // the bound to the client count: admission control is an open-loop
-        // concern; a closed loop self-regulates by construction.
-        capacity = capacity.max(*clients);
-    }
+    let pool = PoolConfig {
+        replicas: 1,
+        route: RoutePolicy::RoundRobin,
+        scheduler,
+        adaptive: AdaptivePolicy::pinned(),
+    };
+    let outcome = simulate_pool(
+        std::slice::from_ref(&session),
+        ctx,
+        inputs,
+        arrivals,
+        pool,
+        service,
+    )?;
+    Ok(SimOutcome {
+        responses: outcome.responses,
+        rejected_ids: outcome.rejected_ids,
+        batches: outcome
+            .batches
+            .into_iter()
+            .map(|b| BatchRecord {
+                launch_ns: b.launch_ns,
+                finish_ns: b.finish_ns,
+                request_ids: b.request_ids,
+                queue_depth_after: b.queue_depth_after,
+            })
+            .collect(),
+        metrics: outcome.metrics,
+        makespan_ns: outcome.makespan_ns,
+    })
+}
 
-    // Pending arrivals, always sorted by (time, id). Open loop prefills the
-    // whole trace; closed loop seeds one submission per client and grows on
-    // completions.
+struct ArrivalPlan {
+    /// Pending arrivals, always sorted by `(time, id)`.
+    pending: VecDeque<PendingArrival>,
+    next_id: u64,
+    remaining_closed: usize,
+    think_ns: u64,
+}
+
+/// The client population a closed loop needs admitted (0 for open loop) —
+/// the per-queue capacity floor.
+fn closed_population(arrivals: &ArrivalProcess) -> usize {
+    match arrivals {
+        ArrivalProcess::Open { .. } => 0,
+        ArrivalProcess::Closed { clients, .. } => *clients,
+    }
+}
+
+/// Expands an arrival process into the initial pending set: the open loop
+/// prefills the whole trace; the closed loop seeds one submission per client
+/// and grows on completions.
+fn expand_arrivals(
+    arrivals: &ArrivalProcess,
+    inputs_len: usize,
+) -> Result<ArrivalPlan, ServeError> {
     let mut pending: VecDeque<PendingArrival> = VecDeque::new();
     let mut next_id = 0u64;
     let mut remaining_closed = 0usize;
@@ -175,7 +221,7 @@ pub fn simulate(
                 pending.push_back(PendingArrival {
                     id: next_id,
                     time_ns: t,
-                    input_index: next_id as usize % inputs.len(),
+                    input_index: next_id as usize % inputs_len,
                     client: 0,
                 });
                 next_id += 1;
@@ -193,7 +239,7 @@ pub fn simulate(
                 pending.push_back(PendingArrival {
                     id: next_id,
                     time_ns: 0,
-                    input_index: next_id as usize % inputs.len(),
+                    input_index: next_id as usize % inputs_len,
                     client: c,
                 });
                 next_id += 1;
@@ -201,121 +247,286 @@ pub fn simulate(
             *think_ns
         }
     };
+    Ok(ArrivalPlan {
+        pending,
+        next_id,
+        remaining_closed,
+        think_ns,
+    })
+}
 
-    let mut queue: VecDeque<PendingArrival> = VecDeque::new();
-    let mut metrics = ServeMetrics::new();
+/// Closed loop: each client completed in `batch` thinks for `think_ns` and
+/// submits again (as a fresh pending arrival routed like any other), until
+/// `remaining_closed` runs out. Completions are strictly after the batch's
+/// launch, so a respawned arrival can never belong to the batch that
+/// produced it. Shared by [`simulate`] and [`simulate_pool`] so the two
+/// closed-loop semantics cannot drift apart.
+fn respawn_closed(
+    pending: &mut VecDeque<PendingArrival>,
+    remaining_closed: &mut usize,
+    next_id: &mut u64,
+    batch: &[PendingArrival],
+    finish: u64,
+    think_ns: u64,
+    inputs_len: usize,
+) {
+    for request in batch {
+        if *remaining_closed == 0 {
+            break;
+        }
+        *remaining_closed -= 1;
+        let arrival = PendingArrival {
+            id: *next_id,
+            time_ns: finish.saturating_add(think_ns),
+            input_index: *next_id as usize % inputs_len,
+            client: request.client,
+        };
+        *next_id += 1;
+        insert_sorted(pending, arrival);
+    }
+}
+
+/// Keeps `pending` sorted by `(time, id)`; completions share one finish
+/// time so a linear scan from the back is cheap.
+fn insert_sorted(pending: &mut VecDeque<PendingArrival>, arrival: PendingArrival) {
+    let pos = pending
+        .iter()
+        .rposition(|p| (p.time_ns, p.id) <= (arrival.time_ns, arrival.id))
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    pending.insert(pos, arrival);
+}
+
+/// One launched batch in a simulated replica pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolBatchRecord {
+    /// Replica that executed the batch.
+    pub replica: usize,
+    /// Ladder rung the batch executed at.
+    pub mode: usize,
+    /// Virtual launch time [ns].
+    pub launch_ns: u64,
+    /// Virtual completion time [ns].
+    pub finish_ns: u64,
+    /// Request ids coalesced into this batch, in queue order.
+    pub request_ids: Vec<u64>,
+    /// Queue depth left behind after the batch was drained.
+    pub queue_depth_after: usize,
+}
+
+/// The full, deterministic outcome of a simulated replica pool run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolSimOutcome {
+    /// `(request id, inference)` for every completed request, in
+    /// event-processing order (chronological; ties break arrival-first,
+    /// then lowest replica index).
+    pub responses: Vec<(u64, Inference)>,
+    /// Ids shed by per-replica admission control, in arrival order.
+    pub rejected_ids: Vec<u64>,
+    /// Every launched batch, in event-processing order.
+    pub batches: Vec<PoolBatchRecord>,
+    /// Every adaptive mode switch, grouped by replica in replica order
+    /// (matching [`crate::pool::PoolSnapshot::transitions`]).
+    pub transitions: Vec<ModeTransition>,
+    /// Per-replica metrics over the virtual makespan. Rejections are
+    /// attributed to the replica the router picked.
+    pub per_replica: Vec<MetricsSnapshot>,
+    /// Pool-level aggregate metrics over the virtual makespan.
+    pub metrics: MetricsSnapshot,
+    /// Virtual time at which the last batch finished [ns].
+    pub makespan_ns: u64,
+}
+
+struct ReplicaSim {
+    queue: VecDeque<PendingArrival>,
+    t_free: u64,
+    state: AdaptiveState,
+    metrics: ServeMetrics,
+}
+
+/// Simulates a sharded replica pool: N virtual-clock replicas behind a
+/// deterministic router, each switching between the `sessions` ladder rungs
+/// under the pool's [`crate::config::AdaptivePolicy`]. The mirror of
+/// [`crate::pool::ReplicaPool`] — same router arithmetic, same adaptive
+/// state machine, virtual time instead of the wall clock.
+///
+/// Events are processed chronologically; an arrival that coincides with a
+/// launch is admitted (and routed) first, and simultaneous launches resolve
+/// lowest-replica-first. Request ids double as the router keys, matching a
+/// threaded pool driven with `submit(id, …)`.
+///
+/// # Errors
+///
+/// Rejects an empty ladder, an empty input pool, or an unsorted open-loop
+/// trace as [`ServeError::BadRequest`]; propagates session-execution
+/// failures.
+pub fn simulate_pool<S: Borrow<Session>>(
+    sessions: &[S],
+    ctx: &ExecContext,
+    inputs: &[Tensor<f32>],
+    arrivals: &ArrivalProcess,
+    pool: PoolConfig,
+    service: ServiceModel,
+) -> Result<PoolSimOutcome, ServeError> {
+    if sessions.is_empty() {
+        return Err(ServeError::BadRequest(
+            "replica pool needs at least one session in the ladder".into(),
+        ));
+    }
+    if inputs.is_empty() {
+        return Err(ServeError::BadRequest("empty request-input pool".into()));
+    }
+    let pool = pool.normalized();
+    let max_batch = pool.scheduler.batch.max_batch;
+    let max_wait = pool.scheduler.batch.max_wait_ns;
+    // Same closed-loop floor as the single-replica simulator, per replica:
+    // hashed routing can land an entire client population on one queue.
+    let capacity = pool
+        .scheduler
+        .queue_capacity
+        .max(closed_population(arrivals));
+
+    let ArrivalPlan {
+        mut pending,
+        mut next_id,
+        mut remaining_closed,
+        think_ns,
+    } = expand_arrivals(arrivals, inputs.len())?;
+
+    let mut replicas: Vec<ReplicaSim> = (0..pool.replicas)
+        .map(|r| ReplicaSim {
+            queue: VecDeque::new(),
+            t_free: 0,
+            state: AdaptiveState::new(pool.adaptive, r, sessions.len()),
+            metrics: ServeMetrics::new(),
+        })
+        .collect();
+    let mut rr_counter = 0u64;
     let mut responses = Vec::new();
     let mut rejected_ids = Vec::new();
     let mut batches = Vec::new();
-    let mut t_free = 0u64;
 
-    while !pending.is_empty() || !queue.is_empty() {
-        if queue.is_empty() {
-            // Worker idle: fast-forward to the next arrival (always admitted
-            // into an empty queue).
-            let first = pending.pop_front().expect("pending nonempty");
-            queue.push_back(first);
-        }
-        let oldest = queue.front().expect("queue nonempty").time_ns;
-        // The worker can launch from `open`; the batch closes at `close`
-        // unless it fills earlier (mirrors the threaded scheduler's
-        // first-request-anchored deadline).
-        let open = t_free.max(oldest);
-        let close = open.max(oldest.saturating_add(max_wait));
-
-        // Phase 1 — decide the launch instant without mutating state: the
-        // earliest time >= `open` at which max_batch requests are queued, or
-        // `close`.
-        let mut launch = close;
-        {
-            let mut len = queue.len();
-            if len >= max_batch {
-                launch = open;
+    loop {
+        // Earliest launch any replica could perform from its current queue:
+        // a full batch launches once the worker is free and its max_batch-th
+        // request has arrived; a partial batch waits out the oldest
+        // request's budget.
+        let mut next_launch: Option<(u64, usize)> = None;
+        for (r, replica) in replicas.iter().enumerate() {
+            let Some(oldest) = replica.queue.front() else {
+                continue;
+            };
+            let launch = if replica.queue.len() >= max_batch {
+                replica.t_free.max(replica.queue[max_batch - 1].time_ns)
             } else {
-                for arrival in pending.iter() {
-                    if arrival.time_ns > close {
-                        break;
+                replica.t_free.max(oldest.time_ns.saturating_add(max_wait))
+            };
+            if next_launch.is_none_or(|(best, _)| launch < best) {
+                next_launch = Some((launch, r));
+            }
+        }
+
+        // Arrivals at or before that launch are routed and admitted first
+        // (mirrors the threaded pool, where submission precedes the drain).
+        if let Some(arrival) = pending.front().copied() {
+            if next_launch.is_none_or(|(launch, _)| arrival.time_ns <= launch) {
+                pending.pop_front();
+                let target = match pool.route {
+                    RoutePolicy::RoundRobin => {
+                        let t = (rr_counter as usize) % replicas.len();
+                        rr_counter += 1;
+                        t
                     }
-                    if len < capacity {
-                        len += 1;
+                    RoutePolicy::Hashed => {
+                        (route_hash(arrival.id) % replicas.len() as u64) as usize
                     }
-                    if len >= max_batch {
-                        launch = open.max(arrival.time_ns);
-                        break;
-                    }
+                    RoutePolicy::LeastOutstanding => replicas
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(i, rep)| (rep.queue.len(), *i))
+                        .map(|(i, _)| i)
+                        .expect("at least one replica"),
+                };
+                let replica = &mut replicas[target];
+                if replica.queue.len() < capacity {
+                    replica.queue.push_back(arrival);
+                } else {
+                    rejected_ids.push(arrival.id);
+                    replica.metrics.record_rejected();
                 }
+                continue;
             }
         }
 
-        // Phase 2 — replay admission for every arrival up to `launch`
-        // against the bounded queue.
-        while let Some(arrival) = pending.front().copied() {
-            if arrival.time_ns > launch {
-                break;
-            }
-            pending.pop_front();
-            if queue.len() < capacity {
-                queue.push_back(arrival);
-            } else {
-                rejected_ids.push(arrival.id);
-                metrics.record_rejected();
-            }
-        }
+        let Some((launch, r)) = next_launch else {
+            break; // no queued work and no pending arrivals
+        };
 
-        // Drain and execute the batch.
-        let take = queue.len().min(max_batch);
-        let batch: Vec<PendingArrival> = queue.drain(..take).collect();
+        // Launch on replica `r`.
+        let take = replicas[r].queue.len().min(max_batch);
+        let batch: Vec<PendingArrival> = replicas[r].queue.drain(..take).collect();
+        let mode = replicas[r].state.mode();
+        let session: &Session = sessions[mode].borrow();
         let batch_inputs: Vec<&Tensor<f32>> =
-            batch.iter().map(|r| &inputs[r.input_index]).collect();
+            batch.iter().map(|req| &inputs[req.input_index]).collect();
         let outputs = session.infer_batch_refs(ctx, &batch_inputs)?;
         let finish = launch.saturating_add(service.service_ns(session, batch.len()));
-        metrics.record_batch(batch.len(), queue.len());
+        let depth_after = replicas[r].queue.len();
+        let replica = &mut replicas[r];
+        replica.metrics.record_batch(batch.len(), depth_after);
+        replica.metrics.record_mode_batch(mode);
         for (request, inference) in batch.iter().zip(outputs) {
-            metrics.record_latency(finish.saturating_sub(request.time_ns));
+            replica
+                .metrics
+                .record_latency(finish.saturating_sub(request.time_ns));
             responses.push((request.id, inference));
         }
-        batches.push(BatchRecord {
+        batches.push(PoolBatchRecord {
+            replica: r,
+            mode,
             launch_ns: launch,
             finish_ns: finish,
-            request_ids: batch.iter().map(|r| r.id).collect(),
-            queue_depth_after: queue.len(),
+            request_ids: batch.iter().map(|req| req.id).collect(),
+            queue_depth_after: depth_after,
         });
-        t_free = finish;
+        replica.t_free = finish;
 
-        // Closed loop: each completed client thinks, then submits again
-        // (completions are strictly after `launch`, so these arrivals can
-        // never belong to the batch that produced them).
-        if remaining_closed > 0 {
-            for request in &batch {
-                if remaining_closed == 0 {
-                    break;
-                }
-                remaining_closed -= 1;
-                let arrival = PendingArrival {
-                    id: next_id,
-                    time_ns: finish.saturating_add(think_ns),
-                    input_index: next_id as usize % inputs.len(),
-                    client: request.client,
-                };
-                next_id += 1;
-                // Keep `pending` sorted by (time, id); completions share one
-                // finish time so a linear scan from the back is cheap.
-                let pos = pending
-                    .iter()
-                    .rposition(|p| (p.time_ns, p.id) <= (arrival.time_ns, arrival.id))
-                    .map(|p| p + 1)
-                    .unwrap_or(0);
-                pending.insert(pos, arrival);
-            }
+        // Closed loop: completed clients think, then re-submit through the
+        // router like any other arrival.
+        respawn_closed(
+            &mut pending,
+            &mut remaining_closed,
+            &mut next_id,
+            &batch,
+            finish,
+            think_ns,
+            inputs.len(),
+        );
+
+        // Adaptive evaluation after the batch's latencies landed — the
+        // switch, if any, applies from the replica's next batch on.
+        let p95 = replica.metrics.latency.quantile(0.95);
+        if replica.state.observe_batch(depth_after, p95).is_some() {
+            replica.metrics.record_transition();
         }
     }
 
-    let makespan_ns = t_free;
-    Ok(SimOutcome {
+    let makespan_ns = replicas.iter().map(|r| r.t_free).max().unwrap_or(0);
+    let mut total = ServeMetrics::new();
+    let mut per_replica = Vec::new();
+    let mut transitions = Vec::new();
+    for replica in replicas {
+        total.merge(&replica.metrics);
+        per_replica.push(replica.metrics.snapshot(makespan_ns));
+        transitions.extend(replica.state.into_transitions());
+    }
+    Ok(PoolSimOutcome {
         responses,
         rejected_ids,
         batches,
-        metrics: metrics.snapshot(makespan_ns),
+        transitions,
+        per_replica,
+        metrics: total.snapshot(makespan_ns),
         makespan_ns,
     })
 }
@@ -326,6 +537,7 @@ mod tests {
     use crate::config::{BatchPolicy, SmtConfig};
     use crate::session::compile_session;
     use nbsmt_workloads::synthnet::quick_synthnet;
+    use std::sync::Arc;
 
     fn test_setup() -> (Session, Vec<Tensor<f32>>) {
         let trained = quick_synthnet(23).expect("training succeeds");
@@ -517,6 +729,237 @@ mod tests {
         for batch in &out.batches {
             assert!(batch.request_ids.len() <= 3);
         }
+    }
+
+    fn ladder_setup() -> (Vec<Arc<Session>>, Vec<Tensor<f32>>) {
+        let trained = quick_synthnet(23).expect("training succeeds");
+        let mut registry = crate::registry::ModelRegistry::new();
+        registry
+            .register_synthnet("synthnet", &trained, 301)
+            .unwrap();
+        let ladder = registry
+            .compile_ladder(
+                "synthnet",
+                &[
+                    SmtConfig::Dense,
+                    SmtConfig::sysmt_2t(),
+                    SmtConfig::sysmt_4t(),
+                ],
+            )
+            .unwrap();
+        let (inputs, _) = trained.sample_requests(8, 302);
+        (ladder, inputs)
+    }
+
+    fn pool_cfg(replicas: usize, route: RoutePolicy, scheduler: SchedulerConfig) -> PoolConfig {
+        PoolConfig {
+            replicas,
+            route,
+            scheduler,
+            adaptive: crate::config::AdaptivePolicy::pinned(),
+        }
+    }
+
+    #[test]
+    fn pool_of_one_matches_the_single_replica_simulator() {
+        // A 1-replica pinned pool must be behaviourally identical to the
+        // original single-session simulator: same launches, same batches,
+        // same latencies, same sheds.
+        let (session, inputs) = test_setup();
+        let ctx = ExecContext::sequential();
+        let scheduler = policy(3, 40_000, 4);
+        for arrivals in [
+            ArrivalProcess::Open {
+                arrivals_ns: (0..24).map(|i| i * 17_000).collect(),
+            },
+            ArrivalProcess::Open {
+                arrivals_ns: vec![0; 16],
+            },
+            ArrivalProcess::Closed {
+                clients: 5,
+                think_ns: 30_000,
+                total_requests: 20,
+            },
+        ] {
+            let single = simulate(
+                &session,
+                &ctx,
+                &inputs,
+                &arrivals,
+                scheduler,
+                ServiceModel::default(),
+            )
+            .unwrap();
+            let pooled = simulate_pool(
+                &[Arc::new(session.clone())],
+                &ctx,
+                &inputs,
+                &arrivals,
+                pool_cfg(1, RoutePolicy::RoundRobin, scheduler),
+                ServiceModel::default(),
+            )
+            .unwrap();
+            assert_eq!(pooled.batches.len(), single.batches.len());
+            for (p, s) in pooled.batches.iter().zip(single.batches.iter()) {
+                assert_eq!(p.request_ids, s.request_ids);
+                assert_eq!(p.launch_ns, s.launch_ns);
+                assert_eq!(p.finish_ns, s.finish_ns);
+                assert_eq!(p.queue_depth_after, s.queue_depth_after);
+                assert_eq!((p.replica, p.mode), (0, 0));
+            }
+            assert_eq!(pooled.responses, single.responses);
+            assert_eq!(pooled.rejected_ids, single.rejected_ids);
+            assert_eq!(pooled.makespan_ns, single.makespan_ns);
+            assert!(pooled.transitions.is_empty(), "pinned pool never switches");
+        }
+    }
+
+    #[test]
+    fn round_robin_pool_splits_a_burst_across_replicas() {
+        let (ladder, inputs) = ladder_setup();
+        let ctx = ExecContext::sequential();
+        let arrivals = ArrivalProcess::Open {
+            arrivals_ns: vec![0; 8],
+        };
+        let out = simulate_pool(
+            &ladder,
+            &ctx,
+            &inputs,
+            &arrivals,
+            pool_cfg(2, RoutePolicy::RoundRobin, policy(4, 1_000_000, 64)),
+            ServiceModel::default(),
+        )
+        .unwrap();
+        assert_eq!(out.metrics.completed, 8);
+        assert_eq!(out.batches.len(), 2, "each replica coalesces its half");
+        // Round-robin interleaves ids: evens on replica 0, odds on 1.
+        let by_replica: Vec<Vec<u64>> = (0..2)
+            .map(|r| {
+                out.batches
+                    .iter()
+                    .filter(|b| b.replica == r)
+                    .flat_map(|b| b.request_ids.clone())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(by_replica[0], vec![0, 2, 4, 6]);
+        assert_eq!(by_replica[1], vec![1, 3, 5, 7]);
+        // And both replicas report their own metrics.
+        assert_eq!(out.per_replica.len(), 2);
+        assert!(out.per_replica.iter().all(|m| m.completed == 4));
+    }
+
+    #[test]
+    fn hashed_routing_is_sticky_per_key() {
+        let (ladder, inputs) = ladder_setup();
+        let ctx = ExecContext::sequential();
+        // The same id set twice: each id must land on the same replica both
+        // times (affinity), regardless of interleaving.
+        let arrivals = ArrivalProcess::Open {
+            arrivals_ns: (0..16).map(|i| i * 200_000).collect(),
+        };
+        let out = simulate_pool(
+            &ladder,
+            &ctx,
+            &inputs,
+            &arrivals,
+            pool_cfg(4, RoutePolicy::Hashed, policy(2, 1_000, 64)),
+            ServiceModel::default(),
+        )
+        .unwrap();
+        for batch in &out.batches {
+            for &id in &batch.request_ids {
+                assert_eq!(
+                    batch.replica,
+                    (route_hash(id) % 4) as usize,
+                    "id {id} must follow its hash"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_pool_sheds_less_than_pinned_dense_under_overload() {
+        let (ladder, inputs) = ladder_setup();
+        let ctx = ExecContext::sequential();
+        let service = ServiceModel::default();
+        // Offered far beyond one dense replica's service rate.
+        let gap = service.single_ns(&ladder[0]) / 4;
+        let arrivals = ArrivalProcess::Open {
+            arrivals_ns: (0..64).map(|i| i * gap).collect(),
+        };
+        let scheduler = policy(4, 100_000, 8);
+        let pinned = simulate_pool(
+            &ladder[..1],
+            &ctx,
+            &inputs,
+            &arrivals,
+            pool_cfg(1, RoutePolicy::RoundRobin, scheduler),
+            service,
+        )
+        .unwrap();
+        let adaptive = simulate_pool(
+            &ladder,
+            &ctx,
+            &inputs,
+            &arrivals,
+            PoolConfig {
+                adaptive: crate::config::AdaptivePolicy {
+                    depth_high: 4,
+                    depth_low: 1,
+                    p95_high_ns: 0,
+                    eval_every_batches: 1,
+                },
+                ..pool_cfg(1, RoutePolicy::RoundRobin, scheduler)
+            },
+            service,
+        )
+        .unwrap();
+        assert!(
+            pinned.metrics.rejected > 0,
+            "dense-only must shed at 4x load"
+        );
+        assert!(
+            adaptive.metrics.rejected < pinned.metrics.rejected,
+            "adaptive ({} shed) must shed less than pinned dense ({} shed)",
+            adaptive.metrics.rejected,
+            pinned.metrics.rejected
+        );
+        assert!(
+            adaptive.metrics.mode_transitions > 0,
+            "overload must drive the ladder"
+        );
+        // The trade is visible in the mode histogram: some batches ran
+        // above rung 0.
+        let above: u64 = adaptive.metrics.batches_per_mode.iter().skip(1).sum();
+        assert!(above > 0);
+        // Accounting closes for both runs.
+        assert_eq!(pinned.metrics.completed + pinned.metrics.rejected, 64);
+        assert_eq!(adaptive.metrics.completed + adaptive.metrics.rejected, 64);
+    }
+
+    #[test]
+    fn closed_loop_pool_completes_every_request() {
+        let (ladder, inputs) = ladder_setup();
+        let ctx = ExecContext::sequential();
+        let arrivals = ArrivalProcess::Closed {
+            clients: 6,
+            think_ns: 1_000,
+            total_requests: 30,
+        };
+        let out = simulate_pool(
+            &ladder,
+            &ctx,
+            &inputs,
+            &arrivals,
+            pool_cfg(3, RoutePolicy::LeastOutstanding, policy(4, 10_000, 2)),
+            ServiceModel::default(),
+        )
+        .unwrap();
+        assert_eq!(out.metrics.completed, 30);
+        assert!(out.rejected_ids.is_empty(), "closed loop cannot overflow");
+        let per_replica_total: u64 = out.per_replica.iter().map(|m| m.completed).sum();
+        assert_eq!(per_replica_total, 30);
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Concurrency stress tests for the admission-control queue: many producers
+//! hammering [`BoundedQueue`] while response handles are dropped mid-flight.
+//!
+//! The properties under test are the serving layer's accounting invariants —
+//! the ones every metrics snapshot and shed-rate claim depend on:
+//!
+//! * **No lost permits**: every submission either lands in the queue (and is
+//!   eventually popped) or comes back with a typed [`SubmitError`]; accepted
+//!   = consumed, attempts = accepted + `QueueFull` + `Closed`.
+//! * **No deadlock**: dropping a [`ResponseHandle`] before the response
+//!   arrives, or dropping a [`ResponseSlot`] before completing it, never
+//!   wedges the other side.
+//! * **Bound respected**: the queue never holds more than its capacity.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use nbsmt_serve::config::SubmitError;
+use nbsmt_serve::queue::{response_channel, BoundedQueue, Cancelled, ResponseSlot};
+
+struct StressCounters {
+    accepted: AtomicU64,
+    queue_full: AtomicU64,
+    closed: AtomicU64,
+}
+
+#[test]
+fn producers_dropping_handles_mid_flight_lose_no_permits() {
+    const PRODUCERS: usize = 8;
+    const ATTEMPTS_PER_PRODUCER: u64 = 400;
+    const CAPACITY: usize = 8;
+
+    let queue: Arc<BoundedQueue<(u64, ResponseSlot<u64>)>> = Arc::new(BoundedQueue::new(CAPACITY));
+    let counters = Arc::new(StressCounters {
+        accepted: AtomicU64::new(0),
+        queue_full: AtomicU64::new(0),
+        closed: AtomicU64::new(0),
+    });
+
+    // Consumer: pops until close-and-drained, completes most slots and
+    // deliberately *drops* every 7th (scheduler dying mid-request) — the
+    // waiting handle must observe `Cancelled`, not hang.
+    let consumer_queue = Arc::clone(&queue);
+    let consumer = std::thread::spawn(move || {
+        let mut consumed = 0u64;
+        let mut dropped_slots = 0u64;
+        while let Some((value, slot)) = consumer_queue.pop_blocking() {
+            consumed += 1;
+            if consumed.is_multiple_of(7) {
+                dropped_slots += 1;
+                drop(slot);
+            } else {
+                slot.complete(value);
+            }
+            if consumed.is_multiple_of(16) {
+                // Periodically stall so the producers actually fill the
+                // queue and exercise the QueueFull path.
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        }
+        (consumed, dropped_slots)
+    });
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let queue = Arc::clone(&queue);
+            let counters = Arc::clone(&counters);
+            std::thread::spawn(move || {
+                let mut completed = 0u64;
+                let mut cancelled = 0u64;
+                for i in 0..ATTEMPTS_PER_PRODUCER {
+                    let value = (p as u64) << 32 | i;
+                    let (slot, handle) = response_channel();
+                    match queue.try_push((value, slot)) {
+                        Ok(()) => {
+                            counters.accepted.fetch_add(1, Ordering::Relaxed);
+                            if i % 3 == 0 {
+                                // Client walks away mid-flight: the handle
+                                // is dropped while the request is queued or
+                                // executing. The slot side must not wedge.
+                                drop(handle);
+                            } else {
+                                match handle.wait() {
+                                    Ok(echoed) => {
+                                        assert_eq!(echoed, value, "responses must not cross");
+                                        completed += 1;
+                                    }
+                                    Err(Cancelled) => cancelled += 1,
+                                }
+                            }
+                        }
+                        Err(SubmitError::QueueFull { capacity }) => {
+                            assert_eq!(capacity, CAPACITY);
+                            counters.queue_full.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(SubmitError::Closed) => {
+                            counters.closed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    assert!(queue.len() <= CAPACITY, "bound must hold");
+                }
+                (completed, cancelled)
+            })
+        })
+        .collect();
+
+    let mut waited_completed = 0u64;
+    let mut waited_cancelled = 0u64;
+    for producer in producers {
+        let (completed, cancelled) = producer.join().expect("producer exits cleanly");
+        waited_completed += completed;
+        waited_cancelled += cancelled;
+    }
+    // Producers are done: close the queue; the consumer drains what is left
+    // and exits — if a permit were ever lost this join would deadlock (the
+    // driver's test timeout is the backstop).
+    queue.close();
+    let (consumed, dropped_slots) = consumer.join().expect("consumer exits cleanly");
+
+    let accepted = counters.accepted.load(Ordering::Relaxed);
+    let queue_full = counters.queue_full.load(Ordering::Relaxed);
+    let closed = counters.closed.load(Ordering::Relaxed);
+
+    // Every attempt is accounted for by exactly one typed outcome…
+    assert_eq!(
+        accepted + queue_full + closed,
+        (PRODUCERS as u64) * ATTEMPTS_PER_PRODUCER,
+        "attempts must reconcile with typed outcomes"
+    );
+    // …no submissions raced shutdown (close happens after all joins)…
+    assert_eq!(closed, 0);
+    // …every accepted submission was consumed exactly once…
+    assert_eq!(consumed, accepted, "no permit may be lost or duplicated");
+    assert!(queue.is_empty(), "closed queue must drain to empty");
+    // …and every waited-on handle resolved: completions for completed
+    // slots, cancellations only from deliberately dropped slots.
+    assert!(waited_cancelled <= dropped_slots);
+    assert!(
+        waited_completed + waited_cancelled <= accepted,
+        "waited outcomes cannot exceed accepted submissions"
+    );
+    assert!(waited_completed > 0, "the happy path must actually run");
+    assert!(
+        queue_full > 0,
+        "a capacity-8 queue under 8 producers must shed"
+    );
+    assert!(dropped_slots > 0, "the slot-drop path must actually run");
+}
+
+#[test]
+fn close_racing_producers_reconciles_typed_errors() {
+    const PRODUCERS: usize = 6;
+    const ATTEMPTS_PER_PRODUCER: u64 = 300;
+
+    let queue: Arc<BoundedQueue<u64>> = Arc::new(BoundedQueue::new(16));
+    let accepted = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+
+    // Consumer keeps draining so producers see both a full and a non-full
+    // queue; it stops once the queue is closed and drained.
+    let consumer_queue = Arc::clone(&queue);
+    let consumer = std::thread::spawn(move || {
+        let mut consumed = 0u64;
+        while consumer_queue.pop_blocking().is_some() {
+            consumed += 1;
+        }
+        consumed
+    });
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let queue = Arc::clone(&queue);
+            let accepted = Arc::clone(&accepted);
+            let rejected = Arc::clone(&rejected);
+            std::thread::spawn(move || {
+                for i in 0..ATTEMPTS_PER_PRODUCER {
+                    match queue.try_push((p as u64) << 32 | i) {
+                        Ok(()) => {
+                            accepted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(SubmitError::QueueFull { .. }) | Err(SubmitError::Closed) => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    if queue.is_closed() {
+                        break;
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Close while producers are (very likely) still pushing: submissions
+    // racing the close must come back `Closed`, never vanish.
+    queue.close();
+    for producer in producers {
+        producer.join().expect("producer exits cleanly");
+    }
+    let consumed = consumer.join().expect("consumer exits cleanly");
+
+    assert_eq!(
+        consumed,
+        accepted.load(Ordering::Relaxed),
+        "everything accepted before the close must still be consumed"
+    );
+    assert!(queue.is_empty());
+    assert_eq!(
+        queue.try_push(0),
+        Err(SubmitError::Closed),
+        "a closed queue stays closed"
+    );
+}

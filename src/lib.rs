@@ -39,11 +39,17 @@ pub mod prelude {
     pub use nbsmt_nn::model::Model;
     pub use nbsmt_quant::qtensor::{QuantMatrix, QuantTensor};
     pub use nbsmt_quant::scheme::QuantScheme;
-    pub use nbsmt_serve::config::{BatchPolicy, SchedulerConfig, SmtConfig, SubmitError};
+    pub use nbsmt_serve::config::{
+        AdaptivePolicy, BatchPolicy, PoolConfig, RoutePolicy, SchedulerConfig, SmtConfig,
+        SubmitError,
+    };
+    pub use nbsmt_serve::pool::{PoolClient, PoolSnapshot, ReplicaPool};
     pub use nbsmt_serve::registry::ModelRegistry;
     pub use nbsmt_serve::server::Server;
     pub use nbsmt_serve::session::{Inference, Session};
-    pub use nbsmt_serve::sim::{simulate, ArrivalProcess, ServiceModel};
+    pub use nbsmt_serve::sim::{
+        simulate, simulate_pool, ArrivalProcess, PoolSimOutcome, ServiceModel,
+    };
     pub use nbsmt_sparsity::stats::UtilizationBreakdown;
     pub use nbsmt_systolic::array::{OutputStationaryArray, SystolicConfig};
     pub use nbsmt_tensor::exec::{ExecConfig, ExecContext, GemmBackend, GemmBackendKind};

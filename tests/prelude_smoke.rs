@@ -100,4 +100,19 @@ fn prelude_covers_the_serving_layer() {
         },
         ArrivalProcess::Open { .. }
     ));
+
+    // The sharded serving layer resolves through the prelude too: router
+    // and adaptive policies are pure config/arithmetic, so they run here.
+    assert_eq!(RoutePolicy::parse("rr"), Some(RoutePolicy::RoundRobin));
+    assert_eq!(RoutePolicy::Hashed.label(), "hash");
+    let pool = PoolConfig {
+        replicas: 0,
+        route: RoutePolicy::LeastOutstanding,
+        scheduler,
+        adaptive: AdaptivePolicy::default(),
+    }
+    .normalized();
+    assert_eq!(pool.replicas, 1);
+    assert_eq!(AdaptivePolicy::pinned().decide(0, 3, usize::MAX - 1, 0), 0);
+    assert_eq!(AdaptivePolicy::default().decide(0, 3, 64, 0), 1);
 }
