@@ -1,701 +1,266 @@
 //! `repro` — regenerates every table and figure of the NB-SMT paper.
 //!
-//! Usage:
+//! A thin driver over [`nbsmt_bench::ExperimentRegistry`]: experiments,
+//! their descriptions, defaults, and accepted parameters all live in the
+//! registry, and a run is fully described by a declarative
+//! [`nbsmt_bench::RunSpec`].
 //!
 //! ```text
-//! cargo run -p nbsmt-bench --release --bin repro -- <experiment> \
-//!     [--full] [--threads N] [--backend {naive,blocked,parallel}] \
-//!     [--requests N] [--replicas N[,N...]] [--list]
+//! cargo run -p nbsmt-bench --release --bin repro -- <experiment> [flags]
+//! cargo run -p nbsmt-bench --release --bin repro -- --spec examples/specs/serve_small.json
 //! ```
 //!
-//! Run `repro -- --list` to enumerate the experiments with one-line
-//! descriptions. `--full` runs the full-scale configuration used for
-//! EXPERIMENTS.md (slower); the default quick scale exercises the same code
-//! with smaller sample counts.
+//! Run `repro -- --help` for the flags and `repro -- --list` for every
+//! experiment id with a one-line description. A spec file commits a run's
+//! entire configuration (scale, seed, host execution, per-experiment
+//! parameters); `--set key=value` and the shorthand flags (`--full`,
+//! `--threads`, `--backend`, `--requests`, `--replicas`) override it, and
+//! `--dump-spec` prints the resolved spec instead of running — the way to
+//! check in a new spec file. Setting a parameter the experiment does not
+//! declare (e.g. `--requests` on `fig8`) is a typed error, never a silent
+//! no-op.
 //!
-//! `--threads` / `--backend` configure the host execution layer (default:
-//! the `parallel` backend over every available hardware thread). By the
-//! execution layer's determinism contract they change wall-clock time only
-//! — every reproduced number is identical for every setting. `gemmbench`
-//! and `serve` write `BENCH_baseline.json` / `BENCH_serve.json`; they only
-//! run when requested explicitly (neither is part of `all`, so regenerating
-//! tables never clobbers the tracked summaries). `--requests N` sets the
-//! serving sweep's trace length, and `--replicas N[,N...]` the replica
-//! counts the `shard` sweep runs at (default `1,2,4`).
+//! By the execution layer's determinism contract, `threads`/`backend`
+//! change wall-clock time only — every reproduced number is identical for
+//! every setting. `gemmbench`, `serve`, and `shard` write the tracked
+//! `BENCH_*.json` summaries and only run when requested explicitly (none is
+//! part of `all`, so regenerating tables never clobbers them).
 
 use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-use nbsmt_bench::experiments::accuracy::{
-    fig10_pruning, fig7_robustness, mlperf_mobilenet, table3_policies, table4_comparison,
-    table5_slowdown, AccuracyBench,
-};
-use nbsmt_bench::experiments::hw_exp::table2_rows;
-use nbsmt_bench::experiments::serve_exp::{
-    serve_summary, serve_sweep_with, shard_summary, shard_sweep_with,
-};
-use nbsmt_bench::experiments::zoo_exp::{
-    energy_savings_with, fig1_utilization, fig8_mse_vs_sparsity_with, fig9_utilization_gain_with,
-    table1_inventory,
-};
-use nbsmt_bench::{BenchSummary, ExecSettings, Scale};
-use nbsmt_core::matmul::{NbSmtMatmul, NbSmtMatmulConfig};
-use nbsmt_core::policy::SharingPolicy;
-use nbsmt_core::ThreadCount;
-use nbsmt_quant::quantize::{quantize_activations, quantize_weights};
-use nbsmt_quant::scheme::QuantScheme;
-use nbsmt_tensor::exec::{ExecConfig, ExecContext, GemmBackendKind};
-use nbsmt_tensor::ops;
-use nbsmt_tensor::random::{SynthesisConfig, TensorSynthesizer};
-use nbsmt_tensor::tensor::Matrix;
+use nbsmt_bench::{ExperimentError, ExperimentRegistry, RunSpec, SpecError, SummarySink};
 
-/// Every experiment id with a one-line description (`--list` output and the
-/// unknown-experiment error message).
-const EXPERIMENTS: &[(&str, &str)] = &[
-    (
-        "table1",
-        "Table I — evaluated CNN models and their MAC counts",
-    ),
-    (
-        "fig1",
-        "Fig. 1 — MAC utilization breakdown during CNN inference",
-    ),
-    ("table2", "Table II — design parameters, power, and area"),
-    (
-        "fig7",
-        "Fig. 7 — whole-model robustness to precision reduction",
-    ),
-    ("table3", "Table III — 2T SySMT sharing policies"),
-    (
-        "table4",
-        "Table IV — 2T SySMT vs post-training quantization",
-    ),
-    ("fig8", "Fig. 8 — per-layer MSE vs activation sparsity"),
-    ("fig9", "Fig. 9 — utilization improvement vs sparsity"),
-    (
-        "table5",
-        "Table V — 4T SySMT with high-MSE layers slowed to 2T",
-    ),
-    (
-        "fig10",
-        "Fig. 10 — accuracy vs 4T speedup for pruned models",
-    ),
-    (
-        "energy",
-        "§V-A — energy savings of SySMT over the baseline array",
-    ),
-    ("mlperf", "§V-B — MobileNet-v1 MLPerf-style operating point"),
-    (
-        "gemmbench",
-        "host GEMM/NB-SMT throughput → BENCH_baseline.json (explicit only)",
-    ),
-    (
-        "serve",
-        "serving sweep: offered load × NB-SMT config → BENCH_serve.json (explicit only)",
-    ),
-    (
-        "shard",
-        "sharded serving sweep: replicas × route × {dense,adaptive} → BENCH_serve.json (explicit only)",
-    ),
-    (
-        "all",
-        "every paper table and figure above (not the bench writers)",
-    ),
-];
+/// Everything that can go wrong in the driver, funneled to the single exit
+/// point in `main`.
+#[derive(Debug)]
+enum CliError {
+    /// Bad command line (unknown flag, missing value, unknown experiment).
+    Usage(String),
+    /// The spec file or an override was invalid.
+    Spec(SpecError),
+    /// The experiment itself failed (summary write).
+    Run(ExperimentError),
+    /// A spec file could not be read.
+    Io { path: PathBuf, message: String },
+}
 
-fn print_experiment_list() {
-    println!("Known experiments:");
-    for (name, description) in EXPERIMENTS {
-        println!("  {name:<10} {description}");
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(message) => write!(f, "{message}"),
+            CliError::Spec(e) => write!(f, "{e}"),
+            CliError::Run(e) => write!(f, "{e}"),
+            CliError::Io { path, message } => {
+                write!(f, "failed to read {}: {message}", path.display())
+            }
+        }
     }
 }
 
-fn main() {
+impl CliError {
+    /// Exit status: 2 for usage/spec problems (the caller's mistake), 1 for
+    /// run failures.
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) | CliError::Spec(_) | CliError::Io { .. } => 2,
+            CliError::Run(_) => 1,
+        }
+    }
+}
+
+impl From<SpecError> for CliError {
+    fn from(e: SpecError) -> Self {
+        CliError::Spec(e)
+    }
+}
+
+impl From<ExperimentError> for CliError {
+    fn from(e: ExperimentError) -> Self {
+        match e {
+            // Spec problems surfaced by the registry keep the usage exit
+            // code.
+            ExperimentError::Spec(spec) => CliError::Spec(spec),
+            other => CliError::Run(other),
+        }
+    }
+}
+
+/// The parsed command line, before spec resolution.
+#[derive(Debug, Default)]
+struct CliOptions {
+    experiment: Option<String>,
+    spec_path: Option<PathBuf>,
+    /// `--set` pairs and shorthand flags, in command-line order.
+    sets: Vec<(String, String)>,
+    dump_spec: bool,
+    list: bool,
+    help: bool,
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
-    let mut full = false;
-    let mut exec = ExecSettings::parallel();
-    let mut requests = 256usize;
-    let mut replicas: Vec<usize> = vec![1, 2, 4];
-    let mut experiment: Option<String> = None;
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--full" => full = true,
-            "--list" => {
-                print_experiment_list();
-                return;
-            }
-            "--requests" => {
-                let value = it.next().unwrap_or_else(|| {
-                    eprintln!("--requests requires a value");
-                    std::process::exit(2);
-                });
-                requests = value.parse().unwrap_or_else(|_| {
-                    eprintln!("--requests: '{value}' is not a request count");
-                    std::process::exit(2);
-                });
-                if requests == 0 {
-                    eprintln!("--requests must be at least 1");
-                    std::process::exit(2);
-                }
-            }
-            "--replicas" => {
-                let value = it.next().unwrap_or_else(|| {
-                    eprintln!("--replicas requires a value");
-                    std::process::exit(2);
-                });
-                replicas = value
-                    .split(',')
-                    .map(|part| match part.trim().parse::<usize>() {
-                        Ok(n) if n >= 1 => n,
-                        _ => {
-                            eprintln!("--replicas: '{part}' is not a replica count");
-                            std::process::exit(2);
-                        }
-                    })
-                    .collect();
-                if replicas.is_empty() {
-                    eprintln!("--replicas needs at least one count");
-                    std::process::exit(2);
-                }
-            }
-            "--threads" => {
-                let value = it.next().unwrap_or_else(|| {
-                    eprintln!("--threads requires a value");
-                    std::process::exit(2);
-                });
-                exec.threads = value.parse().unwrap_or_else(|_| {
-                    eprintln!("--threads: '{value}' is not a thread count");
-                    std::process::exit(2);
-                });
-            }
-            "--backend" => {
-                let value = it.next().unwrap_or_else(|| {
-                    eprintln!("--backend requires a value");
-                    std::process::exit(2);
-                });
-                exec.backend = GemmBackendKind::parse(value).unwrap_or_else(|| {
-                    eprintln!("--backend: '{value}' is not one of naive, blocked, parallel");
-                    std::process::exit(2);
-                });
-            }
-            other if !other.starts_with("--") => {
-                if let Some(first) = &experiment {
-                    eprintln!("unexpected extra experiment '{other}' after '{first}'");
-                    std::process::exit(2);
-                }
-                experiment = Some(other.to_string());
-            }
-            other => {
-                eprintln!("unknown flag '{other}'");
-                std::process::exit(2);
-            }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        // The single error exit point: every failure funnels here as a
+        // CliError.
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(e.exit_code())
         }
     }
-    let scale = if full { Scale::Full } else { Scale::Quick };
-    let experiment = experiment.unwrap_or_else(|| "all".to_string());
+}
 
-    if !EXPERIMENTS.iter().any(|(name, _)| *name == experiment) {
-        eprintln!("unknown experiment '{experiment}'.\n");
-        eprintln!("Known experiments:");
-        for (name, description) in EXPERIMENTS {
-            eprintln!("  {name:<10} {description}");
-        }
-        eprintln!("\n(run with --list to see this at any time)");
-        std::process::exit(2);
+fn run(args: &[String]) -> Result<(), CliError> {
+    let registry = ExperimentRegistry::standard();
+    let options = parse_args(args)?;
+
+    if options.help {
+        print!("{}", registry.help_text());
+        return Ok(());
+    }
+    if options.list {
+        print!("{}", registry.list_text());
+        return Ok(());
     }
 
-    let ctx = exec.context();
-    println!("# NB-SMT / SySMT reproduction — experiment: {experiment} (scale: {scale:?})");
+    let spec = resolve_spec(&registry, &options)?;
+
+    // Check before dumping: `--dump-spec` doubles as the spec validator
+    // (the CI spec-smoke job runs it over every committed file). Same
+    // registry.check the run path applies, so the two cannot drift.
+    registry.check(&spec).map_err(|e| match e {
+        ExperimentError::UnknownExperiment(name) => unknown_experiment_error(&registry, &name),
+        other => other.into(),
+    })?;
+
+    if options.dump_spec {
+        print!("{}", spec.render());
+        return Ok(());
+    }
+
+    println!(
+        "# NB-SMT / SySMT reproduction — experiment: {} (scale: {:?})",
+        spec.experiment, spec.scale
+    );
+    let ctx = spec.exec.context();
     println!(
         "host execution: {} thread(s), {} backend\n",
         ctx.threads(),
         ctx.config().backend
     );
 
-    let wants = |name: &str| experiment == name || experiment == "all";
+    let mut sink = SummarySink::stdout();
+    registry.run(&spec, &mut sink)?;
+    Ok(())
+}
 
-    if wants("table1") {
-        run_table1();
-    }
-    if wants("fig1") {
-        run_fig1(scale);
-    }
-    if wants("table2") {
-        run_table2();
-    }
-    if wants("fig8") {
-        run_fig8(scale, &ctx);
-    }
-    if wants("fig9") {
-        run_fig9(scale, &ctx);
-    }
-    if wants("energy") {
-        run_energy(scale, &ctx);
-    }
-    if wants("mlperf") {
-        run_mlperf();
-    }
-    // gemmbench and serve are explicit-only (not part of `all`): they write
-    // the tracked BENCH_*.json summaries, which regenerating the paper's
-    // tables should never do as a side effect.
-    if experiment == "gemmbench" {
-        run_gemmbench(scale, &exec);
-    }
-    if experiment == "serve" {
-        run_serve(scale, &exec, requests);
-    }
-    if experiment == "shard" {
-        run_shard(scale, &exec, requests, &replicas);
-    }
-
-    // Accuracy experiments share a single trained SynthNet.
-    let needs_accuracy = ["fig7", "table3", "table4", "table5", "fig10"]
-        .iter()
-        .any(|e| wants(e));
-    if needs_accuracy {
-        println!("Training SynthNet (accuracy substrate, see ARCHITECTURE.md, substitution 1)…");
-        let bench = AccuracyBench::prepare_with(scale, 2024, exec);
-        println!(
-            "SynthNet FP32 accuracy: {:.2}% | A8W8 accuracy: {:.2}%\n",
-            bench.fp32_accuracy() * 100.0,
-            bench.int8_accuracy() * 100.0
-        );
-        if wants("fig7") {
-            run_fig7(&bench);
+/// Builds the effective [`RunSpec`]: experiment defaults ← spec file ←
+/// `--set`/shorthand overrides, in that order.
+fn resolve_spec(registry: &ExperimentRegistry, options: &CliOptions) -> Result<RunSpec, CliError> {
+    let mut spec = match &options.spec_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| CliError::Io {
+                path: path.clone(),
+                message: e.to_string(),
+            })?;
+            let file_spec = RunSpec::parse(&text)?;
+            if let Some(requested) = &options.experiment {
+                if *requested != file_spec.experiment {
+                    return Err(SpecError::ExperimentMismatch {
+                        spec: file_spec.experiment,
+                        requested: requested.clone(),
+                    }
+                    .into());
+                }
+            }
+            if !registry.contains(&file_spec.experiment) {
+                return Err(unknown_experiment_error(registry, &file_spec.experiment));
+            }
+            // Re-parse over the experiment's own defaults: a minimal file
+            // ({"experiment": "shard"}) inherits every field the file
+            // doesn't mention (e.g. replicas 1,2,4) from default_spec().
+            let defaults = registry
+                .default_spec(&file_spec.experiment)
+                .expect("checked above");
+            RunSpec::parse_with_defaults(&text, defaults)?
         }
-        if wants("table3") {
-            run_table3(&bench);
+        None => {
+            let name = options.experiment.as_deref().unwrap_or("all");
+            registry
+                .default_spec(name)
+                .ok_or_else(|| unknown_experiment_error(registry, name))?
         }
-        if wants("table4") {
-            run_table4(&bench);
-        }
-        if wants("table5") {
-            run_table5(&bench);
-        }
-        if wants("fig10") {
-            run_fig10(&bench, scale);
-        }
-    }
-}
-
-fn run_table1() {
-    println!("## Table I — evaluated CNN models (per-image MAC operations)\n");
-    println!("{:<14} {:>12} {:>12}", "Model", "CONV [GMAC]", "FC [MMAC]");
-    for row in table1_inventory() {
-        println!(
-            "{:<14} {:>12.2} {:>12.1}",
-            row.model, row.conv_gmacs, row.fc_mmacs
-        );
-    }
-    println!();
-}
-
-fn run_fig1(scale: Scale) {
-    println!("## Fig. 1 — MAC utilization breakdown during CNN inference\n");
-    println!(
-        "{:<14} {:>12} {:>20} {:>8}",
-        "Model", "Utilized", "Partially utilized", "Idle"
-    );
-    for row in fig1_utilization(scale) {
-        println!(
-            "{:<14} {:>11.1}% {:>19.1}% {:>7.1}%",
-            row.model,
-            row.fully_utilized * 100.0,
-            row.partially_utilized * 100.0,
-            row.idle * 100.0
-        );
-    }
-    println!();
-}
-
-fn run_table2() {
-    println!("## Table II — design parameters, power, and area\n");
-    println!(
-        "{:<10} {:>12} {:>14} {:>12} {:>10} {:>10} {:>10}",
-        "Design", "GMAC/s", "P@80% [mW]", "Area [mm2]", "Area [x]", "PE [um2]", "MAC [um2]"
-    );
-    for row in table2_rows() {
-        println!(
-            "{:<10} {:>12.0} {:>14.0} {:>12.3} {:>10.2} {:>10.0} {:>10.0}",
-            row.design,
-            row.throughput_gmacs,
-            row.power_mw_at_80,
-            row.total_area_mm2,
-            row.area_ratio,
-            row.pe_area_um2,
-            row.mac_area_um2
-        );
-    }
-    println!();
-}
-
-fn run_fig7(bench: &AccuracyBench) {
-    println!("## Fig. 7 — whole-model robustness to on-the-fly precision reduction\n");
-    println!("{:<8} {:>10}", "Point", "Top-1 [%]");
-    for row in fig7_robustness(bench) {
-        println!("{:<8} {:>10.2}", row.point, row.accuracy * 100.0);
-    }
-    println!();
-}
-
-fn run_table3(bench: &AccuracyBench) {
-    println!("## Table III — 2T SySMT sharing policies (no reordering)\n");
-    println!("{:<12} {:>10}", "Policy", "Top-1 [%]");
-    for row in table3_policies(bench) {
-        println!("{:<12} {:>10.2}", row.policy, row.accuracy * 100.0);
-    }
-    println!();
-}
-
-fn run_table4(bench: &AccuracyBench) {
-    println!("## Table IV — 2T SySMT vs post-training quantization comparators\n");
-    println!("{:<28} {:>10}", "Method", "Top-1 [%]");
-    for row in table4_comparison(bench) {
-        println!("{:<28} {:>10.2}", row.method, row.accuracy * 100.0);
-    }
-    println!();
-}
-
-fn run_fig8(scale: Scale, ctx: &ExecContext) {
-    println!("## Fig. 8 — per-layer MSE vs activation sparsity (GoogLeNet proxy, 2T)\n");
-    println!(
-        "{:<26} {:>10} {:>16} {:>16}",
-        "Layer", "Sparsity", "MSE w/o reorder", "MSE w/ reorder"
-    );
-    for p in fig8_mse_vs_sparsity_with(scale, ctx) {
-        println!(
-            "{:<26} {:>9.1}% {:>16.3e} {:>16.3e}",
-            p.layer,
-            p.sparsity * 100.0,
-            p.mse_without_reorder,
-            p.mse_with_reorder
-        );
-    }
-    println!();
-}
-
-fn run_fig9(scale: Scale, ctx: &ExecContext) {
-    println!("## Fig. 9 — utilization improvement vs sparsity (GoogLeNet proxy, 2T)\n");
-    println!(
-        "{:<26} {:>10} {:>17} {:>16} {:>10}",
-        "Layer", "Sparsity", "Gain w/o reorder", "Gain w/ reorder", "Eq. 8"
-    );
-    for p in fig9_utilization_gain_with(scale, ctx) {
-        println!(
-            "{:<26} {:>9.1}% {:>17.3} {:>16.3} {:>10.3}",
-            p.layer,
-            p.sparsity * 100.0,
-            p.gain_without_reorder,
-            p.gain_with_reorder,
-            p.analytic_gain
-        );
-    }
-    println!();
-}
-
-fn run_table5(bench: &AccuracyBench) {
-    println!("## Table V — 4T SySMT with high-MSE layers slowed to 2T\n");
-    println!("{:<14} {:>10} {:>10}", "Layers @2T", "Top-1 [%]", "Speedup");
-    for row in table5_slowdown(bench) {
-        println!(
-            "{:<14} {:>10.2} {:>9.2}x",
-            row.layers_at_2t,
-            row.accuracy * 100.0,
-            row.speedup
-        );
-    }
-    println!();
-}
-
-fn run_fig10(bench: &AccuracyBench, scale: Scale) {
-    println!("## Fig. 10 — accuracy vs 4T speedup for pruned models\n");
-    println!(
-        "{:<10} {:>12} {:>10} {:>10}",
-        "Pruned", "Layers @2T", "Top-1 [%]", "Speedup"
-    );
-    for p in fig10_pruning(bench, scale) {
-        println!(
-            "{:<10} {:>12} {:>10.2} {:>9.2}x",
-            format!("{:.0}%", p.pruned * 100.0),
-            p.layers_at_2t,
-            p.accuracy * 100.0,
-            p.speedup
-        );
-    }
-    println!();
-}
-
-fn run_energy(scale: Scale, ctx: &ExecContext) {
-    println!("## §V-A — energy savings of SySMT over the conventional array\n");
-    println!("{:<14} {:>10} {:>10}", "Model", "2T saving", "4T saving");
-    let rows = energy_savings_with(scale, ctx);
-    let mut avg2 = 0.0;
-    let mut avg4 = 0.0;
-    for row in &rows {
-        println!(
-            "{:<14} {:>9.1}% {:>9.1}%",
-            row.model,
-            row.saving_2t * 100.0,
-            row.saving_4t * 100.0
-        );
-        avg2 += row.saving_2t;
-        avg4 += row.saving_4t;
-    }
-    println!(
-        "{:<14} {:>9.1}% {:>9.1}%\n",
-        "Average",
-        avg2 / rows.len() as f64 * 100.0,
-        avg4 / rows.len() as f64 * 100.0
-    );
-}
-
-/// Times the GEMM backends and the NB-SMT layer emulation on the host and
-/// writes the records to `BENCH_baseline.json` (the perf trajectory file).
-fn run_gemmbench(scale: Scale, exec: &ExecSettings) {
-    println!("## gemmbench — host execution layer throughput\n");
-    let dim = match scale {
-        Scale::Quick => 256,
-        Scale::Full => 512,
     };
-    let iters = match scale {
-        Scale::Quick => 5,
-        Scale::Full => 10,
+    for (key, value) in &options.sets {
+        spec.set(key, value)?;
+    }
+    Ok(spec)
+}
+
+fn unknown_experiment_error(registry: &ExperimentRegistry, name: &str) -> CliError {
+    CliError::Usage(format!(
+        "unknown experiment '{name}'.\n\n{}\n(run with --list to see this at any time)",
+        registry.list_text()
+    ))
+}
+
+fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
+    let mut options = CliOptions::default();
+    let mut it = args.iter();
+    let value_of = |flag: &str, it: &mut std::slice::Iter<'_, String>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))
     };
-    let mut summary = BenchSummary::new();
-
-    // Integer GEMM: one square problem per backend, plus the requested
-    // thread count for the parallel backend.
-    let mut synth = TensorSynthesizer::new(42);
-    let to_i32 = |t: nbsmt_tensor::tensor::Tensor<f32>, r: usize, c: usize| {
-        Matrix::from_vec(
-            t.into_vec().iter().map(|&v| (v * 127.0) as i32).collect(),
-            r,
-            c,
-        )
-        .expect("dimensions match")
-    };
-    let a = to_i32(
-        synth.tensor(&SynthesisConfig::activation(0.5, 0.5), &[dim, dim]),
-        dim,
-        dim,
-    );
-    let b = to_i32(
-        synth.tensor(&SynthesisConfig::weight(0.3, 0.0), &[dim, dim]),
-        dim,
-        dim,
-    );
-    let macs = (dim * dim * dim) as u64;
-    let mut runs: Vec<(String, ExecContext)> = vec![
-        (
-            format!("gemm_i32_{dim}_naive_1t"),
-            ExecContext::sequential(),
-        ),
-        (
-            format!("gemm_i32_{dim}_blocked_1t"),
-            ExecContext::new(ExecConfig {
-                threads: 1,
-                backend: GemmBackendKind::Blocked,
-                ..ExecConfig::default()
-            }),
-        ),
-    ];
-    let parallel_ctx = ExecContext::new(ExecConfig {
-        threads: exec.threads,
-        backend: GemmBackendKind::Parallel,
-        ..ExecConfig::default()
-    });
-    // Name from the context's (clamped) thread count so the id always
-    // matches the record's `threads` field.
-    runs.push((
-        format!("gemm_i32_{dim}_parallel_{}t", parallel_ctx.threads()),
-        parallel_ctx,
-    ));
-    println!(
-        "{:<28} {:>12} {:>12} {:>10}",
-        "Benchmark", "mean [ms]", "GMAC/s", "threads"
-    );
-    for (name, ctx) in &runs {
-        let record = summary.measure(
-            name,
-            ctx.threads(),
-            ctx.config().backend.name(),
-            macs,
-            iters,
-            || {
-                ops::matmul_i32_with(ctx, &a, &b).expect("dimensions match");
-            },
-        );
-        println!(
-            "{:<28} {:>12.2} {:>12.2} {:>10}",
-            record.name,
-            record.mean_ns / 1e6,
-            record.gmacs_per_s(),
-            record.threads
-        );
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => options.help = true,
+            "--list" => options.list = true,
+            "--dump-spec" => options.dump_spec = true,
+            "--spec" => {
+                options.spec_path = Some(PathBuf::from(value_of("--spec", &mut it)?));
+            }
+            "--set" => {
+                let pair = value_of("--set", &mut it)?;
+                let (key, value) = pair.split_once('=').ok_or_else(|| {
+                    CliError::Usage(format!("--set expects key=value, got '{pair}'"))
+                })?;
+                options.sets.push((key.to_string(), value.to_string()));
+            }
+            // Shorthand flags: sugar over --set, applied in order.
+            "--full" => options.sets.push(("scale".into(), "full".into())),
+            "--threads" => {
+                let value = value_of("--threads", &mut it)?;
+                options.sets.push(("threads".into(), value));
+            }
+            "--backend" => {
+                let value = value_of("--backend", &mut it)?;
+                options.sets.push(("backend".into(), value));
+            }
+            "--requests" => {
+                let value = value_of("--requests", &mut it)?;
+                options.sets.push(("requests".into(), value));
+            }
+            "--replicas" => {
+                let value = value_of("--replicas", &mut it)?;
+                options.sets.push(("replicas".into(), value));
+            }
+            other if !other.starts_with("--") => {
+                if let Some(first) = &options.experiment {
+                    return Err(CliError::Usage(format!(
+                        "unexpected extra experiment '{other}' after '{first}'"
+                    )));
+                }
+                options.experiment = Some(other.to_string());
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown flag '{other}' (run with --help for usage)"
+                )));
+            }
+        }
     }
-
-    // NB-SMT layer emulation at 2T and 4T through the configured context.
-    let (m, k, n) = (dim / 2, dim, dim / 4);
-    let qx = quantize_activations(
-        &Matrix::from_vec(
-            synth
-                .tensor(&SynthesisConfig::activation(0.4, 0.5), &[m, k])
-                .into_vec(),
-            m,
-            k,
-        )
-        .expect("dimensions match"),
-        &QuantScheme::activation_a8(),
-        Some((0.0, 1.0)),
-    );
-    let qw = quantize_weights(
-        &Matrix::from_vec(
-            synth
-                .tensor(&SynthesisConfig::weight(0.12, 0.0), &[k, n])
-                .into_vec(),
-            k,
-            n,
-        )
-        .expect("dimensions match"),
-        &QuantScheme::weight_w8(),
-    );
-    let ctx = exec.context();
-    for (label, threads) in [("2t", ThreadCount::Two), ("4t", ThreadCount::Four)] {
-        let emu = NbSmtMatmul::new(NbSmtMatmulConfig {
-            threads,
-            policy: SharingPolicy::S_A,
-            reorder: false,
-        });
-        let name = format!("nbsmt_{label}_layer_{m}x{k}x{n}_{}t", ctx.threads());
-        let record = summary.measure(
-            &name,
-            ctx.threads(),
-            ctx.config().backend.name(),
-            (m * k * n) as u64,
-            iters,
-            || {
-                emu.execute_with(&ctx, &qx, &qw).expect("dimensions match");
-            },
-        );
-        println!(
-            "{:<28} {:>12.2} {:>12.2} {:>10}",
-            record.name,
-            record.mean_ns / 1e6,
-            record.gmacs_per_s(),
-            record.threads
-        );
-    }
-
-    let path = std::path::Path::new("BENCH_baseline.json");
-    match summary.write(path) {
-        Ok(()) => println!("\nwrote {}\n", path.display()),
-        Err(e) => eprintln!("\nfailed to write {}: {e}\n", path.display()),
-    }
-}
-
-/// The serving sweep: offered load × NB-SMT configuration through the
-/// `nbsmt-serve` virtual-clock scheduler, written to `BENCH_serve.json`.
-fn run_serve(scale: Scale, exec: &ExecSettings, requests: usize) {
-    println!("## serve — offered load × NB-SMT configuration ({requests} requests/cell)\n");
-    println!("Training SynthNet and compiling dense/2T/4T sessions…\n");
-    let rows = serve_sweep_with(scale, exec, requests, 2024);
-    println!(
-        "{:<6} {:<12} {:>8} {:>6} {:>6} {:>10} {:>9} {:>9} {:>9} {:>7} {:>6}",
-        "SMT",
-        "Arrival",
-        "Offered",
-        "Done",
-        "Shed",
-        "Thru[rps]",
-        "p50[ms]",
-        "p95[ms]",
-        "p99[ms]",
-        "Batch",
-        "Depth"
-    );
-    for row in &rows {
-        let offered = if row.arrival == "closed_loop" {
-            format!("{}cl", row.offered as u64)
-        } else {
-            format!("{:.1}x", row.offered)
-        };
-        println!(
-            "{:<6} {:<12} {:>8} {:>6} {:>6} {:>10.1} {:>9.2} {:>9.2} {:>9.2} {:>7.2} {:>6}",
-            row.smt,
-            row.arrival,
-            offered,
-            row.completed,
-            row.rejected,
-            row.throughput_rps,
-            row.p50_ms,
-            row.p95_ms,
-            row.p99_ms,
-            row.mean_batch,
-            row.max_queue_depth
-        );
-    }
-    let path = std::path::Path::new("BENCH_serve.json");
-    match serve_summary(&rows).write(path) {
-        Ok(()) => println!("\nwrote {} (merged by record name)\n", path.display()),
-        Err(e) => eprintln!("\nfailed to write {}: {e}\n", path.display()),
-    }
-}
-
-/// The sharded serving sweep: replicas × route policy × {pinned dense,
-/// adaptive dense→2T→4T} through the `nbsmt-serve` replica-pool simulator,
-/// merged into `BENCH_serve.json`.
-fn run_shard(scale: Scale, exec: &ExecSettings, requests: usize, replicas: &[usize]) {
-    println!(
-        "## shard — replicas × route × {{dense, adaptive}} ({requests} requests/cell, replicas {replicas:?})\n"
-    );
-    println!("Training SynthNet and compiling the dense/2T/4T ladder…\n");
-    let rows = shard_sweep_with(scale, exec, requests, replicas, 2024);
-    println!(
-        "{:<4} {:<6} {:<9} {:>8} {:>6} {:>6} {:>10} {:>9} {:>9} {:>7} {:>6} {:>14}",
-        "R",
-        "Route",
-        "Policy",
-        "Offered",
-        "Done",
-        "Shed",
-        "Thru[rps]",
-        "p95[ms]",
-        "p99[ms]",
-        "Batch",
-        "Trans",
-        "Batches/mode"
-    );
-    for row in &rows {
-        println!(
-            "{:<4} {:<6} {:<9} {:>7.1}x {:>6} {:>6} {:>10.1} {:>9.2} {:>9.2} {:>7.2} {:>6} {:>14}",
-            row.replicas,
-            row.route,
-            row.policy,
-            row.offered,
-            row.completed,
-            row.rejected,
-            row.throughput_rps,
-            row.p95_ms,
-            row.p99_ms,
-            row.mean_batch,
-            row.mode_transitions,
-            format!("{:?}", row.batches_per_mode),
-        );
-    }
-    let path = std::path::Path::new("BENCH_serve.json");
-    match shard_summary(&rows).write(path) {
-        Ok(()) => println!("\nwrote {} (merged by record name)\n", path.display()),
-        Err(e) => eprintln!("\nfailed to write {}: {e}\n", path.display()),
-    }
-}
-
-fn run_mlperf() {
-    println!("## §V-B MLPerf — MobileNet-v1 operating point (pointwise @2T, depthwise @1T)\n");
-    let row = mlperf_mobilenet();
-    println!(
-        "{}: speedup {:.2}x with {:.1}% of MACs executed at two threads\n",
-        row.model,
-        row.speedup,
-        row.fraction_at_2t * 100.0
-    );
+    Ok(options)
 }

@@ -9,6 +9,9 @@
 //! emulation pipeline, so the orderings and trends are regenerated rather
 //! than copied.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use serde::{Deserialize, Serialize};
 
 use nbsmt_core::policy::SharingPolicy;
@@ -30,6 +33,23 @@ use nbsmt_workloads::zoo::{mobilenet_v1, LayerKind};
 
 use crate::engine::{NbSmtEngine, NbSmtEngineConfig};
 use crate::scale::{ExecSettings, Scale};
+
+/// Process-wide cache of trained accuracy fixtures, keyed by
+/// `(scale, seed, threads, backend)`.
+fn fixture_cache() -> &'static Mutex<HashMap<String, Arc<AccuracyBench>>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Arc<AccuracyBench>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn fixture_key(scale: Scale, seed: u64, exec: &ExecSettings) -> String {
+    format!(
+        "{}-{}-{}-{}",
+        scale.name(),
+        seed,
+        exec.threads,
+        exec.backend.name()
+    )
+}
 
 /// The shared experimental setup: a trained, calibrated SynthNet plus its
 /// evaluation split.
@@ -172,6 +192,39 @@ impl AccuracyBench {
                 &mut engine,
             )
             .expect("forward succeeds")
+    }
+
+    /// The already-trained shared bench for these settings, if any.
+    ///
+    /// The five accuracy experiments (fig7, table3, table4, table5, fig10)
+    /// share one trained SynthNet per `(scale, seed, exec)` so that running
+    /// them back to back — `repro -- all`, or one registry experiment after
+    /// another — trains once, exactly as the pre-registry monolithic driver
+    /// did.
+    pub fn cached(scale: Scale, seed: u64, exec: ExecSettings) -> Option<Arc<AccuracyBench>> {
+        fixture_cache()
+            .lock()
+            .expect("fixture cache lock is never poisoned")
+            .get(&fixture_key(scale, seed, &exec))
+            .cloned()
+    }
+
+    /// The shared bench for these settings, training and caching it on the
+    /// first call (see [`Self::cached`]).
+    pub fn shared(scale: Scale, seed: u64, exec: ExecSettings) -> Arc<AccuracyBench> {
+        if let Some(bench) = Self::cached(scale, seed, exec) {
+            return bench;
+        }
+        // Train outside the lock: a long critical section would serialize
+        // unrelated keys. Two racing first calls may both train; the entry
+        // API keeps exactly one result.
+        let bench = Arc::new(Self::prepare_with(scale, seed, exec));
+        fixture_cache()
+            .lock()
+            .expect("fixture cache lock is never poisoned")
+            .entry(fixture_key(scale, seed, &exec))
+            .or_insert(bench)
+            .clone()
     }
 
     /// Per-compute-layer MAC counts of the model (for speedup accounting).

@@ -6,5 +6,6 @@
 
 pub mod accuracy;
 pub mod hw_exp;
+pub mod registry;
 pub mod serve_exp;
 pub mod zoo_exp;

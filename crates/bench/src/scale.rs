@@ -25,6 +25,23 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// Parses a spec/CLI-style scale name (`quick`, `full`).
+    pub fn parse(name: &str) -> Option<Scale> {
+        match name.to_ascii_lowercase().as_str() {
+            "quick" => Some(Scale::Quick),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// The canonical lower-case name (the value used in spec files).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+
     /// SynthNet training samples per class.
     pub fn train_per_class(self) -> usize {
         match self {

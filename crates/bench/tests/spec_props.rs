@@ -1,0 +1,357 @@
+//! Property and golden tests for the declarative run-spec API.
+//!
+//! Three contracts the `repro` driver and the committed `examples/specs/`
+//! files depend on:
+//!
+//! * **Round trip**: `RunSpec::parse(&spec.render()) == spec`, bit-exact,
+//!   for arbitrary valid specs (seeds up to 2^53−1, every scale/backend,
+//!   optional params present or absent).
+//! * **Validation**: bad values — zero thread counts, zero queue
+//!   capacities, inverted adaptive thresholds, zero tile sizes — are typed
+//!   errors through the workspace-wide `Validate` trait, never clamps.
+//! * **Golden `--list`**: the binary's experiment list is generated from
+//!   the registry, so the two can never drift apart.
+
+use proptest::prelude::*;
+
+use nbsmt_bench::spec::MAX_SPEC_INT;
+use nbsmt_bench::{ExperimentRegistry, ParamKey, RunSpec, Scale, SpecError};
+use nbsmt_serve::config::{AdaptivePolicy, BatchPolicy, ConfigError, PoolConfig, SchedulerConfig};
+use nbsmt_tensor::exec::{ExecConfig, GemmBackendKind};
+use nbsmt_tensor::validate::{ExecConfigError, Validate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Grows an arbitrary *valid* spec from a seed: every experiment name the
+/// registry knows (plus free-form names — round-tripping does not require
+/// registration), both scales, all backends, seeds across the full
+/// JSON-exact range, optional params in all four presence combinations.
+fn gen_spec(rng: &mut StdRng) -> RunSpec {
+    let registry = ExperimentRegistry::standard();
+    let names: Vec<String> = registry.iter().map(|e| e.name().to_string()).collect();
+    let experiment = match rng.gen_range(0..names.len() + 2) {
+        i if i < names.len() => names[i].clone(),
+        i if i == names.len() => "all".to_string(),
+        _ => format!("custom_{}", rng.gen_range(0..100)),
+    };
+    let mut spec = RunSpec::defaults(&experiment);
+    spec.scale = if rng.gen::<u64>() & 1 == 0 {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    spec.seed = match rng.gen_range(0..3) {
+        0 => rng.gen_range(0..1024),
+        1 => MAX_SPEC_INT - rng.gen_range(0..1024u64),
+        _ => rng.gen_range(0..MAX_SPEC_INT),
+    };
+    spec.exec.threads = rng.gen_range(1..=64);
+    spec.exec.backend = [
+        GemmBackendKind::Naive,
+        GemmBackendKind::Blocked,
+        GemmBackendKind::Parallel,
+    ][rng.gen_range(0..3usize)];
+    if rng.gen::<u64>() & 1 == 0 {
+        spec.requests = Some(rng.gen_range(1..100_000));
+    }
+    if rng.gen::<u64>() & 1 == 0 {
+        let n = rng.gen_range(1..5usize);
+        spec.replicas = Some((0..n).map(|_| rng.gen_range(1..64)).collect());
+    }
+    spec
+}
+
+proptest! {
+    #[test]
+    fn run_spec_render_parse_round_trips(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = gen_spec(&mut rng);
+        prop_assert_eq!(spec.validate(), Ok(()));
+        let text = spec.render();
+        let back = RunSpec::parse(&text);
+        prop_assert!(back.is_ok(), "rendered spec failed to parse: {:?}\n{}", back, text);
+        prop_assert_eq!(back.unwrap(), spec, "round trip changed the spec\n{}", text);
+    }
+
+    #[test]
+    fn render_is_a_fixed_point(seed in any::<u64>()) {
+        // parse(render(s)) == s implies render(parse(render(s))) ==
+        // render(s); check it directly so a future lossy field is caught
+        // even if equality were weakened.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = gen_spec(&mut rng);
+        let once = spec.render();
+        let twice = RunSpec::parse(&once).unwrap().render();
+        prop_assert_eq!(once, twice);
+    }
+}
+
+#[test]
+fn default_specs_of_every_experiment_round_trip() {
+    let registry = ExperimentRegistry::standard();
+    let mut names: Vec<String> = registry.iter().map(|e| e.name().to_string()).collect();
+    names.push("all".to_string());
+    for name in names {
+        let spec = registry.default_spec(&name).expect("registered");
+        assert_eq!(spec.validate(), Ok(()), "{name} default must be valid");
+        let back = RunSpec::parse(&spec.render()).expect("default spec parses");
+        assert_eq!(back, spec, "{name} default must round-trip");
+    }
+}
+
+#[test]
+fn validation_rejects_zero_capacity_queue() {
+    let zero_capacity = SchedulerConfig {
+        batch: BatchPolicy::default(),
+        queue_capacity: 0,
+    };
+    assert_eq!(
+        zero_capacity.validate(),
+        Err(ConfigError::ZeroQueueCapacity)
+    );
+    let zero_batch = SchedulerConfig {
+        batch: BatchPolicy {
+            max_batch: 0,
+            max_wait_ns: 0,
+        },
+        queue_capacity: 8,
+    };
+    assert_eq!(zero_batch.validate(), Err(ConfigError::ZeroBatch));
+    let too_small = SchedulerConfig {
+        batch: BatchPolicy {
+            max_batch: 16,
+            max_wait_ns: 0,
+        },
+        queue_capacity: 8,
+    };
+    assert_eq!(
+        too_small.validate(),
+        Err(ConfigError::QueueSmallerThanBatch {
+            capacity: 8,
+            max_batch: 16
+        })
+    );
+}
+
+#[test]
+fn validation_rejects_inverted_adaptive_thresholds() {
+    let inverted = AdaptivePolicy {
+        depth_high: 1,
+        depth_low: 8,
+        p95_high_ns: 0,
+        eval_every_batches: 1,
+    };
+    assert_eq!(
+        inverted.validate(),
+        Err(ConfigError::InvertedDepthThresholds { low: 8, high: 1 })
+    );
+    let no_cadence = AdaptivePolicy {
+        eval_every_batches: 0,
+        ..AdaptivePolicy::default()
+    };
+    assert_eq!(no_cadence.validate(), Err(ConfigError::ZeroEvalCadence));
+    // The nested errors surface identically through the pool config — the
+    // same rejection every scheduler entry point applies.
+    let pool = PoolConfig {
+        adaptive: inverted,
+        ..PoolConfig::default()
+    };
+    assert_eq!(
+        pool.validate(),
+        Err(ConfigError::InvertedDepthThresholds { low: 8, high: 1 })
+    );
+}
+
+#[test]
+fn validation_rejects_zero_tile_sizes() {
+    let no_rows = ExecConfig {
+        tile_rows: 0,
+        ..ExecConfig::default()
+    };
+    assert_eq!(no_rows.validate(), Err(ExecConfigError::ZeroTileRows));
+    let no_k = ExecConfig {
+        tile_k: 0,
+        ..ExecConfig::default()
+    };
+    assert_eq!(no_k.validate(), Err(ExecConfigError::ZeroTileK));
+    let no_threads = ExecConfig {
+        threads: 0,
+        ..ExecConfig::default()
+    };
+    assert_eq!(no_threads.validate(), Err(ExecConfigError::ZeroThreads));
+}
+
+#[test]
+fn spec_validation_rejects_zero_and_oversized_values() {
+    let mut spec = RunSpec::defaults("serve");
+    spec.requests = Some(0);
+    assert!(matches!(spec.validate(), Err(SpecError::Bad { .. })));
+    let mut spec = RunSpec::defaults("shard");
+    spec.replicas = Some(vec![1, 0]);
+    assert!(matches!(spec.validate(), Err(SpecError::Bad { .. })));
+    let mut spec = RunSpec::defaults("fig8");
+    spec.exec.threads = 0;
+    assert!(matches!(spec.validate(), Err(SpecError::Bad { .. })));
+    let mut spec = RunSpec::defaults("fig8");
+    spec.seed = MAX_SPEC_INT + 1;
+    assert!(matches!(spec.validate(), Err(SpecError::Bad { .. })));
+}
+
+#[test]
+fn undeclared_params_are_typed_errors_per_experiment() {
+    let registry = ExperimentRegistry::standard();
+    // Every paper experiment rejects both serving params; serve rejects
+    // replicas; shard accepts both.
+    for experiment in registry.iter() {
+        let accepted = experiment.describe().params;
+        let mut with_requests = experiment.default_spec();
+        with_requests.requests = Some(64);
+        let requests_ok = with_requests.check_params(accepted).is_ok();
+        assert_eq!(
+            requests_ok,
+            accepted.contains(&ParamKey::Requests),
+            "{}: requests acceptance must match describe()",
+            experiment.name()
+        );
+        let mut with_replicas = experiment.default_spec();
+        with_replicas.replicas = Some(vec![2]);
+        let replicas_ok = with_replicas.check_params(accepted).is_ok();
+        assert_eq!(
+            replicas_ok,
+            accepted.contains(&ParamKey::Replicas),
+            "{}: replicas acceptance must match describe()",
+            experiment.name()
+        );
+    }
+}
+
+/// Golden test: the binary's `--list` output is exactly the registry's
+/// generated text — the driver cannot drift from the registry contents.
+#[test]
+fn repro_list_output_matches_the_registry() {
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("--list")
+        .output()
+        .expect("repro binary runs");
+    assert!(output.status.success(), "--list must exit 0");
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 output");
+    let expected = ExperimentRegistry::standard().list_text();
+    assert_eq!(
+        stdout, expected,
+        "--list must be generated from the registry"
+    );
+    // And every registered experiment appears by name.
+    let registry = ExperimentRegistry::standard();
+    for experiment in registry.iter() {
+        assert!(stdout.contains(experiment.name()));
+    }
+}
+
+#[test]
+fn repro_help_mentions_spec_flags_and_experiments() {
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("--help")
+        .output()
+        .expect("repro binary runs");
+    assert!(output.status.success(), "--help must exit 0");
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 output");
+    assert_eq!(stdout, ExperimentRegistry::standard().help_text());
+    for flag in ["--spec", "--set", "--dump-spec", "--list"] {
+        assert!(stdout.contains(flag), "help must document {flag}");
+    }
+}
+
+#[test]
+fn repro_dump_spec_round_trips_through_the_binary() {
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "serve",
+            "--dump-spec",
+            "--threads",
+            "1",
+            "--backend",
+            "naive",
+        ])
+        .output()
+        .expect("repro binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 output");
+    let spec = RunSpec::parse(&stdout).expect("dumped spec parses");
+    assert_eq!(spec.experiment, "serve");
+    assert_eq!(spec.exec.threads, 1);
+    assert_eq!(spec.requests, Some(256), "serve defaults fill in");
+    // Bit-exact fixed point: dumping what was dumped changes nothing.
+    assert_eq!(spec.render(), stdout);
+}
+
+#[test]
+fn repro_rejects_undeclared_params_with_exit_2() {
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["fig8", "--requests", "64"])
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8(output.stderr).expect("utf-8 output");
+    assert!(
+        stderr.contains("does not accept the 'requests' parameter"),
+        "stderr was: {stderr}"
+    );
+    // Unknown experiments keep the descriptive list in the error.
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("fig99")
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8(output.stderr).expect("utf-8 output");
+    assert!(stderr.contains("unknown experiment 'fig99'"));
+    assert!(stderr.contains("Known experiments:"));
+}
+
+/// The ARCHITECTURE.md experiment-harness table is the registry's generated
+/// markdown, verbatim — editing one without the other fails here.
+#[test]
+fn architecture_doc_table_is_generated_from_the_registry() {
+    let doc_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../ARCHITECTURE.md");
+    let doc = std::fs::read_to_string(doc_path).expect("ARCHITECTURE.md exists");
+    let table = ExperimentRegistry::standard().markdown_table();
+    assert!(
+        doc.contains(&table),
+        "ARCHITECTURE.md experiment table is stale; regenerate it with \
+         ExperimentRegistry::markdown_table():\n{table}"
+    );
+}
+
+#[test]
+fn every_committed_example_spec_parses_and_is_accepted() {
+    let registry = ExperimentRegistry::standard();
+    let specs_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/specs");
+    let mut found = 0;
+    for entry in std::fs::read_dir(&specs_dir).expect("examples/specs/ exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        found += 1;
+        let text = std::fs::read_to_string(&path).expect("spec file reads");
+        let spec = RunSpec::parse(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        assert_eq!(spec.validate(), Ok(()), "{} must be valid", path.display());
+        assert!(
+            registry.contains(&spec.experiment),
+            "{} names unknown experiment '{}'",
+            path.display(),
+            spec.experiment
+        );
+        let accepted = registry.accepted_params(&spec.experiment).expect("known");
+        assert_eq!(
+            spec.check_params(accepted),
+            Ok(()),
+            "{} sets undeclared params",
+            path.display()
+        );
+    }
+    assert!(
+        found >= 4,
+        "expected committed example specs, found {found}"
+    );
+}

@@ -3,6 +3,7 @@
 
 use nbsmt_core::policy::SharingPolicy;
 use nbsmt_core::ThreadCount;
+use nbsmt_tensor::validate::{ExecConfigError, Validate};
 
 /// The NB-SMT design point a [`crate::session::Session`] executes at.
 ///
@@ -117,6 +118,98 @@ impl Default for BatchPolicy {
     }
 }
 
+/// Why a serving-side configuration is invalid.
+///
+/// Every scheduler entry point — [`crate::server::Server::start`],
+/// [`crate::pool::ReplicaPool::start`], [`crate::sim::simulate`] and
+/// [`crate::sim::simulate_pool`] — validates its configuration through
+/// [`Validate`] and rejects bad values with one of these variants, so the
+/// threaded drivers and the virtual-clock simulator refuse exactly the same
+/// configs (there is no clamping path a bad value can sneak through on one
+/// driver but not the other).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `BatchPolicy::max_batch` is zero — a batch must hold a request.
+    ZeroBatch,
+    /// `SchedulerConfig::queue_capacity` is zero — admission control needs
+    /// room for at least one request.
+    ZeroQueueCapacity,
+    /// The queue cannot hold one full batch.
+    QueueSmallerThanBatch {
+        /// The configured queue capacity.
+        capacity: usize,
+        /// The configured maximum batch size.
+        max_batch: usize,
+    },
+    /// `AdaptivePolicy::depth_low` exceeds `depth_high` — the hysteresis
+    /// band is inverted and the mode would thrash every evaluation.
+    InvertedDepthThresholds {
+        /// The configured de-escalation threshold.
+        low: usize,
+        /// The configured escalation threshold.
+        high: usize,
+    },
+    /// `AdaptivePolicy::eval_every_batches` is zero — the policy would never
+    /// be evaluated.
+    ZeroEvalCadence,
+    /// `PoolConfig::replicas` is zero — a pool needs at least one worker.
+    ZeroReplicas,
+    /// The pool's host-execution configuration is invalid.
+    Exec(ExecConfigError),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroBatch => {
+                write!(f, "batch policy: max_batch must be at least 1")
+            }
+            ConfigError::ZeroQueueCapacity => {
+                write!(f, "scheduler config: queue_capacity must be at least 1")
+            }
+            ConfigError::QueueSmallerThanBatch {
+                capacity,
+                max_batch,
+            } => write!(
+                f,
+                "scheduler config: queue_capacity {capacity} cannot hold one \
+                 full batch of max_batch {max_batch}"
+            ),
+            ConfigError::InvertedDepthThresholds { low, high } => write!(
+                f,
+                "adaptive policy: depth_low {low} exceeds depth_high {high} \
+                 (inverted hysteresis thresholds)"
+            ),
+            ConfigError::ZeroEvalCadence => {
+                write!(f, "adaptive policy: eval_every_batches must be at least 1")
+            }
+            ConfigError::ZeroReplicas => {
+                write!(f, "pool config: replicas must be at least 1")
+            }
+            ConfigError::Exec(e) => write!(f, "pool config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ExecConfigError> for ConfigError {
+    fn from(e: ExecConfigError) -> Self {
+        ConfigError::Exec(e)
+    }
+}
+
+impl Validate for BatchPolicy {
+    type Error = ConfigError;
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_batch == 0 {
+            return Err(ConfigError::ZeroBatch);
+        }
+        Ok(())
+    }
+}
+
 /// Full scheduler configuration: the batching policy plus the admission
 /// bound of the request queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,14 +222,21 @@ pub struct SchedulerConfig {
     pub queue_capacity: usize,
 }
 
-impl SchedulerConfig {
-    /// Clamps the configuration to valid values: `max_batch >= 1` and
-    /// `queue_capacity >= max_batch` (a batch must be able to fit in the
-    /// queue).
-    pub fn normalized(mut self) -> Self {
-        self.batch.max_batch = self.batch.max_batch.max(1);
-        self.queue_capacity = self.queue_capacity.max(self.batch.max_batch);
-        self
+impl Validate for SchedulerConfig {
+    type Error = ConfigError;
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        self.batch.validate()?;
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
+        if self.queue_capacity < self.batch.max_batch {
+            return Err(ConfigError::QueueSmallerThanBatch {
+                capacity: self.queue_capacity,
+                max_batch: self.batch.max_batch,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -234,6 +334,23 @@ impl Default for AdaptivePolicy {
             p95_high_ns: 0,
             eval_every_batches: 1,
         }
+    }
+}
+
+impl Validate for AdaptivePolicy {
+    type Error = ConfigError;
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.depth_low > self.depth_high {
+            return Err(ConfigError::InvertedDepthThresholds {
+                low: self.depth_low,
+                high: self.depth_high,
+            });
+        }
+        if self.eval_every_batches == 0 {
+            return Err(ConfigError::ZeroEvalCadence);
+        }
+        Ok(())
     }
 }
 
@@ -376,13 +493,15 @@ pub struct PoolConfig {
     pub adaptive: AdaptivePolicy,
 }
 
-impl PoolConfig {
-    /// Clamps to valid values (`replicas >= 1` plus
-    /// [`SchedulerConfig::normalized`]).
-    pub fn normalized(mut self) -> Self {
-        self.replicas = self.replicas.max(1);
-        self.scheduler = self.scheduler.normalized();
-        self
+impl Validate for PoolConfig {
+    type Error = ConfigError;
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.replicas == 0 {
+            return Err(ConfigError::ZeroReplicas);
+        }
+        self.scheduler.validate()?;
+        self.adaptive.validate()
     }
 }
 
@@ -431,6 +550,8 @@ pub enum ServeError {
     BadRequest(String),
     /// Model calibration or execution failed.
     Model(String),
+    /// A scheduler, pool, or execution configuration failed validation.
+    Config(ConfigError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -439,11 +560,18 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownModel(id) => write!(f, "unknown model '{id}'"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::Model(msg) => write!(f, "model execution failed: {msg}"),
+            ServeError::Config(e) => write!(f, "invalid configuration: {e}"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+impl From<ConfigError> for ServeError {
+    fn from(e: ConfigError) -> Self {
+        ServeError::Config(e)
+    }
+}
 
 impl From<nbsmt_nn::NnError> for ServeError {
     fn from(e: nbsmt_nn::NnError) -> Self {
@@ -489,26 +617,59 @@ mod tests {
     }
 
     #[test]
-    fn scheduler_config_normalizes() {
-        let cfg = SchedulerConfig {
+    fn scheduler_config_rejects_invalid_values() {
+        assert_eq!(SchedulerConfig::default().validate(), Ok(()));
+        let zero_batch = SchedulerConfig {
             batch: BatchPolicy {
                 max_batch: 0,
                 max_wait_ns: 0,
             },
+            queue_capacity: 8,
+        };
+        assert_eq!(zero_batch.validate(), Err(ConfigError::ZeroBatch));
+        let zero_capacity = SchedulerConfig {
+            batch: BatchPolicy::default(),
             queue_capacity: 0,
-        }
-        .normalized();
-        assert_eq!(cfg.batch.max_batch, 1);
-        assert!(cfg.queue_capacity >= cfg.batch.max_batch);
-        let big = SchedulerConfig {
+        };
+        assert_eq!(
+            zero_capacity.validate(),
+            Err(ConfigError::ZeroQueueCapacity)
+        );
+        let tight = SchedulerConfig {
             batch: BatchPolicy {
                 max_batch: 32,
                 max_wait_ns: 1,
             },
             queue_capacity: 4,
-        }
-        .normalized();
-        assert_eq!(big.queue_capacity, 32);
+        };
+        assert_eq!(
+            tight.validate(),
+            Err(ConfigError::QueueSmallerThanBatch {
+                capacity: 4,
+                max_batch: 32
+            })
+        );
+    }
+
+    #[test]
+    fn adaptive_policy_rejects_invalid_values() {
+        assert_eq!(AdaptivePolicy::default().validate(), Ok(()));
+        assert_eq!(AdaptivePolicy::pinned().validate(), Ok(()));
+        let inverted = AdaptivePolicy {
+            depth_high: 2,
+            depth_low: 5,
+            p95_high_ns: 0,
+            eval_every_batches: 1,
+        };
+        assert_eq!(
+            inverted.validate(),
+            Err(ConfigError::InvertedDepthThresholds { low: 5, high: 2 })
+        );
+        let no_cadence = AdaptivePolicy {
+            eval_every_batches: 0,
+            ..AdaptivePolicy::default()
+        };
+        assert_eq!(no_cadence.validate(), Err(ConfigError::ZeroEvalCadence));
     }
 
     #[test]
@@ -586,23 +747,33 @@ mod tests {
     }
 
     #[test]
-    fn pool_config_normalizes() {
-        let cfg = PoolConfig {
+    fn pool_config_rejects_invalid_values() {
+        assert_eq!(PoolConfig::default().validate(), Ok(()));
+        let no_replicas = PoolConfig {
             replicas: 0,
-            route: RoutePolicy::Hashed,
+            ..PoolConfig::default()
+        };
+        assert_eq!(no_replicas.validate(), Err(ConfigError::ZeroReplicas));
+        // Nested scheduler and adaptive errors surface through the pool.
+        let bad_scheduler = PoolConfig {
             scheduler: SchedulerConfig {
                 batch: BatchPolicy {
                     max_batch: 0,
                     max_wait_ns: 0,
                 },
-                queue_capacity: 0,
+                queue_capacity: 8,
             },
-            adaptive: AdaptivePolicy::default(),
-        }
-        .normalized();
-        assert_eq!(cfg.replicas, 1);
-        assert_eq!(cfg.scheduler.batch.max_batch, 1);
-        assert!(cfg.scheduler.queue_capacity >= 1);
+            ..PoolConfig::default()
+        };
+        assert_eq!(bad_scheduler.validate(), Err(ConfigError::ZeroBatch));
+        let bad_adaptive = PoolConfig {
+            adaptive: AdaptivePolicy {
+                eval_every_batches: 0,
+                ..AdaptivePolicy::default()
+            },
+            ..PoolConfig::default()
+        };
+        assert_eq!(bad_adaptive.validate(), Err(ConfigError::ZeroEvalCadence));
     }
 
     #[test]
@@ -614,5 +785,11 @@ mod tests {
         assert!(ServeError::UnknownModel("x".into())
             .to_string()
             .contains("'x'"));
+        assert!(ServeError::Config(ConfigError::ZeroReplicas)
+            .to_string()
+            .contains("replicas"));
+        assert!(ConfigError::Exec(ExecConfigError::ZeroThreads)
+            .to_string()
+            .contains("threads"));
     }
 }

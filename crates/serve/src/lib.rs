@@ -68,8 +68,8 @@ pub mod session;
 pub mod sim;
 
 pub use config::{
-    AdaptivePolicy, AdaptiveState, BatchPolicy, ModeTransition, PoolConfig, RoutePolicy,
-    SchedulerConfig, ServeError, SmtConfig, SubmitError,
+    AdaptivePolicy, AdaptiveState, BatchPolicy, ConfigError, ModeTransition, PoolConfig,
+    RoutePolicy, SchedulerConfig, ServeError, SmtConfig, SubmitError,
 };
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics};
 pub use pool::{PoolBatchLog, PoolClient, PoolSnapshot, ReplicaPool};
@@ -83,8 +83,8 @@ pub use sim::{
 /// Convenience re-exports for serving code.
 pub mod prelude {
     pub use crate::config::{
-        AdaptivePolicy, BatchPolicy, PoolConfig, RoutePolicy, SchedulerConfig, ServeError,
-        SmtConfig, SubmitError,
+        AdaptivePolicy, BatchPolicy, ConfigError, PoolConfig, RoutePolicy, SchedulerConfig,
+        ServeError, SmtConfig, SubmitError,
     };
     pub use crate::metrics::MetricsSnapshot;
     pub use crate::pool::{PoolClient, PoolSnapshot, ReplicaPool};

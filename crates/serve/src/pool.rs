@@ -29,6 +29,7 @@ use std::time::{Duration, Instant};
 
 use nbsmt_tensor::exec::{ExecConfig, ExecContext};
 use nbsmt_tensor::tensor::Tensor;
+use nbsmt_tensor::validate::Validate;
 
 use crate::config::{route_hash, ServeError};
 use crate::config::{AdaptiveState, ModeTransition, PoolConfig, RoutePolicy, SubmitError};
@@ -201,7 +202,8 @@ impl ReplicaPool {
     ///
     /// # Errors
     ///
-    /// Rejects an empty ladder as [`ServeError::BadRequest`].
+    /// Rejects an empty ladder as [`ServeError::BadRequest`] and an invalid
+    /// pool or execution configuration as [`ServeError::Config`].
     pub fn start_paused(
         sessions: Vec<Arc<Session>>,
         config: PoolConfig,
@@ -213,7 +215,8 @@ impl ReplicaPool {
                 "replica pool needs at least one session in the ladder".into(),
             ));
         }
-        let config = config.normalized();
+        config.validate()?;
+        exec.validate().map_err(crate::config::ConfigError::from)?;
         let replicas: Vec<Replica> = (0..config.replicas)
             .map(|_| Replica {
                 queue: Arc::new(BoundedQueue::new(config.scheduler.queue_capacity)),

@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 
 use nbsmt_tensor::exec::ExecContext;
 use nbsmt_tensor::tensor::Tensor;
+use nbsmt_tensor::validate::Validate;
 
 use crate::config::{SchedulerConfig, ServeError, SubmitError};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
@@ -102,20 +103,31 @@ impl Client {
 impl Server {
     /// Starts a server: spawns the scheduler thread over `session`,
     /// executing batches on `ctx`.
-    pub fn start(session: Arc<Session>, config: SchedulerConfig, ctx: ExecContext) -> Server {
-        let config = config.normalized();
+    ///
+    /// # Errors
+    ///
+    /// Rejects an invalid `config` as [`ServeError::Config`] — the same
+    /// typed validation the replica pool and the virtual-clock simulator
+    /// apply, so a bad config cannot slip through one driver and not
+    /// another.
+    pub fn start(
+        session: Arc<Session>,
+        config: SchedulerConfig,
+        ctx: ExecContext,
+    ) -> Result<Server, ServeError> {
+        config.validate()?;
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let worker_queue = Arc::clone(&queue);
         let worker = std::thread::Builder::new()
             .name(format!("nbsmt-serve-{}", session.name()))
             .spawn(move || scheduler_loop(&worker_queue, &session, &config, &ctx))
             .expect("spawning the scheduler thread succeeds");
-        Server {
+        Ok(Server {
             queue,
             rejected: Arc::new(AtomicU64::new(0)),
             worker: Some(worker),
             started: Instant::now(),
-        }
+        })
     }
 
     /// A new submission handle.
@@ -244,7 +256,8 @@ mod tests {
                 queue_capacity: 32,
             },
             ExecContext::sequential(),
-        );
+        )
+        .expect("config is valid");
         let client = server.client();
         let handles: Vec<_> = inputs
             .iter()
@@ -278,7 +291,8 @@ mod tests {
                 queue_capacity: 1,
             },
             ExecContext::sequential(),
-        );
+        )
+        .expect("config is valid");
         let client = server.client();
         let mut accepted = Vec::new();
         let mut rejected = 0usize;
@@ -305,13 +319,34 @@ mod tests {
     }
 
     #[test]
+    fn invalid_config_is_rejected_before_spawning() {
+        let (session, _) = test_session();
+        let result = Server::start(
+            session,
+            SchedulerConfig {
+                batch: BatchPolicy {
+                    max_batch: 0,
+                    max_wait_ns: 0,
+                },
+                queue_capacity: 8,
+            },
+            ExecContext::sequential(),
+        );
+        assert!(matches!(
+            result.map(|_| ()),
+            Err(ServeError::Config(crate::config::ConfigError::ZeroBatch))
+        ));
+    }
+
+    #[test]
     fn submit_after_shutdown_is_closed() {
         let (session, inputs) = test_session();
         let server = Server::start(
             session,
             SchedulerConfig::default(),
             ExecContext::sequential(),
-        );
+        )
+        .expect("config is valid");
         let client = server.client();
         let _ = server.shutdown();
         assert_eq!(

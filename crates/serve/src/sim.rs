@@ -19,6 +19,7 @@ use std::collections::VecDeque;
 
 use nbsmt_tensor::exec::ExecContext;
 use nbsmt_tensor::tensor::Tensor;
+use nbsmt_tensor::validate::Validate;
 
 use crate::config::{
     route_hash, AdaptivePolicy, AdaptiveState, ModeTransition, PoolConfig, RoutePolicy,
@@ -376,7 +377,7 @@ pub fn simulate_pool<S: Borrow<Session>>(
     if inputs.is_empty() {
         return Err(ServeError::BadRequest("empty request-input pool".into()));
     }
-    let pool = pool.normalized();
+    pool.validate()?;
     let max_batch = pool.scheduler.batch.max_batch;
     let max_wait = pool.scheduler.batch.max_wait_ns;
     // Same closed-loop floor as the single-replica simulator, per replica:
@@ -952,7 +953,9 @@ mod tests {
             &ctx,
             &inputs,
             &arrivals,
-            pool_cfg(3, RoutePolicy::LeastOutstanding, policy(4, 10_000, 2)),
+            // Capacity 4 is below the 6-client population: the closed-loop
+            // capacity floor must still absorb every in-flight request.
+            pool_cfg(3, RoutePolicy::LeastOutstanding, policy(4, 10_000, 4)),
             ServiceModel::default(),
         )
         .unwrap();

@@ -138,6 +138,13 @@ pub struct ExecContext {
 impl ExecContext {
     /// Creates a context from a configuration (thread count and tile sizes
     /// are clamped to at least 1).
+    ///
+    /// This constructor is deliberately infallible and lenient — it backs
+    /// the no-context compatibility wrappers on every hot path. Boundaries
+    /// that *accept* an [`ExecConfig`] as input (the replica pool, the
+    /// bench run-spec driver) reject invalid values with a typed error via
+    /// [`crate::validate::Validate`] before a context is ever built; use
+    /// `config.validate()?` there rather than relying on this clamp.
     pub fn new(mut config: ExecConfig) -> Self {
         config.threads = config.threads.max(1);
         config.tile_rows = config.tile_rows.max(1);

@@ -20,6 +20,9 @@
 //! * [`random`] — reproducible synthesis of bell-shaped (Gaussian / Laplace)
 //!   value distributions with controllable sparsity, used to calibrate the
 //!   synthetic model zoo (see `nbsmt-workloads`),
+//! * [`validate`] — the workspace-wide [`validate::Validate`] trait: every
+//!   config struct in the system (here, `nbsmt-serve`, `nbsmt-bench`)
+//!   rejects bad values with a typed error through this one seam,
 //! * [`error::TensorError`] — the error type shared by all fallible
 //!   operations.
 //!
@@ -45,8 +48,10 @@ pub mod ops;
 pub mod random;
 pub mod shape;
 pub mod tensor;
+pub mod validate;
 
 pub use error::TensorError;
 pub use exec::{ExecConfig, ExecContext, GemmBackend, GemmBackendKind};
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use validate::{ExecConfigError, Validate};

@@ -1,0 +1,122 @@
+//! Workspace-wide configuration validation.
+//!
+//! Every layer of the system takes a plain-data configuration struct
+//! (execution contexts, batching policies, replica pools, run specs). The
+//! [`Validate`] trait is the one seam through which all of them reject bad
+//! values: a typed error naming exactly which field is invalid and why,
+//! instead of an `assert!`, a silent clamp, or a `process::exit` deep in a
+//! binary. The trait lives at the bottom of the crate DAG so every crate —
+//! `nbsmt-serve`'s scheduler configs, `nbsmt-bench`'s run specs — can
+//! implement it for its own config types with its own error enum.
+
+use crate::exec::ExecConfig;
+
+/// A configuration that can check itself for validity.
+///
+/// Implementations must be *pure*: no clamping, no mutation, no I/O — they
+/// either accept the value exactly as given or return a typed error naming
+/// the offending field. Consumers (servers, simulators, CLI drivers) call
+/// `validate()` at their boundary and propagate the error, so the same bad
+/// config is rejected identically no matter which entry point receives it.
+pub trait Validate {
+    /// The typed error describing the first invalid field found.
+    type Error: std::error::Error + Send + Sync + 'static;
+
+    /// Checks the configuration, returning `Ok(())` iff every field is
+    /// valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns the implementation's typed error for the first invalid field.
+    fn validate(&self) -> Result<(), Self::Error>;
+}
+
+/// Why an [`ExecConfig`] is invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecConfigError {
+    /// `threads` is zero — the pool needs at least the calling thread.
+    ZeroThreads,
+    /// `tile_rows` is zero — tiles must cover at least one row.
+    ZeroTileRows,
+    /// `tile_k` is zero — reduction blocks must cover at least one element.
+    ZeroTileK,
+}
+
+impl std::fmt::Display for ExecConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecConfigError::ZeroThreads => {
+                write!(f, "exec config: threads must be at least 1")
+            }
+            ExecConfigError::ZeroTileRows => {
+                write!(f, "exec config: tile_rows must be at least 1")
+            }
+            ExecConfigError::ZeroTileK => {
+                write!(f, "exec config: tile_k must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecConfigError {}
+
+impl Validate for ExecConfig {
+    type Error = ExecConfigError;
+
+    fn validate(&self) -> Result<(), ExecConfigError> {
+        if self.threads == 0 {
+            return Err(ExecConfigError::ZeroThreads);
+        }
+        if self.tile_rows == 0 {
+            return Err(ExecConfigError::ZeroTileRows);
+        }
+        if self.tile_k == 0 {
+            return Err(ExecConfigError::ZeroTileK);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::GemmBackendKind;
+
+    fn valid() -> ExecConfig {
+        ExecConfig {
+            threads: 2,
+            tile_rows: 32,
+            tile_k: 64,
+            backend: GemmBackendKind::Parallel,
+        }
+    }
+
+    #[test]
+    fn valid_config_passes() {
+        assert_eq!(valid().validate(), Ok(()));
+        assert_eq!(ExecConfig::sequential().validate(), Ok(()));
+        assert_eq!(ExecConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_fields_are_rejected_with_the_matching_error() {
+        let mut cfg = valid();
+        cfg.threads = 0;
+        assert_eq!(cfg.validate(), Err(ExecConfigError::ZeroThreads));
+        let mut cfg = valid();
+        cfg.tile_rows = 0;
+        assert_eq!(cfg.validate(), Err(ExecConfigError::ZeroTileRows));
+        let mut cfg = valid();
+        cfg.tile_k = 0;
+        assert_eq!(cfg.validate(), Err(ExecConfigError::ZeroTileK));
+    }
+
+    #[test]
+    fn errors_display_the_field() {
+        assert!(ExecConfigError::ZeroThreads.to_string().contains("threads"));
+        assert!(ExecConfigError::ZeroTileRows
+            .to_string()
+            .contains("tile_rows"));
+        assert!(ExecConfigError::ZeroTileK.to_string().contains("tile_k"));
+    }
+}

@@ -40,8 +40,8 @@ pub mod prelude {
     pub use nbsmt_quant::qtensor::{QuantMatrix, QuantTensor};
     pub use nbsmt_quant::scheme::QuantScheme;
     pub use nbsmt_serve::config::{
-        AdaptivePolicy, BatchPolicy, PoolConfig, RoutePolicy, SchedulerConfig, SmtConfig,
-        SubmitError,
+        AdaptivePolicy, BatchPolicy, ConfigError, PoolConfig, RoutePolicy, SchedulerConfig,
+        SmtConfig, SubmitError,
     };
     pub use nbsmt_serve::pool::{PoolClient, PoolSnapshot, ReplicaPool};
     pub use nbsmt_serve::registry::ModelRegistry;
@@ -54,4 +54,5 @@ pub mod prelude {
     pub use nbsmt_systolic::array::{OutputStationaryArray, SystolicConfig};
     pub use nbsmt_tensor::exec::{ExecConfig, ExecContext, GemmBackend, GemmBackendKind};
     pub use nbsmt_tensor::tensor::Tensor;
+    pub use nbsmt_tensor::validate::{ExecConfigError, Validate};
 }

@@ -70,15 +70,18 @@ fn prelude_covers_the_serving_layer() {
     // Serving config types resolve through the prelude.
     assert_eq!(SmtConfig::sysmt_2t().label(), "2t");
     assert_eq!(SmtConfig::sysmt_4t().speedup(), 4);
-    let scheduler = SchedulerConfig {
+    // Config validation resolves through the prelude: bad values are typed
+    // errors, valid ones pass.
+    let bad = SchedulerConfig {
         batch: BatchPolicy {
             max_batch: 0,
             max_wait_ns: 100,
         },
         queue_capacity: 0,
-    }
-    .normalized();
-    assert!(scheduler.queue_capacity >= scheduler.batch.max_batch);
+    };
+    assert_eq!(bad.validate(), Err(ConfigError::ZeroBatch));
+    let scheduler = SchedulerConfig::default();
+    assert_eq!(scheduler.validate(), Ok(()));
     assert!(matches!(
         SubmitError::QueueFull { capacity: 4 },
         SubmitError::QueueFull { capacity: 4 }
@@ -110,9 +113,15 @@ fn prelude_covers_the_serving_layer() {
         route: RoutePolicy::LeastOutstanding,
         scheduler,
         adaptive: AdaptivePolicy::default(),
-    }
-    .normalized();
-    assert_eq!(pool.replicas, 1);
+    };
+    assert_eq!(pool.validate(), Err(ConfigError::ZeroReplicas));
+    assert_eq!(PoolConfig::default().validate(), Ok(()));
+    // The exec-layer config validates through the same trait.
+    let exec = ExecConfig {
+        tile_k: 0,
+        ..ExecConfig::default()
+    };
+    assert_eq!(exec.validate(), Err(ExecConfigError::ZeroTileK));
     assert_eq!(AdaptivePolicy::pinned().decide(0, 3, usize::MAX - 1, 0), 0);
     assert_eq!(AdaptivePolicy::default().decide(0, 3, 64, 0), 1);
 }
