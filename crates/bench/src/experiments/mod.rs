@@ -5,6 +5,7 @@
 //! EXPERIMENTS.md.
 
 pub mod accuracy;
+pub mod faults_exp;
 pub mod hw_exp;
 pub mod registry;
 pub mod serve_exp;

@@ -34,6 +34,7 @@ use crate::experiments::accuracy::{
     fig10_pruning, fig7_robustness, mlperf_mobilenet, table3_policies, table4_comparison,
     table5_slowdown, AccuracyBench,
 };
+use crate::experiments::faults_exp::{faults_summary, faults_sweep_with, FaultKnobs};
 use crate::experiments::hw_exp::table2_rows;
 use crate::experiments::serve_exp::{
     serve_summary, serve_sweep_with, shard_summary, shard_sweep_with,
@@ -264,6 +265,7 @@ impl ExperimentRegistry {
         registry.register(Box::new(GemmBench));
         registry.register(Box::new(Serve));
         registry.register(Box::new(Shard));
+        registry.register(Box::new(Faults));
         registry
     }
 
@@ -345,7 +347,9 @@ impl ExperimentRegistry {
              Flags:\n\
              \x20 --spec <path>        load a RunSpec JSON file (see examples/specs/)\n\
              \x20 --set <key>=<value>  override one spec key: scale, seed, threads, backend,\n\
-             \x20                      requests, replicas (repeatable, applied in order)\n\
+             \x20                      requests, replicas, fault_seed, crash_per_mille,\n\
+             \x20                      stall_per_mille, straggle_per_mille, hedging\n\
+             \x20                      (repeatable, applied in order)\n\
              \x20 --dump-spec          print the resolved spec as JSON and exit without running\n\
              \x20 --full               shorthand for --set scale=full\n\
              \x20 --threads <n>        shorthand for --set threads=<n>\n\
@@ -1350,6 +1354,130 @@ impl Experiment for Shard {
     }
 }
 
+struct Faults;
+
+impl Experiment for Faults {
+    fn name(&self) -> &'static str {
+        "faults"
+    }
+
+    fn describe(&self) -> ExperimentInfo {
+        ExperimentInfo {
+            description:
+                "availability under injected failures: chaos corpus × countermeasures → BENCH_faults.json (explicit only)",
+            params: &[
+                ParamKey::Requests,
+                ParamKey::FaultSeed,
+                ParamKey::CrashPerMille,
+                ParamKey::StallPerMille,
+                ParamKey::StragglePerMille,
+                ParamKey::Hedging,
+            ],
+            writes: Some("BENCH_faults.json"),
+            in_all: false,
+        }
+    }
+
+    fn default_spec(&self) -> RunSpec {
+        let mut spec = RunSpec::defaults(self.name());
+        spec.requests = Some(64);
+        spec.fault_seed = Some(7);
+        spec.crash_per_mille = Some(30);
+        spec.stall_per_mille = Some(60);
+        spec.straggle_per_mille = Some(90);
+        spec.hedging = Some(true);
+        spec
+    }
+
+    fn run(&self, spec: &RunSpec, sink: &mut SummarySink) -> Result<RunReport, ExperimentError> {
+        let defaults = self.default_spec();
+        let requests = spec
+            .requests
+            .or(defaults.requests)
+            .expect("default_spec sets requests");
+        let knobs = FaultKnobs {
+            fault_seed: spec
+                .fault_seed
+                .or(defaults.fault_seed)
+                .expect("default_spec sets fault_seed"),
+            crash_per_mille: spec
+                .crash_per_mille
+                .or(defaults.crash_per_mille)
+                .expect("default_spec sets crash_per_mille"),
+            stall_per_mille: spec
+                .stall_per_mille
+                .or(defaults.stall_per_mille)
+                .expect("default_spec sets stall_per_mille"),
+            straggle_per_mille: spec
+                .straggle_per_mille
+                .or(defaults.straggle_per_mille)
+                .expect("default_spec sets straggle_per_mille"),
+            hedging: spec
+                .hedging
+                .or(defaults.hedging)
+                .expect("default_spec sets hedging"),
+        };
+        out!(
+            sink,
+            "## faults — availability under injected failures ({requests} requests/cell, 2 replicas)\n"
+        );
+        out!(
+            sink,
+            "Training SynthNet and compiling the dense/2T/4T ladder…\n"
+        );
+        let rows = faults_sweep_with(spec.scale, &spec.exec, requests, spec.seed, knobs);
+        out!(
+            sink,
+            "{:<26} {:<4} {:<8} {:<11} {:>6} {:>6} {:>6} {:>9} {:>9} {:>6} {:>5} {:>7} {:>6} {:>5}",
+            "Schedule",
+            "Mode",
+            "Policy",
+            "CM",
+            "Done",
+            "Lost",
+            "Avail",
+            "p95[ms]",
+            "p99[ms]",
+            "Crash",
+            "Hand",
+            "Retry",
+            "Hedge",
+            "Wins"
+        );
+        for row in &rows {
+            out!(
+                sink,
+                "{:<26} {:<4} {:<8} {:<11} {:>6} {:>6} {:>5.1}% {:>9.2} {:>9.2} {:>6} {:>5} {:>7} {:>6} {:>5}",
+                row.schedule,
+                row.mode,
+                row.policy,
+                row.cm,
+                row.completed,
+                row.failed,
+                row.availability * 100.0,
+                row.p95_ms,
+                row.p99_ms,
+                row.crashes,
+                row.handoffs,
+                row.retries,
+                row.hedges,
+                row.hedge_wins
+            );
+        }
+        let mut report = RunReport::new(self.name());
+        report.cells = rows.len();
+        if sink.persists() {
+            let path = Path::new("BENCH_faults.json");
+            faults_summary(&rows)
+                .write(path)
+                .map_err(|e| ExperimentError::io(path, &e))?;
+            out!(sink, "\nwrote {} (merged by record name)\n", path.display());
+            report.summaries.push(path.to_path_buf());
+        }
+        Ok(report)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1377,6 +1505,7 @@ mod tests {
                 "gemmbench",
                 "serve",
                 "shard",
+                "faults",
             ]
         );
         assert!(registry.contains(ALL));
@@ -1396,7 +1525,7 @@ mod tests {
                 experiment.name()
             );
         }
-        for name in ["gemmbench", "serve", "shard"] {
+        for name in ["gemmbench", "serve", "shard", "faults"] {
             assert!(!registry.get(name).expect("registered").describe().in_all);
         }
     }
@@ -1414,6 +1543,11 @@ mod tests {
         let shard = registry.default_spec("shard").expect("registered");
         assert_eq!(shard.requests, Some(256));
         assert_eq!(shard.replicas, Some(vec![1, 2, 4]));
+        let faults = registry.default_spec("faults").expect("registered");
+        assert_eq!(faults.requests, Some(64));
+        assert_eq!(faults.fault_seed, Some(7));
+        assert_eq!(faults.crash_per_mille, Some(30));
+        assert_eq!(faults.hedging, Some(true));
         assert_eq!(
             registry.default_spec(ALL).expect("composite").experiment,
             ALL
@@ -1442,6 +1576,10 @@ mod tests {
         let table = registry.markdown_table();
         assert!(table.contains("| `serve` | `requests` | `BENCH_serve.json` | no |"));
         assert!(table.contains("| `shard` | `requests`, `replicas` |"));
+        assert!(table.contains(
+            "| `faults` | `requests`, `fault_seed`, `crash_per_mille`, `stall_per_mille`, \
+             `straggle_per_mille`, `hedging` | `BENCH_faults.json` | no |"
+        ));
         assert!(table.contains("| `table1` | — | — | yes |"));
     }
 

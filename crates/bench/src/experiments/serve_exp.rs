@@ -103,16 +103,16 @@ impl ServeRow {
 /// offered load is expressed against. Keeping this in one place is what
 /// makes the `serve` and `shard` rows of `BENCH_serve.json` comparable:
 /// both sweeps stress the same model at loads relative to the same rate.
-struct SweepFixture {
-    registry: ModelRegistry,
-    inputs: Vec<Tensor<f32>>,
-    service: ServiceModel,
+pub(crate) struct SweepFixture {
+    pub(crate) registry: ModelRegistry,
+    pub(crate) inputs: Vec<Tensor<f32>>,
+    pub(crate) service: ServiceModel,
     /// One dense single-request service time [ns].
-    dense_single_ns: u64,
+    pub(crate) dense_single_ns: u64,
 }
 
 impl SweepFixture {
-    fn prepare(scale: Scale, requests: usize, seed: u64) -> SweepFixture {
+    pub(crate) fn prepare(scale: Scale, requests: usize, seed: u64) -> SweepFixture {
         let task = SynthTaskConfig {
             classes: 4,
             image_size: 12,
@@ -148,7 +148,7 @@ impl SweepFixture {
     }
 
     /// One dense session's single-request service rate [requests/s].
-    fn dense_rate_rps(&self) -> f64 {
+    pub(crate) fn dense_rate_rps(&self) -> f64 {
         1e9 / self.dense_single_ns as f64
     }
 }

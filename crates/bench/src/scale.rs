@@ -119,13 +119,19 @@ impl ExecSettings {
         }
     }
 
-    /// Builds the execution context these settings describe.
-    pub fn context(&self) -> ExecContext {
-        ExecContext::new(ExecConfig {
+    /// The raw execution config these settings describe (for APIs that
+    /// spawn their own contexts, like the threaded replica pool).
+    pub fn config(&self) -> ExecConfig {
+        ExecConfig {
             threads: self.threads,
             backend: self.backend,
             ..ExecConfig::default()
-        })
+        }
+    }
+
+    /// Builds the execution context these settings describe.
+    pub fn context(&self) -> ExecContext {
+        ExecContext::new(self.config())
     }
 }
 

@@ -44,6 +44,17 @@ pub enum ParamKey {
     Requests,
     /// `replicas` — replica counts a sharded sweep runs at.
     Replicas,
+    /// `fault_seed` — seed of the generated fault schedule.
+    FaultSeed,
+    /// `crash_per_mille` — per-mille crash rate of the generated schedule.
+    CrashPerMille,
+    /// `stall_per_mille` — per-mille stall rate of the generated schedule.
+    StallPerMille,
+    /// `straggle_per_mille` — per-mille straggle rate of the generated
+    /// schedule.
+    StragglePerMille,
+    /// `hedging` — whether the countermeasure client hedges stragglers.
+    Hedging,
 }
 
 impl ParamKey {
@@ -52,6 +63,11 @@ impl ParamKey {
         match self {
             ParamKey::Requests => "requests",
             ParamKey::Replicas => "replicas",
+            ParamKey::FaultSeed => "fault_seed",
+            ParamKey::CrashPerMille => "crash_per_mille",
+            ParamKey::StallPerMille => "stall_per_mille",
+            ParamKey::StragglePerMille => "straggle_per_mille",
+            ParamKey::Hedging => "hedging",
         }
     }
 }
@@ -74,6 +90,20 @@ pub struct RunSpec {
     pub requests: Option<usize>,
     /// Replica counts for the sharded sweep ([`ParamKey::Replicas`]).
     pub replicas: Option<Vec<usize>>,
+    /// Seed of the generated fault schedule ([`ParamKey::FaultSeed`]).
+    pub fault_seed: Option<u64>,
+    /// Per-mille crash rate of the generated fault schedule
+    /// ([`ParamKey::CrashPerMille`], ≤ 1000).
+    pub crash_per_mille: Option<u64>,
+    /// Per-mille stall rate of the generated fault schedule
+    /// ([`ParamKey::StallPerMille`], ≤ 1000).
+    pub stall_per_mille: Option<u64>,
+    /// Per-mille straggle rate of the generated fault schedule
+    /// ([`ParamKey::StragglePerMille`], ≤ 1000).
+    pub straggle_per_mille: Option<u64>,
+    /// Whether the countermeasure client hedges stragglers
+    /// ([`ParamKey::Hedging`]).
+    pub hedging: Option<bool>,
 }
 
 impl RunSpec {
@@ -88,6 +118,11 @@ impl RunSpec {
             exec: ExecSettings::parallel(),
             requests: None,
             replicas: None,
+            fault_seed: None,
+            crash_per_mille: None,
+            stall_per_mille: None,
+            straggle_per_mille: None,
+            hedging: None,
         }
     }
 
@@ -119,6 +154,21 @@ impl RunSpec {
                 "replicas".to_string(),
                 Json::Arr(replicas.iter().map(|&r| Json::Num(r as f64)).collect()),
             ));
+        }
+        if let Some(fault_seed) = self.fault_seed {
+            fields.push(("fault_seed".to_string(), Json::Num(fault_seed as f64)));
+        }
+        if let Some(rate) = self.crash_per_mille {
+            fields.push(("crash_per_mille".to_string(), Json::Num(rate as f64)));
+        }
+        if let Some(rate) = self.stall_per_mille {
+            fields.push(("stall_per_mille".to_string(), Json::Num(rate as f64)));
+        }
+        if let Some(rate) = self.straggle_per_mille {
+            fields.push(("straggle_per_mille".to_string(), Json::Num(rate as f64)));
+        }
+        if let Some(hedging) = self.hedging {
+            fields.push(("hedging".to_string(), Json::Bool(hedging)));
         }
         Json::Obj(fields)
     }
@@ -209,6 +259,23 @@ impl RunSpec {
                     }
                 }
                 "requests" => spec.requests = Some(parse_int(value, "requests")? as usize),
+                "fault_seed" => spec.fault_seed = Some(parse_int(value, "fault_seed")?),
+                "crash_per_mille" => {
+                    spec.crash_per_mille = Some(parse_int(value, "crash_per_mille")?);
+                }
+                "stall_per_mille" => {
+                    spec.stall_per_mille = Some(parse_int(value, "stall_per_mille")?);
+                }
+                "straggle_per_mille" => {
+                    spec.straggle_per_mille = Some(parse_int(value, "straggle_per_mille")?);
+                }
+                "hedging" => {
+                    spec.hedging = Some(
+                        value
+                            .as_bool()
+                            .ok_or_else(|| SpecError::bad("hedging", "expected true or false"))?,
+                    );
+                }
                 "replicas" => {
                     let items = value
                         .as_arr()
@@ -274,6 +341,38 @@ impl RunSpec {
                     .collect::<Result<Vec<_>, _>>()?;
                 self.replicas = Some(replicas);
             }
+            "fault_seed" => {
+                self.fault_seed = Some(value.parse().map_err(|_| {
+                    SpecError::bad("fault_seed", format!("'{value}' is not a seed"))
+                })?);
+            }
+            "crash_per_mille" => {
+                self.crash_per_mille = Some(value.parse().map_err(|_| {
+                    SpecError::bad("crash_per_mille", format!("'{value}' is not a rate"))
+                })?);
+            }
+            "stall_per_mille" => {
+                self.stall_per_mille = Some(value.parse().map_err(|_| {
+                    SpecError::bad("stall_per_mille", format!("'{value}' is not a rate"))
+                })?);
+            }
+            "straggle_per_mille" => {
+                self.straggle_per_mille = Some(value.parse().map_err(|_| {
+                    SpecError::bad("straggle_per_mille", format!("'{value}' is not a rate"))
+                })?);
+            }
+            "hedging" => {
+                self.hedging = Some(match value {
+                    "true" => true,
+                    "false" => false,
+                    _ => {
+                        return Err(SpecError::bad(
+                            "hedging",
+                            format!("'{value}' is not true or false"),
+                        ))
+                    }
+                });
+            }
             other => return Err(SpecError::UnknownKey(other.to_string())),
         }
         Ok(())
@@ -288,6 +387,21 @@ impl RunSpec {
         }
         if self.replicas.is_some() {
             keys.push(ParamKey::Replicas);
+        }
+        if self.fault_seed.is_some() {
+            keys.push(ParamKey::FaultSeed);
+        }
+        if self.crash_per_mille.is_some() {
+            keys.push(ParamKey::CrashPerMille);
+        }
+        if self.stall_per_mille.is_some() {
+            keys.push(ParamKey::StallPerMille);
+        }
+        if self.straggle_per_mille.is_some() {
+            keys.push(ParamKey::StragglePerMille);
+        }
+        if self.hedging.is_some() {
+            keys.push(ParamKey::Hedging);
         }
         keys
     }
@@ -365,6 +479,26 @@ impl Validate for RunSpec {
                 return Err(SpecError::bad("replicas", "counts must be ≤ 2^53−1"));
             }
         }
+        if self.fault_seed.is_some_and(|seed| seed > MAX_SPEC_INT) {
+            return Err(SpecError::bad(
+                "fault_seed",
+                "must be ≤ 2^53−1 to round-trip through a spec file",
+            ));
+        }
+        // The same bound the serving layer's FaultConfig validation
+        // enforces — reject at the spec boundary too, with the field named.
+        for (field, rate) in [
+            ("crash_per_mille", self.crash_per_mille),
+            ("stall_per_mille", self.stall_per_mille),
+            ("straggle_per_mille", self.straggle_per_mille),
+        ] {
+            if rate.is_some_and(|rate| rate > 1000) {
+                return Err(SpecError::bad(
+                    field,
+                    "per-mille rates must be at most 1000",
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -430,7 +564,8 @@ impl std::fmt::Display for SpecError {
                 write!(
                     f,
                     "unknown spec key '{key}' (known keys: scale, seed, threads, backend, \
-                     requests, replicas)"
+                     requests, replicas, fault_seed, crash_per_mille, stall_per_mille, \
+                     straggle_per_mille, hedging)"
                 )
             }
             SpecError::KeyNotAccepted { experiment, key } => write!(
@@ -607,6 +742,56 @@ mod tests {
             })
         );
         assert_eq!(spec.check_params(&[ParamKey::Requests]), Ok(()));
+    }
+
+    #[test]
+    fn fault_params_round_trip_and_validate() {
+        let mut spec = RunSpec::defaults("faults");
+        spec.fault_seed = Some(7);
+        spec.crash_per_mille = Some(40);
+        spec.stall_per_mille = Some(80);
+        spec.straggle_per_mille = Some(120);
+        spec.hedging = Some(true);
+        assert_eq!(spec.validate(), Ok(()));
+        let back = RunSpec::parse(&spec.render()).expect("parses");
+        assert_eq!(back, spec);
+        assert_eq!(
+            back.params_set(),
+            vec![
+                ParamKey::FaultSeed,
+                ParamKey::CrashPerMille,
+                ParamKey::StallPerMille,
+                ParamKey::StragglePerMille,
+                ParamKey::Hedging,
+            ]
+        );
+        // --set accepts the same keys…
+        let mut from_set = RunSpec::defaults("faults");
+        from_set.set("fault_seed", "7").unwrap();
+        from_set.set("crash_per_mille", "40").unwrap();
+        from_set.set("stall_per_mille", "80").unwrap();
+        from_set.set("straggle_per_mille", "120").unwrap();
+        from_set.set("hedging", "true").unwrap();
+        assert_eq!(from_set, spec);
+        // …and rejects malformed values with typed errors.
+        assert!(matches!(
+            from_set.set("hedging", "yes"),
+            Err(SpecError::Bad { .. })
+        ));
+        assert!(matches!(
+            from_set.set("crash_per_mille", "often"),
+            Err(SpecError::Bad { .. })
+        ));
+        // Out-of-range rates are rejected at validation, mirroring the
+        // serving layer's FaultConfig bound.
+        let mut bad = RunSpec::defaults("faults");
+        bad.stall_per_mille = Some(1001);
+        assert!(matches!(bad.validate(), Err(SpecError::Bad { .. })));
+        // A non-boolean hedging value in a file is a typed parse error.
+        assert!(matches!(
+            RunSpec::parse(r#"{"experiment": "faults", "hedging": 1}"#),
+            Err(SpecError::Bad { .. })
+        ));
     }
 
     #[test]

@@ -313,6 +313,150 @@ impl ServeSummary {
     }
 }
 
+/// One availability-under-failure entry: a (fault schedule, execution mode,
+/// design-point policy, countermeasure) cell of the `repro faults`
+/// experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// Record id, e.g. `faults_crash-during-drain_live_adaptive_retry+hedge_n64`.
+    pub name: String,
+    /// Fault schedule: a chaos-corpus name or `gen-x<intensity>`.
+    pub schedule: String,
+    /// `sim` (virtual clock, bit-reproducible) or `live` (threaded pool).
+    pub mode: String,
+    /// Design-point selection (`pinned` or `adaptive`).
+    pub policy: String,
+    /// Client countermeasures (`none`, `retry`, `retry+hedge`, or `-`).
+    pub cm: String,
+    /// Requests issued.
+    pub requests: u64,
+    /// Requests that received a response.
+    pub completed: u64,
+    /// Requests lost to shedding, crash cancellation, or retry exhaustion.
+    pub failed: u64,
+    /// completed / requests.
+    pub availability: f64,
+    /// 95th-percentile latency [ms].
+    pub p95_ms: f64,
+    /// 99th-percentile latency [ms].
+    pub p99_ms: f64,
+    /// Injected replica crashes.
+    pub crashes: u64,
+    /// Requests handed off from crashed replicas to survivors.
+    pub handoffs: u64,
+    /// Client re-submissions.
+    pub retries: u64,
+    /// Hedge duplicates submitted.
+    pub hedges: u64,
+    /// Calls won by the hedge leg.
+    pub hedge_wins: u64,
+}
+
+impl FaultRecord {
+    fn to_json(&self) -> Json {
+        let r3 = |v: f64| (v * 1e3).round() / 1e3;
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("schedule", Json::str(&self.schedule)),
+            ("mode", Json::str(&self.mode)),
+            ("policy", Json::str(&self.policy)),
+            ("cm", Json::str(&self.cm)),
+            ("requests", Json::Num(self.requests as f64)),
+            ("completed", Json::Num(self.completed as f64)),
+            ("failed", Json::Num(self.failed as f64)),
+            ("availability", Json::Num(r3(self.availability))),
+            ("p95_ms", Json::Num(r3(self.p95_ms))),
+            ("p99_ms", Json::Num(r3(self.p99_ms))),
+            ("crashes", Json::Num(self.crashes as f64)),
+            ("handoffs", Json::Num(self.handoffs as f64)),
+            ("retries", Json::Num(self.retries as f64)),
+            ("hedges", Json::Num(self.hedges as f64)),
+            ("hedge_wins", Json::Num(self.hedge_wins as f64)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<FaultRecord> {
+        Some(FaultRecord {
+            name: value.get("name")?.as_str()?.to_string(),
+            schedule: value.get("schedule")?.as_str()?.to_string(),
+            mode: value.get("mode")?.as_str()?.to_string(),
+            policy: value.get("policy")?.as_str()?.to_string(),
+            cm: value.get("cm")?.as_str()?.to_string(),
+            requests: value.get("requests")?.as_u64()?,
+            completed: value.get("completed")?.as_u64()?,
+            failed: value.get("failed")?.as_u64()?,
+            availability: value.get("availability")?.as_f64()?,
+            p95_ms: value.get("p95_ms")?.as_f64()?,
+            p99_ms: value.get("p99_ms")?.as_f64()?,
+            crashes: value.get("crashes")?.as_u64()?,
+            handoffs: value.get("handoffs")?.as_u64()?,
+            retries: value.get("retries")?.as_u64()?,
+            hedges: value.get("hedges")?.as_u64()?,
+            hedge_wins: value.get("hedge_wins")?.as_u64()?,
+        })
+    }
+}
+
+/// The `BENCH_faults.json` summary: availability-under-failure records with
+/// the same merge-by-name write semantics as [`BenchSummary`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// The recorded fault-sweep runs, in insertion order.
+    pub runs: Vec<FaultRecord>,
+}
+
+impl FaultSummary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        FaultSummary::default()
+    }
+
+    /// Appends a run record.
+    pub fn push(&mut self, record: FaultRecord) {
+        self.runs.push(record);
+    }
+
+    /// Renders the summary as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        Json::obj([(
+            "runs",
+            Json::Arr(self.runs.iter().map(FaultRecord::to_json).collect()),
+        )])
+        .render()
+    }
+
+    /// Parses a summary previously written by [`Self::write`]. Like
+    /// [`BenchSummary::parse`], any unconvertible record fails the whole
+    /// parse so the merging write backs the file up instead of dropping it.
+    pub fn parse(text: &str) -> Option<FaultSummary> {
+        let doc = Json::parse(text).ok()?;
+        let runs = doc
+            .get("runs")?
+            .as_arr()?
+            .iter()
+            .map(FaultRecord::from_json)
+            .collect::<Option<Vec<_>>>()?;
+        Some(FaultSummary { runs })
+    }
+
+    /// Writes the summary to `path` with merge-by-name semantics (see
+    /// [`BenchSummary::write`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let merged = merge_by_name(
+            read_existing(path, FaultSummary::parse)?.map(|s| s.runs),
+            self.runs.clone(),
+            |r| r.name.clone(),
+        );
+        let body = FaultSummary { runs: merged }.to_json();
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(body.as_bytes())
+    }
+}
+
 /// Reads and parses an existing summary file. A present-but-unparsable file
 /// is moved aside to `<path>.bak` (returning `None`) so the caller's fresh
 /// write never destroys the only copy of unknown content.
@@ -526,6 +670,54 @@ mod tests {
         // A record missing a *required* field still fails the whole parse.
         let broken = r#"{"runs": [{"name": "x", "smt": "2t"}]}"#;
         assert!(ServeSummary::parse(broken).is_none());
+    }
+
+    fn fault_record(name: &str) -> FaultRecord {
+        FaultRecord {
+            name: name.to_string(),
+            schedule: "crash-during-drain".to_string(),
+            mode: "live".to_string(),
+            policy: "adaptive".to_string(),
+            cm: "retry+hedge".to_string(),
+            requests: 64,
+            completed: 64,
+            failed: 0,
+            availability: 1.0,
+            p95_ms: 3.125,
+            p99_ms: 5.5,
+            crashes: 1,
+            handoffs: 3,
+            retries: 4,
+            hedges: 2,
+            hedge_wins: 1,
+        }
+    }
+
+    #[test]
+    fn fault_summary_round_trips_and_merges() {
+        let mut summary = FaultSummary::new();
+        summary.push(fault_record("faults_a"));
+        let parsed = FaultSummary::parse(&summary.to_json()).unwrap();
+        assert_eq!(parsed, summary);
+
+        let path = std::env::temp_dir().join("nbsmt_fault_summary_test.json");
+        let _ = std::fs::remove_file(&path);
+        summary.write(&path).unwrap();
+        let mut update = FaultSummary::new();
+        let mut changed = fault_record("faults_a");
+        changed.completed = 63;
+        changed.failed = 1;
+        update.push(changed);
+        update.push(fault_record("faults_b"));
+        update.write(&path).unwrap();
+        let merged = FaultSummary::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(merged.runs.len(), 2);
+        assert_eq!(merged.runs[0].completed, 63);
+        assert_eq!(merged.runs[1].name, "faults_b");
+        let _ = std::fs::remove_file(&path);
+        // A record missing a required field fails the whole parse (→ .bak).
+        let broken = r#"{"runs": [{"name": "x", "schedule": "s"}]}"#;
+        assert!(FaultSummary::parse(broken).is_none());
     }
 
     #[test]

@@ -15,11 +15,13 @@ use nbsmt_bench::loadgen::{burst, closed_loop, open_poisson};
 use nbsmt_serve::config::{
     AdaptivePolicy, BatchPolicy, PoolConfig, RoutePolicy, SchedulerConfig, SmtConfig,
 };
-use nbsmt_serve::pool::ReplicaPool;
+use nbsmt_serve::faults::{FaultConfig, FaultEvent, FaultKind, FaultPlan};
+use nbsmt_serve::pool::{PoolSnapshot, ReplicaPool};
 use nbsmt_serve::registry::ModelRegistry;
 use nbsmt_serve::session::Session;
 use nbsmt_serve::sim::{
-    simulate, simulate_pool, ArrivalProcess, PoolSimOutcome, ServiceModel, SimOutcome,
+    simulate, simulate_pool, simulate_pool_faulted, ArrivalProcess, PoolSimOutcome, ServiceModel,
+    SimOutcome,
 };
 use nbsmt_tensor::exec::{ExecConfig, ExecContext, GemmBackendKind};
 use nbsmt_tensor::tensor::Tensor;
@@ -494,6 +496,241 @@ fn lockstep_shedding_attribution_matches() {
             threaded.completed, simulated.completed,
             "replica {r} completion counts diverged"
         );
+    }
+}
+
+// ---- fault-injected lockstep determinism --------------------------------
+//
+// The same contract, with a seeded `FaultPlan` in the loop: crashes,
+// stalls, straggle windows, and queue closes must replay bit-identically
+// between the threaded lockstep pool and the virtual-clock simulator — on
+// any host thread count, on any GEMM backend, for any replica count.
+
+/// The whole burst through the discrete-event simulator under `plan`.
+fn faulted_sim(fixture: &Fixture, config: PoolConfig, plan: &FaultPlan) -> PoolSimOutcome {
+    simulate_pool_faulted(
+        &ladder(fixture),
+        &ExecContext::sequential(),
+        &fixture.inputs,
+        &burst(fixture.inputs.len()),
+        config,
+        ServiceModel::default(),
+        Some(plan),
+    )
+    .expect("faulted pool simulation succeeds")
+}
+
+/// The same burst through a lockstep [`ReplicaPool`] under `plan`,
+/// resolving every handle (completions keep their logit bits; cancellations
+/// and rejections drop out). Returning at all is the no-deadlock half of
+/// the contract.
+fn faulted_lockstep(
+    fixture: &Fixture,
+    exec: ExecConfig,
+    config: PoolConfig,
+    plan: &FaultPlan,
+) -> (PoolSnapshot, Vec<(u64, Vec<u32>)>) {
+    let mut pool = ReplicaPool::start_lockstep(
+        ladder(fixture),
+        config,
+        exec,
+        true,
+        ServiceModel::default(),
+        plan,
+    )
+    .expect("lockstep pool starts");
+    let client = pool.client();
+    let handles: Vec<_> = fixture
+        .inputs
+        .iter()
+        .enumerate()
+        .map(|(i, input)| (i as u64, client.submit(i as u64, input.clone()).ok()))
+        .collect();
+    pool.resume();
+    let mut completed = Vec::new();
+    for (key, handle) in handles {
+        // Rejected (None) and cancelled handles drop out of the logit set.
+        if let Some(Ok(result)) = handle.map(|h| h.wait()) {
+            let inference = result.expect("no model error");
+            let bits = inference.logits.iter().map(|v| v.to_bits()).collect();
+            completed.push((key, bits));
+        }
+    }
+    (pool.shutdown(), completed)
+}
+
+/// Every observable the contract covers: batch compositions and modes,
+/// transitions, handoff decisions, per-replica fault counters, the
+/// *virtual* latency quantiles, and the completed requests' logit bits.
+fn assert_lockstep_matches_sim(
+    label: &str,
+    snapshot: &PoolSnapshot,
+    completed: &[(u64, Vec<u32>)],
+    sim: &PoolSimOutcome,
+) {
+    let sim_log: Vec<(usize, usize, Vec<u64>, usize)> = sim
+        .batches
+        .iter()
+        .map(|b| {
+            (
+                b.replica,
+                b.mode,
+                b.request_ids.clone(),
+                b.queue_depth_after,
+            )
+        })
+        .collect();
+    let pool_log: Vec<(usize, usize, Vec<u64>, usize)> = snapshot
+        .batch_log
+        .iter()
+        .map(|b| (b.replica, b.mode, b.keys.clone(), b.queue_depth_after))
+        .collect();
+    assert_eq!(pool_log, sim_log, "{label}: batch schedule");
+    assert_eq!(
+        snapshot.transitions, sim.transitions,
+        "{label}: transitions"
+    );
+    assert_eq!(snapshot.handoffs, sim.handoffs, "{label}: handoffs");
+    for (r, (pool_m, sim_m)) in snapshot
+        .per_replica
+        .iter()
+        .zip(&sim.per_replica)
+        .enumerate()
+    {
+        assert_eq!(pool_m.completed, sim_m.completed, "{label} r{r}: completed");
+        assert_eq!(pool_m.rejected, sim_m.rejected, "{label} r{r}: rejected");
+        assert_eq!(pool_m.crashes, sim_m.crashes, "{label} r{r}: crashes");
+        assert_eq!(pool_m.handoffs, sim_m.handoffs, "{label} r{r}: handoffs");
+        assert_eq!(
+            pool_m.handoff_shed, sim_m.handoff_shed,
+            "{label} r{r}: shed"
+        );
+        assert_eq!(pool_m.stalls, sim_m.stalls, "{label} r{r}: stalls");
+        assert_eq!(pool_m.p50_ns, sim_m.p50_ns, "{label} r{r}: virtual p50");
+        assert_eq!(pool_m.p95_ns, sim_m.p95_ns, "{label} r{r}: virtual p95");
+        assert_eq!(pool_m.p99_ns, sim_m.p99_ns, "{label} r{r}: virtual p99");
+    }
+    let mut sim_bits = pool_logit_bits(sim);
+    sim_bits.sort_by_key(|(id, _)| *id);
+    assert_eq!(completed, sim_bits, "{label}: completed logits");
+}
+
+/// The tentpole determinism matrix: one seeded mixed-fault schedule per
+/// replica count, replayed on every host shape. The generated plan scales
+/// with the replica count (per-(replica, batch) coordinate draws), so each
+/// pool size sees its own crashes, stalls, straggles, and closes.
+#[test]
+fn faulted_lockstep_is_identical_across_replicas_threads_and_backends() {
+    let fixture = fixture(83);
+    let faults = FaultConfig {
+        seed: 9,
+        horizon_batches: 12,
+        crash_per_mille: 40,
+        stall_per_mille: 60,
+        stall_ns: 2_000_000,
+        straggle_per_mille: 80,
+        straggle_factor_x1024: 4096,
+        straggle_window_batches: 3,
+        close_per_mille: 20,
+    };
+    for replicas in [1usize, 2, 4] {
+        let plan = FaultPlan::generate(&faults, replicas).expect("valid config");
+        assert!(!plan.is_empty(), "the seeded schedule must fire faults");
+        let config = pool_config(replicas, RoutePolicy::RoundRobin);
+        let sim = faulted_sim(&fixture, config, &plan);
+        assert!(sim.metrics.completed > 0);
+        for exec in [
+            ExecConfig {
+                threads: 1,
+                backend: GemmBackendKind::Naive,
+                ..ExecConfig::default()
+            },
+            ExecConfig {
+                threads: 8,
+                backend: GemmBackendKind::Naive,
+                ..ExecConfig::default()
+            },
+            ExecConfig {
+                threads: 4,
+                backend: GemmBackendKind::Blocked,
+                ..ExecConfig::default()
+            },
+            ExecConfig {
+                threads: 4,
+                backend: GemmBackendKind::Parallel,
+                ..ExecConfig::default()
+            },
+        ] {
+            let label = format!("{replicas} replicas, {} {}t", exec.backend, exec.threads);
+            let (snapshot, completed) = faulted_lockstep(&fixture, exec, config, &plan);
+            assert_lockstep_matches_sim(&label, &snapshot, &completed, &sim);
+        }
+    }
+}
+
+/// The p95 escalation trigger reads the clock abstraction, not the wall
+/// clock, so it is *inside* the lockstep contract: with the depth trigger
+/// parked out of reach, a fleet-wide straggle must escalate the ladder via
+/// virtual p95 alone — identically in the simulator and the threaded pool.
+#[test]
+fn p95_escalation_is_part_of_the_lockstep_contract() {
+    let fixture = fixture(89);
+    // Measure the quiet virtual p95 with every trigger disarmed.
+    let frozen = PoolConfig {
+        adaptive: AdaptivePolicy {
+            depth_high: usize::MAX,
+            depth_low: 0,
+            p95_high_ns: 0,
+            eval_every_batches: 1,
+        },
+        ..pool_config(2, RoutePolicy::RoundRobin)
+    };
+    let quiet = faulted_sim(&fixture, frozen, &FaultPlan::none());
+    assert!(quiet.transitions.is_empty(), "no trigger is armed");
+    let threshold = quiet.metrics.p95_ns * 2;
+
+    // Arm only the p95 trigger, at double the quiet tail.
+    let config = PoolConfig {
+        adaptive: AdaptivePolicy {
+            p95_high_ns: threshold,
+            ..frozen.adaptive
+        },
+        ..frozen
+    };
+
+    // A fleet-wide 4× straggle pushes the virtual p95 past the threshold…
+    let plan = FaultPlan::from_events(
+        (0..2)
+            .map(|replica| FaultEvent {
+                replica,
+                at_batch: 1,
+                kind: FaultKind::Straggle {
+                    factor_x1024: 4096,
+                    window_batches: 16,
+                },
+            })
+            .collect(),
+    );
+    let sim = faulted_sim(&fixture, config, &plan);
+    assert!(
+        sim.transitions.iter().any(|t| t.to > t.from),
+        "the straggle-inflated virtual p95 must escalate the ladder"
+    );
+    // …while the fault-free trace stays below it: the trigger reads the
+    // same virtual clock in both runs, so this split is deterministic.
+    let still = faulted_sim(&fixture, config, &FaultPlan::none());
+    assert!(still.transitions.is_empty(), "quiet p95 stays under 2×");
+
+    // The threaded lockstep pool replays the p95-triggered escalations bit
+    // for bit, on any host thread count.
+    for threads in [1usize, 8] {
+        let exec = ExecConfig {
+            threads,
+            ..ExecConfig::default()
+        };
+        let label = format!("p95 escalation, {threads}t");
+        let (snapshot, completed) = faulted_lockstep(&fixture, exec, config, &plan);
+        assert_lockstep_matches_sim(&label, &snapshot, &completed, &sim);
     }
 }
 

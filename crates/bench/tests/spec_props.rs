@@ -17,6 +17,7 @@ use proptest::prelude::*;
 use nbsmt_bench::spec::MAX_SPEC_INT;
 use nbsmt_bench::{ExperimentRegistry, ParamKey, RunSpec, Scale, SpecError};
 use nbsmt_serve::config::{AdaptivePolicy, BatchPolicy, ConfigError, PoolConfig, SchedulerConfig};
+use nbsmt_serve::faults::FaultConfig;
 use nbsmt_tensor::exec::{ExecConfig, GemmBackendKind};
 use nbsmt_tensor::validate::{ExecConfigError, Validate};
 use rand::rngs::StdRng;
@@ -57,6 +58,26 @@ fn gen_spec(rng: &mut StdRng) -> RunSpec {
     if rng.gen::<u64>() & 1 == 0 {
         let n = rng.gen_range(1..5usize);
         spec.replicas = Some((0..n).map(|_| rng.gen_range(1..64)).collect());
+    }
+    if rng.gen::<u64>() & 1 == 0 {
+        spec.fault_seed = Some(match rng.gen_range(0..3) {
+            0 => rng.gen_range(0..1024),
+            1 => MAX_SPEC_INT - rng.gen_range(0..1024u64),
+            _ => rng.gen_range(0..MAX_SPEC_INT),
+        });
+    }
+    // Per-mille rates cover both ends of their valid 0..=1000 range.
+    if rng.gen::<u64>() & 1 == 0 {
+        spec.crash_per_mille = Some(rng.gen_range(0..=1000));
+    }
+    if rng.gen::<u64>() & 1 == 0 {
+        spec.stall_per_mille = Some(rng.gen_range(0..=1000));
+    }
+    if rng.gen::<u64>() & 1 == 0 {
+        spec.straggle_per_mille = Some(rng.gen_range(0..=1000));
+    }
+    if rng.gen::<u64>() & 1 == 0 {
+        spec.hedging = Some(rng.gen::<u64>() & 1 == 0);
     }
     spec
 }
@@ -160,6 +181,51 @@ fn validation_rejects_inverted_adaptive_thresholds() {
         pool.validate(),
         Err(ConfigError::InvertedDepthThresholds { low: 8, high: 1 })
     );
+}
+
+/// Bad fault-schedule values are typed [`ConfigError`]s through the same
+/// `Validate` trait — and the spec layer rejects them before a generator
+/// ever sees them, with the same shape of error the other knobs get.
+#[test]
+fn validation_rejects_bad_fault_configs() {
+    let hot = FaultConfig {
+        crash_per_mille: 1001,
+        ..FaultConfig::default()
+    };
+    assert_eq!(
+        hot.validate(),
+        Err(ConfigError::FaultRateOutOfRange { rate: 1001 })
+    );
+    let no_horizon = FaultConfig {
+        horizon_batches: 0,
+        ..FaultConfig::default()
+    };
+    assert_eq!(no_horizon.validate(), Err(ConfigError::ZeroFaultHorizon));
+    let frozen_forever = FaultConfig {
+        stall_per_mille: 1,
+        stall_ns: 0,
+        ..FaultConfig::default()
+    };
+    assert_eq!(
+        frozen_forever.validate(),
+        Err(ConfigError::ZeroStallDuration)
+    );
+    let speedup = FaultConfig {
+        straggle_per_mille: 1,
+        straggle_factor_x1024: 512,
+        ..FaultConfig::default()
+    };
+    assert_eq!(
+        speedup.validate(),
+        Err(ConfigError::StraggleFactorBelowUnit { factor_x1024: 512 })
+    );
+    // The spec layer applies the same bounds as typed spec errors.
+    let mut spec = RunSpec::defaults("faults");
+    spec.crash_per_mille = Some(1001);
+    assert!(matches!(spec.validate(), Err(SpecError::Bad { .. })));
+    let mut spec = RunSpec::defaults("faults");
+    spec.fault_seed = Some(MAX_SPEC_INT + 1);
+    assert!(matches!(spec.validate(), Err(SpecError::Bad { .. })));
 }
 
 #[test]

@@ -156,6 +156,25 @@ pub enum ConfigError {
     ZeroReplicas,
     /// The pool's host-execution configuration is invalid.
     Exec(ExecConfigError),
+    /// A `FaultConfig` per-mille rate exceeds 1000.
+    FaultRateOutOfRange {
+        /// The offending per-mille rate.
+        rate: u64,
+    },
+    /// `FaultConfig::horizon_batches` is zero — the plan could never fire.
+    ZeroFaultHorizon,
+    /// `FaultConfig::stall_ns` is zero — a stall must freeze the replica
+    /// for some time.
+    ZeroStallDuration,
+    /// `FaultConfig::straggle_window_batches` is zero — a straggle window
+    /// must cover at least one batch.
+    ZeroStraggleWindow,
+    /// `FaultConfig::straggle_factor_x1024` is below 1024 — a straggler
+    /// cannot be faster than 1×.
+    StraggleFactorBelowUnit {
+        /// The offending ×1024-scaled factor.
+        factor_x1024: u64,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -187,6 +206,24 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "pool config: replicas must be at least 1")
             }
             ConfigError::Exec(e) => write!(f, "pool config: {e}"),
+            ConfigError::FaultRateOutOfRange { rate } => {
+                write!(f, "fault config: per-mille rate {rate} exceeds 1000")
+            }
+            ConfigError::ZeroFaultHorizon => {
+                write!(f, "fault config: horizon_batches must be at least 1")
+            }
+            ConfigError::ZeroStallDuration => {
+                write!(f, "fault config: stall_ns must be at least 1")
+            }
+            ConfigError::ZeroStraggleWindow => write!(
+                f,
+                "fault config: straggle_window_batches must be at least 1"
+            ),
+            ConfigError::StraggleFactorBelowUnit { factor_x1024 } => write!(
+                f,
+                "fault config: straggle_factor_x1024 {factor_x1024} is below \
+                 1024 (a straggler cannot run faster than 1x)"
+            ),
         }
     }
 }
@@ -307,10 +344,15 @@ pub fn route_hash(key: u64) -> u64 {
 ///
 /// Two triggers escalate: the queue depth left behind a launched batch
 /// reaching `depth_high`, or (optionally) the replica's observed p95 latency
-/// reaching `p95_high_ns`. Only the depth trigger is part of the lockstep
-/// determinism contract — p95 is measured on the real clock in the threaded
-/// pool and on the virtual clock in the simulator, so the two drivers can
-/// only agree bit-for-bit when `p95_high_ns` is 0 (disabled).
+/// reaching `p95_high_ns`. Both triggers are part of the lockstep
+/// determinism contract: the latency feeding the p95 trigger goes through a
+/// clock abstraction — the virtual [`crate::sim::ServiceModel`] clock in the
+/// simulator *and* in the threaded pool's lockstep mode
+/// (`ReplicaPool::start_lockstep`), where the coordination gate records
+/// virtual latencies into the same fixed-bucket histogram. Only the
+/// free-running threaded pool (`start`/`start_paused`) measures p95 on the
+/// wall clock, so only that driver's p95 trigger timing is outside the
+/// contract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AdaptivePolicy {
     /// Escalate one rung when the queue depth left behind a launched batch

@@ -29,6 +29,12 @@
 //!   [`config::SmtConfig`] design points (dense → 2T → 4T) under queue-depth
 //!   or p95 pressure, shedding *accuracy* instead of *requests* under
 //!   overload. [`sim::simulate_pool`] is its virtual-clock mirror.
+//! * [`faults`] injects seeded, deterministic failure schedules
+//!   ([`faults::FaultPlan`]: crashes, stalls, straggler windows, queue
+//!   closes) identically into the threaded pool and the simulator, and
+//!   pairs them with client-side countermeasures ([`faults::FaultClient`]:
+//!   retry with exponential backoff, straggler hedging) — every incident is
+//!   a seed, and every seed is a regression test.
 //!
 //! **Determinism contract.** Model outputs go through the execution layer of
 //! `nbsmt-tensor`, so logits are bit-identical for every host thread count
@@ -59,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod faults;
 pub mod metrics;
 pub mod pool;
 pub mod queue;
@@ -70,6 +77,10 @@ pub mod sim;
 pub use config::{
     AdaptivePolicy, AdaptiveState, BatchPolicy, ConfigError, ModeTransition, PoolConfig,
     RoutePolicy, SchedulerConfig, ServeError, SmtConfig, SubmitError,
+};
+pub use faults::{
+    FaultClient, FaultClientStats, FaultConfig, FaultEvent, FaultKind, FaultPlan, HandoffRecord,
+    HedgePolicy, ReplicaFaults, RetryPolicy,
 };
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics};
 pub use pool::{PoolBatchLog, PoolClient, PoolSnapshot, ReplicaPool};
@@ -86,12 +97,16 @@ pub mod prelude {
         AdaptivePolicy, BatchPolicy, ConfigError, PoolConfig, RoutePolicy, SchedulerConfig,
         ServeError, SmtConfig, SubmitError,
     };
+    pub use crate::faults::{
+        chaos_corpus, FaultClient, FaultConfig, FaultPlan, HedgePolicy, RetryPolicy,
+    };
     pub use crate::metrics::MetricsSnapshot;
     pub use crate::pool::{PoolClient, PoolSnapshot, ReplicaPool};
     pub use crate::registry::ModelRegistry;
     pub use crate::server::Server;
     pub use crate::session::{Inference, Session};
     pub use crate::sim::{
-        simulate, simulate_pool, ArrivalProcess, PoolSimOutcome, ServiceModel, SimOutcome,
+        simulate, simulate_pool, simulate_pool_faulted, ArrivalProcess, PoolSimOutcome,
+        ServiceModel, SimOutcome,
     };
 }

@@ -95,6 +95,15 @@ pub struct ServeMetrics {
     /// `batches_per_mode[m]` counts batches executed at ladder rung `m`
     /// (empty when the scheduler never records modes).
     pub batches_per_mode: Vec<u64>,
+    /// Injected replica crashes observed (0 outside fault injection).
+    pub crashes: u64,
+    /// In-queue requests re-routed off a crashed replica.
+    pub handoffs: u64,
+    /// In-queue requests shed at a crash because no survivor could take
+    /// them.
+    pub handoff_shed: u64,
+    /// Injected stalls observed.
+    pub stalls: u64,
     /// Sum of queue depths sampled at batch-formation time (for the mean).
     depth_sum: u64,
 }
@@ -139,6 +148,26 @@ impl ServeMetrics {
         self.mode_transitions += 1;
     }
 
+    /// Records one injected replica crash.
+    pub fn record_crash(&mut self) {
+        self.crashes += 1;
+    }
+
+    /// Records one request handed off from a crashed replica to a survivor.
+    pub fn record_handoff(&mut self) {
+        self.handoffs += 1;
+    }
+
+    /// Records one request shed at a crash (no eligible survivor).
+    pub fn record_handoff_shed(&mut self) {
+        self.handoff_shed += 1;
+    }
+
+    /// Records one injected stall.
+    pub fn record_stall(&mut self) {
+        self.stalls += 1;
+    }
+
     /// Folds another replica's metrics into this one: histograms and
     /// counters add, extrema take the max — the pool-level aggregate over
     /// per-replica schedulers.
@@ -160,6 +189,10 @@ impl ServeMetrics {
         self.completed += other.completed;
         self.rejected += other.rejected;
         self.mode_transitions += other.mode_transitions;
+        self.crashes += other.crashes;
+        self.handoffs += other.handoffs;
+        self.handoff_shed += other.handoff_shed;
+        self.stalls += other.stalls;
         self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
         self.depth_sum += other.depth_sum;
     }
@@ -195,6 +228,10 @@ impl ServeMetrics {
             max_queue_depth: self.max_queue_depth,
             mode_transitions: self.mode_transitions,
             batches_per_mode: self.batches_per_mode.clone(),
+            crashes: self.crashes,
+            handoffs: self.handoffs,
+            handoff_shed: self.handoff_shed,
+            stalls: self.stalls,
             p50_ns: self.latency.quantile(0.50),
             p95_ns: self.latency.quantile(0.95),
             p99_ns: self.latency.quantile(0.99),
@@ -226,6 +263,14 @@ pub struct MetricsSnapshot {
     /// Batches executed per ladder rung (empty when modes were not
     /// recorded).
     pub batches_per_mode: Vec<u64>,
+    /// Injected replica crashes (0 outside fault injection).
+    pub crashes: u64,
+    /// Requests handed off from crashed replicas to survivors.
+    pub handoffs: u64,
+    /// Requests shed at a crash because no survivor could take them.
+    pub handoff_shed: u64,
+    /// Injected stalls.
+    pub stalls: u64,
     /// Median latency estimate [ns].
     pub p50_ns: u64,
     /// 95th-percentile latency estimate [ns].
@@ -364,6 +409,14 @@ mod tests {
         whole.record_transition();
         b.record_rejected();
         whole.record_rejected();
+        a.record_crash();
+        whole.record_crash();
+        a.record_handoff();
+        whole.record_handoff();
+        b.record_handoff_shed();
+        whole.record_handoff_shed();
+        b.record_stall();
+        whole.record_stall();
 
         let mut merged = a.clone();
         merged.merge(&b);
@@ -372,6 +425,10 @@ mod tests {
         let snap = merged.snapshot(1_000);
         assert_eq!(snap.mode_transitions, 1);
         assert_eq!(snap.batches_per_mode, vec![1, 0, 1]);
+        assert_eq!(
+            (snap.crashes, snap.handoffs, snap.handoff_shed, snap.stalls),
+            (1, 1, 1, 1)
+        );
     }
 
     #[test]

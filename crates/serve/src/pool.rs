@@ -17,13 +17,29 @@
 //!
 //! Routing is decided at submission time from the submission sequence and
 //! the per-replica queue depths alone, so a single-threaded submitter drives
-//! all three policies deterministically. Under live traffic the same code
-//! serves real load: `p95_high_ns` then escalates on observed wall-clock
-//! tail latency, which is exactly the SLO-aware behaviour the virtual clock
-//! models with virtual time.
+//! all three policies deterministically.
+//!
+//! The pool runs in one of three modes:
+//!
+//! - **Free-running** ([`ReplicaPool::start`] / [`ReplicaPool::start_paused`]):
+//!   each worker drains its own queue on the wall clock. The p95 adaptive
+//!   trigger observes real tail latency here, so its *timing* is outside the
+//!   lockstep contract (batch composition and routing still replay).
+//! - **Lockstep** ([`ReplicaPool::start_lockstep`]): a coordination gate owns
+//!   a virtual clock ([`ServiceModel`]) and grants batch launches in exactly
+//!   the simulator's event order, while the granted GEMMs still execute on
+//!   real threads in parallel. Latencies are recorded in virtual time, so
+//!   **both** adaptive triggers — depth *and* p95 — replay bit-identically
+//!   against [`crate::sim::simulate_pool_faulted`], as do fault schedules,
+//!   crash handoffs, and every quantile of the latency histogram.
+//! - **Live-faulted** ([`ReplicaPool::start_with_faults`]): the free-running
+//!   loop with a [`FaultPlan`] injected — crashes kill workers for real
+//!   (queues drain through the shared handoff rule), stalls sleep, and
+//!   stragglers pad service time. This is the mode the availability bench
+//!   drives with retrying/hedging clients.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -31,12 +47,14 @@ use nbsmt_tensor::exec::{ExecConfig, ExecContext};
 use nbsmt_tensor::tensor::Tensor;
 use nbsmt_tensor::validate::Validate;
 
-use crate::config::{route_hash, ServeError};
+use crate::config::ServeError;
 use crate::config::{AdaptiveState, ModeTransition, PoolConfig, RoutePolicy, SubmitError};
+use crate::faults::{pick_handoff_target, pick_replica, FaultPlan, HandoffRecord, ReplicaFaults};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::queue::{response_channel, BoundedQueue, ResponseHandle, ResponseSlot};
 use crate::server::RequestResult;
 use crate::session::Session;
+use crate::sim::ServiceModel;
 
 struct PooledRequest {
     key: u64,
@@ -73,6 +91,10 @@ pub struct PoolSnapshot {
     /// Per-batch log (replica order, launch order within a replica); only
     /// recorded when the pool was started with recording enabled.
     pub batch_log: Vec<PoolBatchLog>,
+    /// Every crash handoff decision, in crash order then queue order —
+    /// empty without fault injection. Part of the extended lockstep
+    /// contract (mirrors [`crate::sim::PoolSimOutcome::handoffs`]).
+    pub handoffs: Vec<HandoffRecord>,
 }
 
 struct RouterCore {
@@ -82,28 +104,34 @@ struct RouterCore {
     /// Admission-control rejections per replica, attributed to the replica
     /// the router picked — the same accounting as the simulator's.
     rejected: Vec<AtomicU64>,
+    /// Liveness per replica: cleared by a crashed worker *before* it closes
+    /// and drains its queue, so the router never routes into a dying
+    /// replica. Always true without fault injection.
+    alive: Vec<AtomicBool>,
 }
 
 impl RouterCore {
-    fn pick(&self, key: u64) -> usize {
-        let n = self.queues.len();
-        match self.policy {
-            RoutePolicy::RoundRobin => (self.rr.fetch_add(1, Ordering::Relaxed) as usize) % n,
-            RoutePolicy::Hashed => (route_hash(key) % n as u64) as usize,
-            RoutePolicy::LeastOutstanding => {
-                // Shallowest queue wins; ties break to the lowest index.
-                let mut best = 0usize;
-                let mut best_len = usize::MAX;
-                for (i, queue) in self.queues.iter().enumerate() {
-                    let len = queue.len();
-                    if len < best_len {
-                        best = i;
-                        best_len = len;
-                    }
-                }
-                best
-            }
-        }
+    /// Routes a key among the alive, admitting replicas through the shared
+    /// [`pick_replica`] arithmetic (with every replica eligible this is
+    /// exactly the fault-free router), or `None` when none is eligible.
+    fn pick(&self, key: u64) -> Option<usize> {
+        let eligible: Vec<(usize, usize)> = self
+            .queues
+            .iter()
+            .enumerate()
+            .filter(|(i, queue)| {
+                self.alive[*i].load(Ordering::Acquire) && !queue.is_admissions_closed()
+            })
+            .map(|(i, queue)| (i, queue.len()))
+            .collect();
+        // The round-robin counter ticks per routed submission regardless of
+        // the eligible-set size — the same clock the simulator advances.
+        let tick = if self.policy == RoutePolicy::RoundRobin {
+            self.rr.fetch_add(1, Ordering::Relaxed)
+        } else {
+            0
+        };
+        pick_replica(self.policy, key, tick, &eligible)
     }
 }
 
@@ -123,13 +151,17 @@ impl PoolClient {
     /// [`SubmitError::QueueFull`] when the routed replica's queue is at
     /// capacity (the router does not fail over — a deterministic router
     /// must not let load silently leak across replicas), and
-    /// [`SubmitError::Closed`] after shutdown began.
+    /// [`SubmitError::Closed`] after shutdown began or when every replica
+    /// is crashed or has closed admissions (only possible under fault
+    /// injection; not counted as an admission-control rejection).
     pub fn submit(
         &self,
         key: u64,
         input: Tensor<f32>,
     ) -> Result<ResponseHandle<RequestResult>, SubmitError> {
-        let replica = self.router.pick(key);
+        let Some(replica) = self.router.pick(key) else {
+            return Err(SubmitError::Closed);
+        };
         let (slot, handle) = response_channel();
         let queued = PooledRequest {
             key,
@@ -153,11 +185,38 @@ struct ReplicaOutcome {
     metrics: ServeMetrics,
     transitions: Vec<ModeTransition>,
     log: Vec<PoolBatchLog>,
+    handoffs: Vec<HandoffRecord>,
+}
+
+impl ReplicaOutcome {
+    /// The placeholder a lockstep worker returns — all deterministic state
+    /// lives in the gate and is pulled from there at shutdown.
+    fn empty() -> ReplicaOutcome {
+        ReplicaOutcome {
+            metrics: ServeMetrics::new(),
+            transitions: Vec::new(),
+            log: Vec::new(),
+            handoffs: Vec::new(),
+        }
+    }
 }
 
 struct Replica {
     queue: Arc<BoundedQueue<PooledRequest>>,
     worker: Option<JoinHandle<ReplicaOutcome>>,
+}
+
+/// How the pool's workers consume their queues (see the module docs).
+enum FaultMode {
+    /// Free-running wall-clock workers, no fault machinery.
+    None,
+    /// Free-running workers with a [`FaultPlan`] injected for real.
+    Live {
+        faults: Vec<ReplicaFaults>,
+        service: ServiceModel,
+    },
+    /// Virtual-clock coordination gate; workers only execute granted GEMMs.
+    Lockstep { gate: Arc<LockstepGate> },
 }
 
 /// A running sharded serving instance: router → N replica workers, each
@@ -170,6 +229,7 @@ pub struct ReplicaPool {
     config: PoolConfig,
     exec: ExecConfig,
     record_log: bool,
+    mode: FaultMode,
     started: Instant,
     running: bool,
 }
@@ -228,6 +288,9 @@ impl ReplicaPool {
             queues: replicas.iter().map(|r| Arc::clone(&r.queue)).collect(),
             rr: AtomicU64::new(0),
             rejected: (0..config.replicas).map(|_| AtomicU64::new(0)).collect(),
+            alive: (0..config.replicas)
+                .map(|_| AtomicBool::new(true))
+                .collect(),
         });
         Ok(ReplicaPool {
             replicas,
@@ -236,17 +299,126 @@ impl ReplicaPool {
             config,
             exec,
             record_log,
+            mode: FaultMode::None,
             started: Instant::now(),
             running: false,
         })
     }
 
-    /// Spawns the replica workers (idempotent).
+    /// Starts a free-running pool with `plan` injected for real: crashes
+    /// kill workers (their queues drain through the shared handoff rule
+    /// onto survivors, or shed as cancellations), stalls sleep on the wall
+    /// clock, and straggle windows pad each batch with the [`ServiceModel`]
+    /// cost the factor adds. This is the availability bench's pool; for
+    /// bit-exact replay against the simulator use [`Self::start_lockstep`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::start`].
+    pub fn start_with_faults(
+        sessions: Vec<Arc<Session>>,
+        config: PoolConfig,
+        exec: ExecConfig,
+        plan: &FaultPlan,
+        service: ServiceModel,
+    ) -> Result<ReplicaPool, ServeError> {
+        let mut pool = Self::start_paused(sessions, config, exec, false)?;
+        pool.mode = FaultMode::Live {
+            faults: (0..pool.replicas.len())
+                .map(|r| plan.for_replica(r))
+                .collect(),
+            service,
+        };
+        pool.resume();
+        Ok(pool)
+    }
+
+    /// Builds the pool in **lockstep** mode, paused: submissions accumulate
+    /// in the real queues; [`Self::resume`] then hands the whole burst to a
+    /// virtual-clock coordination gate that grants batch launches in the
+    /// simulator's exact event order (GEMMs still run on real threads, in
+    /// parallel, outside the gate's lock). Latencies enter the histograms
+    /// in virtual [`ServiceModel`] time, so depth *and* p95 adaptive
+    /// triggers, straggle factors, stalls, crash handoffs, and every
+    /// latency quantile replay bit-identically against
+    /// [`crate::sim::simulate_pool_faulted`] with the same `plan`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::start_paused`].
+    pub fn start_lockstep(
+        sessions: Vec<Arc<Session>>,
+        config: PoolConfig,
+        exec: ExecConfig,
+        record_log: bool,
+        service: ServiceModel,
+        plan: &FaultPlan,
+    ) -> Result<ReplicaPool, ServeError> {
+        let mut pool = Self::start_paused(sessions, config, exec, record_log)?;
+        let n = pool.replicas.len();
+        let ladder = pool.sessions.len();
+        let gate = LockstepGate {
+            state: Mutex::new(GateState {
+                queues: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
+                t_free: vec![0; n],
+                batches: vec![0; n],
+                crashed: vec![false; n],
+                closed: vec![false; n],
+                adaptive: (0..n)
+                    .map(|r| AdaptiveState::new(pool.config.adaptive, r, ladder))
+                    .collect(),
+                faults: (0..n).map(|r| plan.for_replica(r)).collect(),
+                metrics: (0..n).map(|_| ServeMetrics::new()).collect(),
+                log: Vec::new(),
+                handoffs: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            max_batch: pool.config.scheduler.batch.max_batch,
+            max_wait_ns: pool.config.scheduler.batch.max_wait_ns,
+            capacity: pool.config.scheduler.queue_capacity,
+            service,
+            record_log,
+        };
+        pool.mode = FaultMode::Lockstep {
+            gate: Arc::new(gate),
+        };
+        Ok(pool)
+    }
+
+    /// Spawns the replica workers (idempotent). In lockstep mode this is
+    /// the burst boundary: every queued submission is handed to the gate
+    /// (submission order preserved, virtual arrival time 0) and the real
+    /// queues close, so late submissions get [`SubmitError::Closed`] —
+    /// exactly the "all requests precede the first launch" precondition of
+    /// the determinism contract.
     pub fn resume(&mut self) {
         if self.running {
             return;
         }
         self.running = true;
+        enum Spawn {
+            Normal,
+            Live(Vec<ReplicaFaults>, ServiceModel),
+            Lockstep(Arc<LockstepGate>),
+        }
+        let plan = match &self.mode {
+            FaultMode::None => Spawn::Normal,
+            FaultMode::Live { faults, service } => Spawn::Live(faults.clone(), *service),
+            FaultMode::Lockstep { gate } => Spawn::Lockstep(Arc::clone(gate)),
+        };
+        if let Spawn::Lockstep(gate) = &plan {
+            let mut state = gate.state.lock().expect("gate lock");
+            for (index, replica) in self.replicas.iter().enumerate() {
+                for req in replica.queue.drain_up_to(usize::MAX) {
+                    state.queues[index].push_back(GateRequest {
+                        req,
+                        ready_v: 0,
+                        submit_v: 0,
+                    });
+                }
+                replica.queue.close();
+            }
+        }
         for (index, replica) in self.replicas.iter_mut().enumerate() {
             let queue = Arc::clone(&replica.queue);
             let sessions = Arc::clone(&self.sessions);
@@ -254,15 +426,40 @@ impl ReplicaPool {
             let adaptive = self.config.adaptive;
             let exec = self.exec;
             let record_log = self.record_log;
-            let worker = std::thread::Builder::new()
-                .name(format!("nbsmt-pool-{index}"))
-                .spawn(move || {
-                    let ctx = ExecContext::new(exec);
-                    replica_loop(
-                        index, &queue, &sessions, &scheduler, adaptive, &ctx, record_log,
-                    )
-                })
-                .expect("spawning a replica worker succeeds");
+            let router = Arc::clone(&self.router);
+            let worker = match &plan {
+                Spawn::Normal => std::thread::Builder::new()
+                    .name(format!("nbsmt-pool-{index}"))
+                    .spawn(move || {
+                        let ctx = ExecContext::new(exec);
+                        replica_loop(
+                            index, &queue, &sessions, &scheduler, adaptive, &ctx, record_log,
+                        )
+                    }),
+                Spawn::Live(faults, service) => {
+                    let faults = faults[index].clone();
+                    let service = *service;
+                    std::thread::Builder::new()
+                        .name(format!("nbsmt-pool-{index}"))
+                        .spawn(move || {
+                            let ctx = ExecContext::new(exec);
+                            replica_loop_faulted(
+                                index, &queue, &sessions, &scheduler, adaptive, &ctx, record_log,
+                                &router, &faults, service,
+                            )
+                        })
+                }
+                Spawn::Lockstep(gate) => {
+                    let gate = Arc::clone(gate);
+                    std::thread::Builder::new()
+                        .name(format!("nbsmt-pool-{index}"))
+                        .spawn(move || {
+                            let ctx = ExecContext::new(exec);
+                            lockstep_loop(index, &gate, &sessions, &ctx)
+                        })
+                }
+            }
+            .expect("spawning a replica worker succeeds");
             replica.worker = Some(worker);
         }
     }
@@ -297,24 +494,52 @@ impl ReplicaPool {
         let mut per_replica = Vec::new();
         let mut transitions = Vec::new();
         let mut batch_log = Vec::new();
-        for (index, replica) in self.replicas.iter_mut().enumerate() {
-            let mut outcome = replica
-                .worker
-                .take()
-                .expect("worker present until shutdown")
-                .join()
-                .expect("replica worker exits cleanly");
+        let mut handoffs = Vec::new();
+        let mut outcomes = Vec::new();
+        for replica in self.replicas.iter_mut() {
+            outcomes.push(
+                replica
+                    .worker
+                    .take()
+                    .expect("worker present until shutdown")
+                    .join()
+                    .expect("replica worker exits cleanly"),
+            );
+        }
+        if let FaultMode::Lockstep { gate } = &self.mode {
+            // The deterministic state lives in the gate, not the worker
+            // outcomes (which are empty placeholders in lockstep mode).
+            let mut state = gate.state.lock().expect("gate lock");
+            outcomes = state
+                .metrics
+                .drain(..)
+                .map(|metrics| ReplicaOutcome {
+                    metrics,
+                    transitions: Vec::new(),
+                    log: Vec::new(),
+                    handoffs: Vec::new(),
+                })
+                .collect();
+            for adaptive in state.adaptive.drain(..) {
+                transitions.extend(adaptive.into_transitions());
+            }
+            batch_log = std::mem::take(&mut state.log);
+            handoffs = std::mem::take(&mut state.handoffs);
+        }
+        for (index, mut outcome) in outcomes.into_iter().enumerate() {
             outcome.metrics.rejected += self.router.rejected[index].load(Ordering::Relaxed);
             total.merge(&outcome.metrics);
             per_replica.push(outcome.metrics.snapshot(elapsed));
             transitions.extend(outcome.transitions);
             batch_log.extend(outcome.log);
+            handoffs.extend(outcome.handoffs);
         }
         PoolSnapshot {
             total: total.snapshot(elapsed),
             per_replica,
             transitions,
             batch_log,
+            handoffs,
         }
     }
 }
@@ -373,7 +598,341 @@ fn replica_loop(
         metrics,
         transitions: state.into_transitions(),
         log,
+        handoffs: Vec::new(),
     }
+}
+
+/// The free-running worker loop with a fault schedule injected for real:
+/// identical to [`replica_loop`] batch-for-batch, plus the replica-local
+/// 1-based batch clock the [`ReplicaFaults`] cursor consumes. Straggle
+/// windows sleep out the extra service time the factor implies, stalls
+/// sleep, a queue close half-closes admissions (queued work still drains),
+/// and a crash kills the worker: it un-registers from the router *first*,
+/// closes its queue, then drains and re-routes every orphan through the
+/// shared [`pick_handoff_target`] rule — or sheds it (dropping the slot
+/// cancels the request, so no client ever hangs on a dead replica).
+#[allow(clippy::too_many_arguments)]
+fn replica_loop_faulted(
+    index: usize,
+    queue: &BoundedQueue<PooledRequest>,
+    sessions: &[Arc<Session>],
+    scheduler: &crate::config::SchedulerConfig,
+    adaptive: crate::config::AdaptivePolicy,
+    ctx: &ExecContext,
+    record_log: bool,
+    router: &RouterCore,
+    faults: &ReplicaFaults,
+    service: ServiceModel,
+) -> ReplicaOutcome {
+    let mut metrics = ServeMetrics::new();
+    let mut state = AdaptiveState::new(adaptive, index, sessions.len());
+    let mut log = Vec::new();
+    let mut handoffs = Vec::new();
+    let mut batch_index = 0u64;
+    let max_batch = scheduler.batch.max_batch;
+    let max_wait = Duration::from_nanos(scheduler.batch.max_wait_ns);
+    while let Some(first) = queue.pop_blocking() {
+        batch_index += 1;
+        let deadline = first.submitted + max_wait;
+        let batch = queue.collect_batch(first, max_batch, deadline);
+        let depth_after = queue.len();
+        let mode = state.mode();
+        let batch_len = batch.len();
+        metrics.record_batch(batch_len, depth_after);
+        metrics.record_mode_batch(mode);
+        if record_log {
+            log.push(PoolBatchLog {
+                replica: index,
+                mode,
+                keys: batch.iter().map(|r| r.key).collect(),
+                queue_depth_after: depth_after,
+            });
+        }
+        crate::server::execute_batch(&sessions[mode], ctx, batch, &mut metrics);
+        let factor = faults.service_factor_x1024(batch_index);
+        if factor > 1024 {
+            // The straggler pads the batch with the *extra* time the factor
+            // implies over the service model's nominal cost.
+            let extra = (service.service_ns(&sessions[mode], batch_len) as u128
+                * (factor - 1024) as u128
+                / 1024)
+                .min(u128::from(u64::MAX)) as u64;
+            std::thread::sleep(Duration::from_nanos(extra));
+        }
+        let p95 = metrics.latency.quantile(0.95);
+        if state.observe_batch(depth_after, p95).is_some() {
+            metrics.record_transition();
+        }
+        let post = faults.after_batch(batch_index);
+        if post.stall_ns > 0 {
+            metrics.record_stall();
+            std::thread::sleep(Duration::from_nanos(post.stall_ns));
+        }
+        if post.close_queue {
+            queue.close_admissions();
+        }
+        if post.crashed {
+            // Order matters: leave the routing set before closing, so no
+            // submission races into a queue about to drain.
+            router.alive[index].store(false, Ordering::Release);
+            queue.close_admissions();
+            metrics.record_crash();
+            let orphans = queue.drain_up_to(usize::MAX);
+            let mut cursor = (index + 1) % router.queues.len();
+            for orphan in orphans {
+                let states: Vec<(bool, usize)> = router
+                    .queues
+                    .iter()
+                    .enumerate()
+                    .map(|(i, q)| {
+                        (
+                            router.alive[i].load(Ordering::Acquire) && !q.is_admissions_closed(),
+                            q.len(),
+                        )
+                    })
+                    .collect();
+                let key = orphan.key;
+                let target = pick_handoff_target(index, &mut cursor, &states, queue.capacity());
+                let to_replica = match target {
+                    Some(t) => {
+                        if router.queues[t].try_push(orphan).is_ok() {
+                            metrics.record_handoff();
+                            Some(t)
+                        } else {
+                            // Raced to full/closed: the drop cancels it.
+                            metrics.record_handoff_shed();
+                            None
+                        }
+                    }
+                    None => {
+                        metrics.record_handoff_shed();
+                        None
+                    }
+                };
+                handoffs.push(HandoffRecord {
+                    from_replica: index,
+                    at_batch: batch_index,
+                    key,
+                    to_replica,
+                });
+            }
+            break;
+        }
+    }
+    ReplicaOutcome {
+        metrics,
+        transitions: state.into_transitions(),
+        log,
+        handoffs,
+    }
+}
+
+/// One request as the lockstep gate holds it: virtual arrival/ready times
+/// replace the wall-clock `submitted` instant (a burst submits everything
+/// at virtual t = 0; a crash handoff re-readies the request at the crash
+/// instant while its latency stays anchored at submission).
+struct GateRequest {
+    req: PooledRequest,
+    ready_v: u64,
+    submit_v: u64,
+}
+
+/// All deterministic pool state in lockstep mode, owned by one mutex so a
+/// launch grant commits atomically in virtual-time order.
+struct GateState {
+    queues: Vec<std::collections::VecDeque<GateRequest>>,
+    t_free: Vec<u64>,
+    batches: Vec<u64>,
+    crashed: Vec<bool>,
+    closed: Vec<bool>,
+    adaptive: Vec<AdaptiveState>,
+    faults: Vec<ReplicaFaults>,
+    metrics: Vec<ServeMetrics>,
+    log: Vec<PoolBatchLog>,
+    handoffs: Vec<HandoffRecord>,
+}
+
+/// The virtual-clock coordinator of [`ReplicaPool::start_lockstep`]: grants
+/// batch launches in exactly the discrete-event simulator's order. A worker
+/// asks the gate for its next batch; the gate blocks it until its replica
+/// owns the *earliest* launchable batch pool-wide, then commits the batch
+/// (drain, metrics with virtual latencies, adaptive evaluation, post-batch
+/// fault effects, crash handoffs) under the lock and releases the worker to
+/// run the GEMM outside it — so determinism costs no parallelism.
+struct LockstepGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+    max_batch: usize,
+    max_wait_ns: u64,
+    capacity: usize,
+    service: ServiceModel,
+    record_log: bool,
+}
+
+impl LockstepGate {
+    /// Blocks until replica `r` owns the earliest launch (ties break to the
+    /// lowest replica index, as in the simulator), commits it, and returns
+    /// the granted batch and its ladder rung — or `None` when `r` has
+    /// crashed or the pool has fully drained.
+    fn acquire(&self, r: usize, sessions: &[Arc<Session>]) -> Option<(Vec<GateRequest>, usize)> {
+        let mut state = self.state.lock().expect("gate lock");
+        loop {
+            if state.crashed[r] {
+                return None;
+            }
+            if state.queues.iter().all(|q| q.is_empty()) {
+                // Fully drained: release every parked worker so the pool
+                // shuts down instead of deadlocking on the last notify.
+                self.cv.notify_all();
+                return None;
+            }
+            // Earliest launch any live replica could perform — the exact
+            // arithmetic of the simulator's next-launch scan.
+            let mut best: Option<(u64, usize)> = None;
+            for i in 0..state.queues.len() {
+                if state.crashed[i] || state.queues[i].is_empty() {
+                    continue;
+                }
+                let launch = if state.queues[i].len() >= self.max_batch {
+                    state.t_free[i].max(state.queues[i][self.max_batch - 1].ready_v)
+                } else {
+                    state.t_free[i].max(state.queues[i][0].ready_v.saturating_add(self.max_wait_ns))
+                };
+                if best.is_none_or(|(b, _)| launch < b) {
+                    best = Some((launch, i));
+                }
+            }
+            let Some((launch, winner)) = best else {
+                // Only crashed replicas hold work — unreachable because a
+                // crash drains its queue, but parking is the safe answer.
+                state = self.cv.wait(state).expect("gate lock");
+                continue;
+            };
+            if winner != r {
+                state = self.cv.wait(state).expect("gate lock");
+                continue;
+            }
+            let granted = self.commit(&mut state, r, launch, sessions);
+            self.cv.notify_all();
+            return Some(granted);
+        }
+    }
+
+    /// Commits replica `r`'s batch at virtual time `launch` — the mirror,
+    /// statement for statement, of the simulator's launch arm (latencies →
+    /// adaptive evaluation → post-batch fault effects → crash handoff).
+    fn commit(
+        &self,
+        state: &mut GateState,
+        r: usize,
+        launch: u64,
+        sessions: &[Arc<Session>],
+    ) -> (Vec<GateRequest>, usize) {
+        let batch_index = state.batches[r] + 1;
+        let take = state.queues[r].len().min(self.max_batch);
+        let batch: Vec<GateRequest> = state.queues[r].drain(..take).collect();
+        let mode = state.adaptive[r].mode();
+        let factor = state.faults[r].service_factor_x1024(batch_index);
+        let service_ns =
+            (self.service.service_ns(&sessions[mode], batch.len()) as u128 * factor as u128 / 1024)
+                .min(u128::from(u64::MAX)) as u64;
+        let finish = launch.saturating_add(service_ns);
+        let depth_after = state.queues[r].len();
+        state.metrics[r].record_batch(batch.len(), depth_after);
+        state.metrics[r].record_mode_batch(mode);
+        for item in &batch {
+            state.metrics[r].record_latency(finish.saturating_sub(item.submit_v));
+        }
+        if self.record_log {
+            state.log.push(PoolBatchLog {
+                replica: r,
+                mode,
+                keys: batch.iter().map(|g| g.req.key).collect(),
+                queue_depth_after: depth_after,
+            });
+        }
+        state.t_free[r] = finish;
+        // Both adaptive triggers read virtual state here: depth from the
+        // drain, p95 from the virtual-latency histogram.
+        let p95 = state.metrics[r].latency.quantile(0.95);
+        if state.adaptive[r].observe_batch(depth_after, p95).is_some() {
+            state.metrics[r].record_transition();
+        }
+        state.batches[r] = batch_index;
+        let post = state.faults[r].after_batch(batch_index);
+        if post.stall_ns > 0 {
+            state.t_free[r] = state.t_free[r].saturating_add(post.stall_ns);
+            state.metrics[r].record_stall();
+        }
+        if post.close_queue {
+            state.closed[r] = true;
+        }
+        if post.crashed {
+            state.crashed[r] = true;
+            state.closed[r] = true;
+            state.metrics[r].record_crash();
+            let crash_time = state.t_free[r];
+            let orphans: Vec<GateRequest> = state.queues[r].drain(..).collect();
+            let mut cursor = (r + 1) % state.queues.len();
+            for orphan in orphans {
+                let states: Vec<(bool, usize)> = state
+                    .queues
+                    .iter()
+                    .enumerate()
+                    .map(|(i, q)| (!state.crashed[i] && !state.closed[i], q.len()))
+                    .collect();
+                let target = pick_handoff_target(r, &mut cursor, &states, self.capacity);
+                state.handoffs.push(HandoffRecord {
+                    from_replica: r,
+                    at_batch: batch_index,
+                    key: orphan.req.key,
+                    to_replica: target,
+                });
+                match target {
+                    Some(t) => {
+                        state.queues[t].push_back(GateRequest {
+                            ready_v: crash_time,
+                            ..orphan
+                        });
+                        state.metrics[r].record_handoff();
+                    }
+                    None => {
+                        // The drop cancels the orphan's response handle.
+                        state.metrics[r].record_handoff_shed();
+                    }
+                }
+            }
+        }
+        (batch, mode)
+    }
+}
+
+/// The lockstep worker loop: every scheduling decision already committed in
+/// the gate; the worker only executes the granted GEMM and completes the
+/// response slots. Logits are computed for real, so they are comparable to
+/// the simulator's bit for bit.
+fn lockstep_loop(
+    index: usize,
+    gate: &LockstepGate,
+    sessions: &[Arc<Session>],
+    ctx: &ExecContext,
+) -> ReplicaOutcome {
+    while let Some((batch, mode)) = gate.acquire(index, sessions) {
+        let inputs: Vec<&Tensor<f32>> = batch.iter().map(|g| &g.req.input).collect();
+        match sessions[mode].infer_batch_refs(ctx, &inputs) {
+            Ok(responses) => {
+                for (item, response) in batch.into_iter().zip(responses) {
+                    item.req.slot.complete(Ok(response));
+                }
+            }
+            Err(e) => {
+                for item in batch {
+                    item.req.slot.complete(Err(e.clone()));
+                }
+            }
+        }
+    }
+    ReplicaOutcome::empty()
 }
 
 impl crate::server::BatchItem for PooledRequest {

@@ -20,6 +20,7 @@ use crate::config::SubmitError;
 struct QueueState<T> {
     items: VecDeque<T>,
     closed: bool,
+    admissions_closed: bool,
 }
 
 /// A bounded multi-producer single-consumer queue with typed rejection.
@@ -36,6 +37,7 @@ impl<T> BoundedQueue<T> {
             state: Mutex::new(QueueState {
                 items: VecDeque::new(),
                 closed: false,
+                admissions_closed: false,
             }),
             not_empty: Condvar::new(),
             capacity: capacity.max(1),
@@ -65,7 +67,7 @@ impl<T> BoundedQueue<T> {
     /// [`Self::close`].
     pub fn try_push(&self, item: T) -> Result<(), SubmitError> {
         let mut state = self.state.lock().expect("queue lock");
-        if state.closed {
+        if state.closed || state.admissions_closed {
             return Err(SubmitError::Closed);
         }
         if state.items.len() >= self.capacity {
@@ -161,6 +163,22 @@ impl<T> BoundedQueue<T> {
     /// Whether [`Self::close`] was called.
     pub fn is_closed(&self) -> bool {
         self.state.lock().expect("queue lock").closed
+    }
+
+    /// Closes *admissions only* — the fault-injection half-close: future
+    /// pushes are rejected with [`SubmitError::Closed`], but blocked pops
+    /// keep waiting (unlike [`Self::close`], which also signals the consumer
+    /// to shut down once drained). A crashed or quarantined replica closes
+    /// admissions first so no new request can slip in behind its drain.
+    pub fn close_admissions(&self) {
+        self.state.lock().expect("queue lock").admissions_closed = true;
+    }
+
+    /// Whether new submissions are currently rejected (full close or
+    /// admissions-only close).
+    pub fn is_admissions_closed(&self) -> bool {
+        let state = self.state.lock().expect("queue lock");
+        state.closed || state.admissions_closed
     }
 }
 
@@ -283,6 +301,32 @@ impl<T> ResponseHandle<T> {
             None => Err(self),
         }
     }
+
+    /// Non-blocking probe that also observes cancellation — the primitive a
+    /// hedging client polls two handles with: unlike [`Self::try_take`], a
+    /// request shed by a dying replica resolves to [`TryWait::Cancelled`]
+    /// instead of pending forever.
+    pub fn try_wait(self) -> TryWait<T> {
+        let mut state = self.inner.state.lock().expect("slot lock");
+        if let Some(value) = state.value.take() {
+            return TryWait::Ready(value);
+        }
+        if state.cancelled {
+            return TryWait::Cancelled;
+        }
+        drop(state);
+        TryWait::Pending(self)
+    }
+}
+
+/// Outcome of a non-blocking [`ResponseHandle::try_wait`] probe.
+pub enum TryWait<T> {
+    /// The response arrived; the handle is consumed.
+    Ready(T),
+    /// The request was cancelled (slot dropped without completing).
+    Cancelled,
+    /// No response yet; the handle is returned to keep polling.
+    Pending(ResponseHandle<T>),
 }
 
 #[cfg(test)]
@@ -340,6 +384,41 @@ mod tests {
         });
         assert_eq!(q.pop_blocking(), Some(42));
         t.join().unwrap();
+    }
+
+    #[test]
+    fn close_admissions_rejects_pushes_but_keeps_pops_alive() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close_admissions();
+        assert!(q.is_admissions_closed());
+        assert!(!q.is_closed(), "half-close must not signal shutdown");
+        assert_eq!(q.try_push(2), Err(SubmitError::Closed));
+        // Queued work still drains…
+        assert_eq!(q.pop_blocking(), Some(1));
+        // …and a deadline pop times out (consumer stays alive) rather than
+        // observing Closed.
+        assert!(matches!(
+            q.pop_deadline(Instant::now() + Duration::from_millis(5)),
+            PopResult::TimedOut
+        ));
+        q.close();
+        assert_eq!(q.pop_blocking(), None);
+    }
+
+    #[test]
+    fn try_wait_observes_ready_pending_and_cancelled() {
+        let (slot, handle) = response_channel::<u32>();
+        let handle = match handle.try_wait() {
+            TryWait::Pending(h) => h,
+            TryWait::Ready(_) | TryWait::Cancelled => panic!("expected pending"),
+        };
+        slot.complete(11);
+        assert!(matches!(handle.try_wait(), TryWait::Ready(11)));
+
+        let (slot, handle) = response_channel::<u32>();
+        drop(slot);
+        assert!(matches!(handle.try_wait(), TryWait::Cancelled));
     }
 
     #[test]

@@ -22,9 +22,10 @@ use nbsmt_tensor::tensor::Tensor;
 use nbsmt_tensor::validate::Validate;
 
 use crate::config::{
-    route_hash, AdaptivePolicy, AdaptiveState, ModeTransition, PoolConfig, RoutePolicy,
-    SchedulerConfig, ServeError,
+    AdaptivePolicy, AdaptiveState, ModeTransition, PoolConfig, RoutePolicy, SchedulerConfig,
+    ServeError,
 };
+use crate::faults::{pick_handoff_target, pick_replica, FaultPlan, HandoffRecord, ReplicaFaults};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::session::{Inference, Session};
 
@@ -126,6 +127,11 @@ pub struct SimOutcome {
 struct PendingArrival {
     id: u64,
     time_ns: u64,
+    /// Earliest virtual time the request may launch. Equal to `time_ns` for
+    /// a fresh arrival; a crash handoff re-enqueues the request with
+    /// `ready_ns` at the crash instant (it cannot launch on the survivor
+    /// before it exists there), while `time_ns` keeps anchoring its latency.
+    ready_ns: u64,
     input_index: usize,
     client: usize,
 }
@@ -222,6 +228,7 @@ fn expand_arrivals(
                 pending.push_back(PendingArrival {
                     id: next_id,
                     time_ns: t,
+                    ready_ns: t,
                     input_index: next_id as usize % inputs_len,
                     client: 0,
                 });
@@ -240,6 +247,7 @@ fn expand_arrivals(
                 pending.push_back(PendingArrival {
                     id: next_id,
                     time_ns: 0,
+                    ready_ns: 0,
                     input_index: next_id as usize % inputs_len,
                     client: c,
                 });
@@ -279,6 +287,7 @@ fn respawn_closed(
         let arrival = PendingArrival {
             id: *next_id,
             time_ns: finish.saturating_add(think_ns),
+            ready_ns: finish.saturating_add(think_ns),
             input_index: *next_id as usize % inputs_len,
             client: request.client,
         };
@@ -334,6 +343,10 @@ pub struct PoolSimOutcome {
     pub per_replica: Vec<MetricsSnapshot>,
     /// Pool-level aggregate metrics over the virtual makespan.
     pub metrics: MetricsSnapshot,
+    /// Every crash handoff decision, in crash order then queue order —
+    /// empty without fault injection. Part of the extended lockstep
+    /// contract (mirrors [`crate::pool::PoolSnapshot::handoffs`]).
+    pub handoffs: Vec<HandoffRecord>,
     /// Virtual time at which the last batch finished [ns].
     pub makespan_ns: u64,
 }
@@ -343,6 +356,13 @@ struct ReplicaSim {
     t_free: u64,
     state: AdaptiveState,
     metrics: ServeMetrics,
+    faults: ReplicaFaults,
+    /// Launched batches so far (the fault plan's 1-based batch clock).
+    batches: u64,
+    crashed: bool,
+    /// Admissions closed by a [`crate::faults::FaultKind::CloseQueue`]
+    /// event (a crash closes admissions too).
+    closed: bool,
 }
 
 /// Simulates a sharded replica pool: N virtual-clock replicas behind a
@@ -368,6 +388,34 @@ pub fn simulate_pool<S: Borrow<Session>>(
     arrivals: &ArrivalProcess,
     pool: PoolConfig,
     service: ServiceModel,
+) -> Result<PoolSimOutcome, ServeError> {
+    simulate_pool_faulted(sessions, ctx, inputs, arrivals, pool, service, None)
+}
+
+/// [`simulate_pool`] with an injected [`FaultPlan`]: each replica consumes
+/// its slice of the plan at the same batch-lifecycle points as the threaded
+/// pool's lockstep mode — straggle factors scale the service time at
+/// launch; stalls, queue closes, and crashes apply after the batch's
+/// latencies, closed-loop respawns, and adaptive evaluation. A crash drains
+/// the replica's queue through the shared handoff rule
+/// ([`pick_handoff_target`]): each orphan re-enqueues on the first eligible
+/// survivor with its `ready` time at the crash instant (latency still
+/// anchored at arrival), or is shed when none qualifies. The router skips
+/// crashed and closed replicas via [`pick_replica`]; with every replica
+/// eligible the arithmetic is exactly the fault-free router's. `None`
+/// faults make this identical to [`simulate_pool`].
+///
+/// # Errors
+///
+/// Same as [`simulate_pool`].
+pub fn simulate_pool_faulted<S: Borrow<Session>>(
+    sessions: &[S],
+    ctx: &ExecContext,
+    inputs: &[Tensor<f32>],
+    arrivals: &ArrivalProcess,
+    pool: PoolConfig,
+    service: ServiceModel,
+    faults: Option<&FaultPlan>,
 ) -> Result<PoolSimOutcome, ServeError> {
     if sessions.is_empty() {
         return Err(ServeError::BadRequest(
@@ -400,27 +448,35 @@ pub fn simulate_pool<S: Borrow<Session>>(
             t_free: 0,
             state: AdaptiveState::new(pool.adaptive, r, sessions.len()),
             metrics: ServeMetrics::new(),
+            faults: faults.map(|p| p.for_replica(r)).unwrap_or_default(),
+            batches: 0,
+            crashed: false,
+            closed: false,
         })
         .collect();
     let mut rr_counter = 0u64;
     let mut responses = Vec::new();
     let mut rejected_ids = Vec::new();
     let mut batches = Vec::new();
+    let mut handoffs: Vec<HandoffRecord> = Vec::new();
 
     loop {
-        // Earliest launch any replica could perform from its current queue:
-        // a full batch launches once the worker is free and its max_batch-th
-        // request has arrived; a partial batch waits out the oldest
-        // request's budget.
+        // Earliest launch any live replica could perform from its current
+        // queue: a full batch launches once the worker is free and its
+        // max_batch-th request is ready; a partial batch waits out the
+        // oldest request's budget.
         let mut next_launch: Option<(u64, usize)> = None;
         for (r, replica) in replicas.iter().enumerate() {
+            if replica.crashed {
+                continue;
+            }
             let Some(oldest) = replica.queue.front() else {
                 continue;
             };
             let launch = if replica.queue.len() >= max_batch {
-                replica.t_free.max(replica.queue[max_batch - 1].time_ns)
+                replica.t_free.max(replica.queue[max_batch - 1].ready_ns)
             } else {
-                replica.t_free.max(oldest.time_ns.saturating_add(max_wait))
+                replica.t_free.max(oldest.ready_ns.saturating_add(max_wait))
             };
             if next_launch.is_none_or(|(best, _)| launch < best) {
                 next_launch = Some((launch, r));
@@ -429,31 +485,39 @@ pub fn simulate_pool<S: Borrow<Session>>(
 
         // Arrivals at or before that launch are routed and admitted first
         // (mirrors the threaded pool, where submission precedes the drain).
+        // Crashed and admission-closed replicas are not routable; with no
+        // faults the eligible set is every replica and the arithmetic is
+        // the original router's.
         if let Some(arrival) = pending.front().copied() {
             if next_launch.is_none_or(|(launch, _)| arrival.time_ns <= launch) {
                 pending.pop_front();
-                let target = match pool.route {
-                    RoutePolicy::RoundRobin => {
-                        let t = (rr_counter as usize) % replicas.len();
-                        rr_counter += 1;
-                        t
+                let eligible: Vec<(usize, usize)> = replicas
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, rep)| !rep.crashed && !rep.closed)
+                    .map(|(i, rep)| (i, rep.queue.len()))
+                    .collect();
+                let tick = rr_counter;
+                if pool.route == RoutePolicy::RoundRobin {
+                    rr_counter += 1;
+                }
+                match pick_replica(pool.route, arrival.id, tick, &eligible) {
+                    Some(target) => {
+                        let replica = &mut replicas[target];
+                        if replica.queue.len() < capacity {
+                            replica.queue.push_back(arrival);
+                        } else {
+                            rejected_ids.push(arrival.id);
+                            replica.metrics.record_rejected();
+                        }
                     }
-                    RoutePolicy::Hashed => {
-                        (route_hash(arrival.id) % replicas.len() as u64) as usize
+                    None => {
+                        // Every replica dead or closed: the submission is
+                        // shed; attribute it to replica 0's counters (the
+                        // pool-level aggregate is what fault benches read).
+                        rejected_ids.push(arrival.id);
+                        replicas[0].metrics.record_rejected();
                     }
-                    RoutePolicy::LeastOutstanding => replicas
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(i, rep)| (rep.queue.len(), *i))
-                        .map(|(i, _)| i)
-                        .expect("at least one replica"),
-                };
-                let replica = &mut replicas[target];
-                if replica.queue.len() < capacity {
-                    replica.queue.push_back(arrival);
-                } else {
-                    rejected_ids.push(arrival.id);
-                    replica.metrics.record_rejected();
                 }
                 continue;
             }
@@ -463,7 +527,10 @@ pub fn simulate_pool<S: Borrow<Session>>(
             break; // no queued work and no pending arrivals
         };
 
-        // Launch on replica `r`.
+        // Launch on replica `r`. An active straggle window scales the
+        // service time; the batch index is the replica's 1-based fault
+        // clock.
+        let batch_index = replicas[r].batches + 1;
         let take = replicas[r].queue.len().min(max_batch);
         let batch: Vec<PendingArrival> = replicas[r].queue.drain(..take).collect();
         let mode = replicas[r].state.mode();
@@ -471,7 +538,10 @@ pub fn simulate_pool<S: Borrow<Session>>(
         let batch_inputs: Vec<&Tensor<f32>> =
             batch.iter().map(|req| &inputs[req.input_index]).collect();
         let outputs = session.infer_batch_refs(ctx, &batch_inputs)?;
-        let finish = launch.saturating_add(service.service_ns(session, batch.len()));
+        let factor = replicas[r].faults.service_factor_x1024(batch_index);
+        let service_ns = (service.service_ns(session, batch.len()) as u128 * factor as u128 / 1024)
+            .min(u128::from(u64::MAX)) as u64;
+        let finish = launch.saturating_add(service_ns);
         let depth_after = replicas[r].queue.len();
         let replica = &mut replicas[r];
         replica.metrics.record_batch(batch.len(), depth_after);
@@ -510,6 +580,49 @@ pub fn simulate_pool<S: Borrow<Session>>(
         if replica.state.observe_batch(depth_after, p95).is_some() {
             replica.metrics.record_transition();
         }
+
+        // Post-batch fault effects, strictly after the adaptive evaluation
+        // (the threaded lockstep gate applies the identical order).
+        replica.batches = batch_index;
+        let post = replica.faults.after_batch(batch_index);
+        if post.stall_ns > 0 {
+            replica.t_free = replica.t_free.saturating_add(post.stall_ns);
+            replica.metrics.record_stall();
+        }
+        if post.close_queue {
+            replica.closed = true;
+        }
+        if post.crashed {
+            replica.crashed = true;
+            replica.closed = true;
+            replica.metrics.record_crash();
+            let crash_time = replica.t_free;
+            let orphans: Vec<PendingArrival> = replica.queue.drain(..).collect();
+            let mut cursor = (r + 1) % replicas.len();
+            for orphan in orphans {
+                let states: Vec<(bool, usize)> = replicas
+                    .iter()
+                    .map(|rep| (!rep.crashed && !rep.closed, rep.queue.len()))
+                    .collect();
+                let target = pick_handoff_target(r, &mut cursor, &states, capacity);
+                handoffs.push(HandoffRecord {
+                    from_replica: r,
+                    at_batch: batch_index,
+                    key: orphan.id,
+                    to_replica: target,
+                });
+                match target {
+                    Some(t) => {
+                        replicas[t].queue.push_back(PendingArrival {
+                            ready_ns: crash_time,
+                            ..orphan
+                        });
+                        replicas[r].metrics.record_handoff();
+                    }
+                    None => replicas[r].metrics.record_handoff_shed(),
+                }
+            }
+        }
     }
 
     let makespan_ns = replicas.iter().map(|r| r.t_free).max().unwrap_or(0);
@@ -528,6 +641,7 @@ pub fn simulate_pool<S: Borrow<Session>>(
         transitions,
         per_replica,
         metrics: total.snapshot(makespan_ns),
+        handoffs,
         makespan_ns,
     })
 }
@@ -535,7 +649,7 @@ pub fn simulate_pool<S: Borrow<Session>>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{BatchPolicy, SmtConfig};
+    use crate::config::{route_hash, BatchPolicy, SmtConfig};
     use crate::session::compile_session;
     use nbsmt_workloads::synthnet::quick_synthnet;
     use std::sync::Arc;
