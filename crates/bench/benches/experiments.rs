@@ -159,6 +159,8 @@ fn bench_gemm_backends(c: &mut Criterion) {
     for (name, threads, backend) in [
         ("naive_512", 1, GemmBackendKind::Naive),
         ("blocked_512_1t", 1, GemmBackendKind::Blocked),
+        ("simd_512_1t", 1, GemmBackendKind::Simd),
+        ("packed_512_1t", 1, GemmBackendKind::Packed),
         ("parallel_512_2t", 2, GemmBackendKind::Parallel),
         ("parallel_512_8t", 8, GemmBackendKind::Parallel),
     ] {
@@ -190,6 +192,31 @@ fn bench_nbsmt_parallel_layer(c: &mut Criterion) {
             reorder: false,
         });
         group.bench_function(name, |bch| {
+            bch.iter(|| emu.execute_with(&ctx, &qx, &qw).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Benchmarks the algorithmic fast NB-SMT path (the default `execute_with`)
+/// against the event-walking oracle (`execute_event_with`) on the same
+/// 128×256×64 layer the parallel-layer group uses — the speedup the fast
+/// path exists to deliver, at 2T and 4T.
+fn bench_nbsmt_fast_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nbsmt_fast_path");
+    group.sample_size(10);
+    let (qx, qw) = sample_layer(128, 256, 64);
+    let ctx = ExecContext::sequential();
+    for (label, threads) in [("2t", ThreadCount::Two), ("4t", ThreadCount::Four)] {
+        let emu = NbSmtMatmul::new(NbSmtMatmulConfig {
+            threads,
+            policy: SharingPolicy::S_A,
+            reorder: false,
+        });
+        group.bench_function(&format!("event_{label}_128x256x64"), |bch| {
+            bch.iter(|| emu.execute_event_with(&ctx, &qx, &qw).unwrap())
+        });
+        group.bench_function(&format!("fast_{label}_128x256x64"), |bch| {
             bch.iter(|| emu.execute_with(&ctx, &qx, &qw).unwrap())
         });
     }
@@ -316,7 +343,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = quick_criterion();
-    targets = bench_fmul, bench_gemm_backends, bench_nbsmt_parallel_layer, bench_datapaths,
-        bench_zoo_experiments, bench_accuracy_experiments, bench_serve_throughput
+    targets = bench_fmul, bench_gemm_backends, bench_nbsmt_parallel_layer, bench_nbsmt_fast_path,
+        bench_datapaths, bench_zoo_experiments, bench_accuracy_experiments, bench_serve_throughput
 }
 criterion_main!(benches);

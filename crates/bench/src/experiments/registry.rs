@@ -353,7 +353,7 @@ impl ExperimentRegistry {
              \x20 --dump-spec          print the resolved spec as JSON and exit without running\n\
              \x20 --full               shorthand for --set scale=full\n\
              \x20 --threads <n>        shorthand for --set threads=<n>\n\
-             \x20 --backend <name>     shorthand for --set backend=<name> (naive, blocked, parallel)\n\
+             \x20 --backend <name>     shorthand for --set backend=<name> (naive, blocked, parallel, simd, packed)\n\
              \x20 --requests <n>       shorthand for --set requests=<n>\n\
              \x20 --replicas <list>    shorthand for --set replicas=<n[,n...]>\n\
              \x20 --list               list the experiments and exit\n\
@@ -1066,6 +1066,22 @@ impl Experiment for GemmBench {
                     ..ExecConfig::default()
                 }),
             ),
+            (
+                format!("gemm_i32_{dim}_simd_1t"),
+                ExecContext::new(ExecConfig {
+                    threads: 1,
+                    backend: GemmBackendKind::Simd,
+                    ..ExecConfig::default()
+                }),
+            ),
+            (
+                format!("gemm_i32_{dim}_packed_1t"),
+                ExecContext::new(ExecConfig {
+                    threads: 1,
+                    backend: GemmBackendKind::Packed,
+                    ..ExecConfig::default()
+                }),
+            ),
         ];
         let parallel_ctx = ExecContext::new(ExecConfig {
             threads: spec.exec.threads,
@@ -1139,25 +1155,37 @@ impl Experiment for GemmBench {
                 policy: SharingPolicy::S_A,
                 reorder: false,
             });
-            let name = format!("nbsmt_{label}_layer_{m}x{k}x{n}_{}t", ctx.threads());
-            let record = summary.measure(
-                &name,
-                ctx.threads(),
-                ctx.config().backend.name(),
-                (m * k * n) as u64,
-                iters,
-                || {
-                    emu.execute_with(&ctx, &qx, &qw).expect("dimensions match");
-                },
-            );
-            out!(
-                sink,
-                "{:<28} {:>12.2} {:>12.2} {:>10}",
-                record.name,
-                record.mean_ns / 1e6,
-                record.gmacs_per_s(),
-                record.threads
-            );
+            // Two cells per design point: the event-walking oracle (the
+            // historical `nbsmt_*` cells, name-compatible with previous
+            // baselines) and the algorithmic fast path `execute_with` now
+            // dispatches to (`nbsmt_fast_*`).
+            let oracle_name = format!("nbsmt_{label}_layer_{m}x{k}x{n}_{}t", ctx.threads());
+            let fast_name = format!("nbsmt_fast_{label}_layer_{m}x{k}x{n}_{}t", ctx.threads());
+            for (name, fast) in [(&oracle_name, false), (&fast_name, true)] {
+                let record = summary.measure(
+                    name,
+                    ctx.threads(),
+                    ctx.config().backend.name(),
+                    (m * k * n) as u64,
+                    iters,
+                    || {
+                        if fast {
+                            emu.execute_with(&ctx, &qx, &qw).expect("dimensions match");
+                        } else {
+                            emu.execute_event_with(&ctx, &qx, &qw)
+                                .expect("dimensions match");
+                        }
+                    },
+                );
+                out!(
+                    sink,
+                    "{:<28} {:>12.2} {:>12.2} {:>10}",
+                    record.name,
+                    record.mean_ns / 1e6,
+                    record.gmacs_per_s(),
+                    record.threads
+                );
+            }
         }
 
         let mut report = RunReport::new(self.name());

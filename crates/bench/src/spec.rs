@@ -249,7 +249,7 @@ impl RunSpec {
                                         SpecError::bad(
                                             "exec.backend",
                                             format!(
-                                                "'{name}' is not one of naive, blocked, parallel"
+                                                "'{name}' is not one of naive, blocked, parallel, simd, packed"
                                             ),
                                         )
                                     })?;
@@ -321,7 +321,7 @@ impl RunSpec {
                 self.exec.backend = GemmBackendKind::parse(value).ok_or_else(|| {
                     SpecError::bad(
                         "backend",
-                        format!("'{value}' is not one of naive, blocked, parallel"),
+                        format!("'{value}' is not one of naive, blocked, parallel, simd, packed"),
                     )
                 })?;
             }

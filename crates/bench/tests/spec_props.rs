@@ -51,7 +51,9 @@ fn gen_spec(rng: &mut StdRng) -> RunSpec {
         GemmBackendKind::Naive,
         GemmBackendKind::Blocked,
         GemmBackendKind::Parallel,
-    ][rng.gen_range(0..3usize)];
+        GemmBackendKind::Simd,
+        GemmBackendKind::Packed,
+    ][rng.gen_range(0..5usize)];
     if rng.gen::<u64>() & 1 == 0 {
         spec.requests = Some(rng.gen_range(1..100_000));
     }

@@ -34,6 +34,7 @@
 
 use serde::{Deserialize, Serialize};
 
+pub(crate) mod fastpath;
 pub mod fmul;
 pub mod matmul;
 pub mod metrics;

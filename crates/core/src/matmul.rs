@@ -8,6 +8,19 @@
 //! error-free quantized matmul is exactly the error the hardware would
 //! introduce. It is what the accuracy experiments (Tables III–V, Figs. 7–10)
 //! run on.
+//!
+//! Two interchangeable execution strategies produce **bit-identical**
+//! results (output and [`PeStats`] alike):
+//!
+//! * [`NbSmtMatmul::execute_with`] — the algorithmic fast path (the
+//!   crate-private `fastpath` module): an exact integer base GEMM through
+//!   the execution layer's kernels plus sparse delta corrections derived
+//!   from collision bitmasks. This is the default and what serving and the
+//!   accuracy sweeps run on.
+//! * [`NbSmtMatmul::execute_event_with`] — the event-walking oracle: every
+//!   PE cycle is simulated through the lane planner and flexible
+//!   multiplier. The fast path is cross-checked against it property-test by
+//!   property-test.
 
 use serde::{Deserialize, Serialize};
 
@@ -17,6 +30,9 @@ use nbsmt_tensor::error::TensorError;
 use nbsmt_tensor::exec::ExecContext;
 use nbsmt_tensor::tensor::Matrix;
 
+use nbsmt_tensor::exec::{ExecConfig, GemmBackendKind, PackedRhs};
+
+use crate::fastpath;
 use crate::pe::{PeStats, SmtPe2, SmtPe4, ThreadInput};
 use crate::policy::SharingPolicy;
 use crate::ThreadCount;
@@ -101,18 +117,161 @@ impl NbSmtMatmul {
         self.execute_with(&ExecContext::sequential(), x, w)
     }
 
-    /// [`Self::execute`] through the given execution context: output rows
-    /// are partitioned into tiles and fanned out over the context's worker
-    /// pool (every output element is an independent PE stream), and each
-    /// tile's [`PeStats`] are merged back **in tile order**. The result —
-    /// output matrix and statistics alike — is bit-identical for every
-    /// thread count.
+    /// [`Self::execute`] through the given execution context, on the
+    /// **algorithmic fast path**: the exact base product runs through the
+    /// context's integer GEMM kernel (SIMD/packed/blocked), collision and
+    /// squeeze structure is computed with per-tile bitmask popcount algebra,
+    /// and lossy thread-slots are applied as sparse integer deltas. The
+    /// result — output matrix and [`PeStats`] alike — is **bit-identical**
+    /// to the event-walking oracle ([`Self::execute_event_with`]) for every
+    /// configuration and thread count (cross-checked by the property suite
+    /// in `tests/exec_equivalence.rs`).
+    ///
+    /// Output rows are partitioned into tiles and fanned out over the
+    /// context's worker pool, and each tile's [`PeStats`] are merged back
+    /// **in tile order**, so results are also invariant to the host thread
+    /// count.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::DimensionMismatch`] when the reduction
     /// dimensions differ.
     pub fn execute_with(
+        &self,
+        ctx: &ExecContext,
+        x: &QuantMatrix,
+        w: &QuantWeightMatrix,
+    ) -> Result<NbSmtOutput, TensorError> {
+        self.execute_with_prepacked(ctx, x, w, None)
+    }
+
+    /// [`Self::execute_with`] with an optional pre-packed weight matrix for
+    /// the base GEMM (see [`PackedRhs::pack`]); the serve stack caches one
+    /// pack per layer per session. The pack is only consulted when K-dim
+    /// reordering is inactive — reordering permutes the weight rows per
+    /// call, so a cached pack cannot represent them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimensionMismatch`] when the reduction
+    /// dimensions differ or the pack's dimensions disagree with `w`.
+    pub fn execute_with_prepacked(
+        &self,
+        ctx: &ExecContext,
+        x: &QuantMatrix,
+        w: &QuantWeightMatrix,
+        pack: Option<&PackedRhs<i8>>,
+    ) -> Result<NbSmtOutput, TensorError> {
+        if x.cols() != w.rows() {
+            return Err(TensorError::DimensionMismatch {
+                op: "nbsmt matmul",
+                lhs: vec![x.rows(), x.cols()],
+                rhs: vec![w.rows(), w.cols()],
+            });
+        }
+        if let Some(pack) = pack {
+            if pack.k() != w.rows() || pack.n() != w.cols() {
+                return Err(TensorError::DimensionMismatch {
+                    op: "nbsmt matmul (prepacked)",
+                    lhs: vec![w.rows(), w.cols()],
+                    rhs: vec![pack.k(), pack.n()],
+                });
+            }
+        }
+
+        // Optional statistical reordering of the K dimension (activations'
+        // columns and the matching weight rows). A reorder invalidates any
+        // caller-supplied pack: the weight rows are permuted per call.
+        let (x_owned, w_owned);
+        let (x, w, pack) = if self.config.reorder && self.config.threads.count() > 1 {
+            let order = ColumnOrder::from_permutation(
+                nbsmt_sparsity::reorder::reorder_for_threads(x, self.config.threads.count())
+                    .as_slice()
+                    .to_vec(),
+            );
+            x_owned = order.apply_to_activation(x);
+            w_owned = order.apply_to_weights(w);
+            (&x_owned, &w_owned, None)
+        } else {
+            (x, w, pack)
+        };
+
+        // With the packing backend but no caller-supplied pack, pack once
+        // here rather than once per row tile inside the base GEMM.
+        let local_pack;
+        let pack = match pack {
+            None if ctx.config().backend == GemmBackendKind::Packed => {
+                local_pack = PackedRhs::pack(w.rows(), w.cols(), w.values().as_slice());
+                Some(&local_pack)
+            }
+            other => other,
+        };
+
+        let tables = fastpath::WeightTables::new(w);
+        // Each row tile runs its base GEMM inline on the worker that owns
+        // it; the caller's thread pool is already saturated by the tile
+        // fan-out.
+        let base = ExecContext::new(ExecConfig {
+            threads: 1,
+            ..*ctx.config()
+        });
+
+        let (m, n) = (x.rows(), w.cols());
+        let mut out = vec![0.0_f32; m * n];
+        let tile_stats = ctx.map_row_tiles(&mut out, m, n, |_tile, row_start, nrows, chunk| {
+            fastpath::rows_fast(
+                &base,
+                &tables,
+                self.config.threads,
+                self.config.policy,
+                x,
+                w,
+                pack,
+                row_start,
+                nrows,
+                chunk,
+            )
+        });
+        // Deterministic reduction: tile order, independent of which worker
+        // produced each tile.
+        let mut stats = PeStats::default();
+        for tile in &tile_stats {
+            stats.merge(tile);
+        }
+        Ok(NbSmtOutput {
+            output: Matrix::from_vec(out, m, n)?,
+            stats,
+        })
+    }
+
+    /// Emulates the layer by walking **every PE event** — the oracle the
+    /// fast path is cross-checked against. Sequential; see
+    /// [`Self::execute_event_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimensionMismatch`] when the reduction
+    /// dimensions differ.
+    pub fn execute_event(
+        &self,
+        x: &QuantMatrix,
+        w: &QuantWeightMatrix,
+    ) -> Result<NbSmtOutput, TensorError> {
+        self.execute_event_with(&ExecContext::sequential(), x, w)
+    }
+
+    /// [`Self::execute_event`] through the given execution context: for
+    /// every output element and reduction step, the shared PE's full cycle
+    /// logic runs — lane planning, flexible-multiplier products, outcome
+    /// classification. Bit-identical to [`Self::execute_with`] but priced at
+    /// one PE-event dispatch per MAC; kept as the oracle for the fast path
+    /// and for microarchitecture-level inspection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimensionMismatch`] when the reduction
+    /// dimensions differ.
+    pub fn execute_event_with(
         &self,
         ctx: &ExecContext,
         x: &QuantMatrix,
@@ -569,6 +728,103 @@ mod tests {
         let w = QuantWeightMatrix::with_uniform_scale(Matrix::zeros(4, 2), 1.0);
         let emu = NbSmtMatmul::new(NbSmtMatmulConfig::two_threads());
         assert!(emu.execute(&x, &w).is_err());
+    }
+
+    #[test]
+    fn fast_path_matches_event_oracle_exactly() {
+        // The fast path must reproduce the event walker bit for bit —
+        // output matrix AND every PeStats field — across thread counts,
+        // policies (S on/off × every width mode), shapes, and sparsity.
+        let policies = [
+            SharingPolicy::NAIVE,
+            SharingPolicy::S,
+            SharingPolicy::A,
+            SharingPolicy::W,
+            SharingPolicy::A_W,
+            SharingPolicy::S_A,
+            SharingPolicy::S_W,
+            SharingPolicy::S_AW,
+            SharingPolicy::S_A_W,
+        ];
+        for (seed, (m, k, n), sparsity) in [
+            (11, (5, 17, 9), 0.5),
+            (12, (7, 32, 70), 0.0),
+            (13, (3, 9, 4), 0.8),
+        ] {
+            let (x, w) = random_layer(seed, m, k, n, sparsity);
+            for threads in [ThreadCount::One, ThreadCount::Two, ThreadCount::Four] {
+                for policy in policies {
+                    let emu = NbSmtMatmul::new(NbSmtMatmulConfig {
+                        threads,
+                        policy,
+                        reorder: false,
+                    });
+                    let fast = emu.execute(&x, &w).unwrap();
+                    let event = emu.execute_event(&x, &w).unwrap();
+                    assert_eq!(
+                        fast,
+                        event,
+                        "threads={threads:?} policy={} shape={m}x{k}x{n}",
+                        policy.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_event_oracle_with_reorder() {
+        let (x, w) = random_layer(14, 10, 24, 8, 0.5);
+        for threads in [ThreadCount::Two, ThreadCount::Four] {
+            let emu = NbSmtMatmul::new(NbSmtMatmulConfig {
+                threads,
+                policy: SharingPolicy::S_A,
+                reorder: true,
+            });
+            let fast = emu.execute(&x, &w).unwrap();
+            let event = emu.execute_event(&x, &w).unwrap();
+            assert_eq!(fast, event, "threads={threads:?}");
+        }
+    }
+
+    #[test]
+    fn fast_path_prepacked_and_backends_are_invariant() {
+        use nbsmt_tensor::exec::GemmBackendKind;
+        let (x, w) = random_layer(15, 9, 40, 21, 0.4);
+        let emu = NbSmtMatmul::new(NbSmtMatmulConfig {
+            threads: ThreadCount::Two,
+            policy: SharingPolicy::S_A,
+            reorder: false,
+        });
+        let reference = emu.execute(&x, &w).unwrap();
+        let pack = PackedRhs::pack(w.rows(), w.cols(), w.values().as_slice());
+        for backend in [
+            GemmBackendKind::Naive,
+            GemmBackendKind::Blocked,
+            GemmBackendKind::Parallel,
+            GemmBackendKind::Simd,
+            GemmBackendKind::Packed,
+        ] {
+            for threads in [1usize, 3] {
+                let ctx = ExecContext::new(ExecConfig {
+                    threads,
+                    tile_rows: 4,
+                    tile_k: 16,
+                    backend,
+                });
+                let out = emu.execute_with(&ctx, &x, &w).unwrap();
+                assert_eq!(out, reference, "backend={backend} threads={threads}");
+                let packed = emu
+                    .execute_with_prepacked(&ctx, &x, &w, Some(&pack))
+                    .unwrap();
+                assert_eq!(packed, reference, "prepacked backend={backend}");
+            }
+        }
+        // A mismatched pack is rejected.
+        let stale = PackedRhs::pack(2, 2, &[0i8; 4]);
+        assert!(emu
+            .execute_with_prepacked(&ExecContext::sequential(), &x, &w, Some(&stale))
+            .is_err());
     }
 
     #[test]

@@ -7,25 +7,41 @@
 //! context owns two orthogonal decisions:
 //!
 //! * **Kernel choice** ([`GemmBackend`]): [`Naive`] (the seed scalar loop),
-//!   [`Blocked`] (cache-tiled over row and reduction blocks), or
-//!   [`Parallel`] (row-tile fan-out of the blocked kernel over the pool).
+//!   [`Blocked`] (cache-tiled over row and reduction blocks), [`Parallel`]
+//!   (row-tile fan-out of the blocked kernel over the pool), [`Simd`]
+//!   (runtime-detected AVX2 intrinsics with a portable unrolled fallback),
+//!   or [`Packed`] (B packed into column panels + register-blocked
+//!   microkernel; see [`PackedRhs`] for the reusable-pack entry point).
 //! * **Worker pool** (`threads`): scoped `std::thread` workers over a
 //!   deterministic, contiguous partition of the tile space.
 //!
 //! # Determinism contract
 //!
-//! Results are **bit-exact across backends and invariant to thread count**:
+//! Integer results (`i32`, `u8×i8`) are **bit-exact across backends and
+//! invariant to thread count**:
 //!
 //! * Work is partitioned into *row tiles* (or output tiles for the systolic
 //!   walker). Each tile's computation is independent and identical to the
 //!   sequential kernel's for those rows; per-element accumulation always
 //!   visits the reduction dimension in ascending order, with the same
-//!   zero-skip rule in every kernel, so even f32 results are bit-identical.
+//!   zero-skip rule in every kernel.
 //! * Per-tile side results (PE statistics, cycle counts) are returned to the
 //!   caller **in tile order** regardless of which worker produced them, and
 //!   callers reduce them in that order.
 //!
-//! Any future backend (SIMD, distributed) slots in by implementing
+//! For **f32** the same bit-exact guarantee holds for every backend *except*
+//! [`Simd`]: its AVX2 kernel keeps several lane accumulators per output
+//! element (and fuses multiply-add where FMA is available), which reassociates
+//! the reduction. [`Simd`] f32 is the explicitly declared **fast-f32 tier**:
+//! per element, results agree with the scalar reference to within
+//! `1e-5 × Σₚ|aₚ·bₚ|` (tolerance relative to the ℓ1 magnitude of the
+//! reduction, which stays meaningful under cancellation; enforced by
+//! `tests/exec_equivalence.rs`), and remain deterministic for a fixed host
+//! CPU. All integer kernels — including
+//! [`Simd`]'s, whose lane loops preserve the ascending-`k` order per element
+//! exactly — stay on the bit-exact tier.
+//!
+//! Any future backend (wider SIMD, distributed) slots in by implementing
 //! [`GemmBackend`] and honouring the same contract.
 
 use serde::{Deserialize, Serialize};
@@ -40,15 +56,24 @@ pub enum GemmBackendKind {
     /// Row-tile fan-out of the blocked kernel over the worker pool.
     #[default]
     Parallel,
+    /// Runtime-detected AVX2 kernels (bit-exact integers, fast-f32 tier)
+    /// with a portable unrolled fallback on other hosts.
+    Simd,
+    /// Packs B into column panels, then runs a register-blocked microkernel
+    /// over the panels. Bit-exact for every element type.
+    Packed,
 }
 
 impl GemmBackendKind {
-    /// Parses a CLI-style backend name (`naive`, `blocked`, `parallel`).
+    /// Parses a CLI-style backend name (`naive`, `blocked`, `parallel`,
+    /// `simd`, `packed`).
     pub fn parse(name: &str) -> Option<Self> {
         match name.to_ascii_lowercase().as_str() {
             "naive" => Some(GemmBackendKind::Naive),
             "blocked" => Some(GemmBackendKind::Blocked),
             "parallel" => Some(GemmBackendKind::Parallel),
+            "simd" => Some(GemmBackendKind::Simd),
+            "packed" => Some(GemmBackendKind::Packed),
             _ => None,
         }
     }
@@ -59,6 +84,8 @@ impl GemmBackendKind {
             GemmBackendKind::Naive => "naive",
             GemmBackendKind::Blocked => "blocked",
             GemmBackendKind::Parallel => "parallel",
+            GemmBackendKind::Simd => "simd",
+            GemmBackendKind::Packed => "packed",
         }
     }
 }
@@ -184,6 +211,8 @@ impl ExecContext {
             GemmBackendKind::Naive => &Naive,
             GemmBackendKind::Blocked => &Blocked,
             GemmBackendKind::Parallel => &Parallel,
+            GemmBackendKind::Simd => &Simd,
+            GemmBackendKind::Packed => &Packed,
         }
     }
 
@@ -220,6 +249,25 @@ impl ExecContext {
         check_gemm_dims(m, k, n, a.len(), b.len(), out.len());
         out.fill(0);
         self.backend().gemm_u8i8(self, m, k, n, a, b, out);
+    }
+
+    /// Quantized-grid GEMM against a pre-packed right-hand side.
+    ///
+    /// The caller packs `b` once with [`PackedRhs::pack`] and amortises the
+    /// pack across calls (the serve stack caches one pack per layer per
+    /// session). Results are bit-identical to [`Self::gemm_u8i8`] on the
+    /// original `b` under every backend — the microkernel preserves the
+    /// ascending-`k`, zero-skip accumulation order per element — so callers
+    /// may switch between the packed and unpacked entry points freely.
+    ///
+    /// # Panics
+    ///
+    /// Panics when slice lengths disagree with `m` and the pack's dimensions.
+    pub fn gemm_u8i8_prepacked(&self, m: usize, a: &[u8], b: &PackedRhs<i8>, out: &mut [i64]) {
+        let (k, n) = (b.k(), b.n());
+        check_gemm_dims(m, k, n, a.len(), k * n, out.len());
+        out.fill(0);
+        packed_rows::<U8I8Gemm>(a, b, k, n, 0, m, out);
     }
 
     /// Maps `f` over tile indices `0..count` using the worker pool and
@@ -419,8 +467,10 @@ trait GemmElems {
     type Lhs: Copy + Send + Sync;
     /// Right operand element.
     type Rhs: Copy + Send + Sync;
-    /// Accumulator element.
-    type Acc: Copy + Send;
+    /// Accumulator element. `Default` is the additive zero for every
+    /// instantiation (`0.0f32`, `0i64`), which the register-blocked
+    /// microkernel relies on to seed its accumulator block.
+    type Acc: Copy + Send + Default;
 
     /// The zero-skip rule every kernel applies identically (part of the
     /// bit-exactness contract: skipping `0 × b` must match the seed loop).
@@ -539,6 +589,15 @@ fn parallel_gemm<E: GemmElems>(
     out: &mut [E::Acc],
 ) {
     let tile_k = ctx.config().tile_k;
+    if ctx.threads() <= 1 {
+        // One worker: skip the row-tile fan-out entirely and run the blocked
+        // kernel over the whole row range, so a 1-core host pays no per-tile
+        // overhead and re-reads the `tile_k × n` panel of `b` once per block
+        // instead of once per tile. Bit-identical by the determinism
+        // contract (same per-element accumulation order).
+        blocked_rows::<E>(a, b, k, n, 0, m, tile_k, out);
+        return;
+    }
     ctx.for_each_row_tile(out, m, n, |_tile, row_start, nrows, chunk| {
         blocked_rows::<E>(a, b, k, n, row_start, nrows, tile_k, chunk);
     });
@@ -682,6 +741,537 @@ impl GemmBackend for Parallel {
     }
 }
 
+/// The portable fallback for [`Simd`]: the naive loop order with the `j`
+/// loop hand-unrolled 4-wide so the compiler keeps four independent
+/// accumulator chains. Per-element accumulation order (ascending `p`,
+/// zero-skip) is identical to [`naive_rows`], so this stays on the bit-exact
+/// tier for every element type including f32.
+fn unrolled_rows<E: GemmElems>(
+    a: &[E::Lhs],
+    b: &[E::Rhs],
+    k: usize,
+    n: usize,
+    row_start: usize,
+    nrows: usize,
+    out: &mut [E::Acc],
+) {
+    for i in 0..nrows {
+        let arow = &a[(row_start + i) * k..(row_start + i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &aval) in arow.iter().enumerate() {
+            if E::is_zero(aval) {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let mut j = 0usize;
+            while j + 4 <= n {
+                E::mac(&mut orow[j], aval, brow[j]);
+                E::mac(&mut orow[j + 1], aval, brow[j + 1]);
+                E::mac(&mut orow[j + 2], aval, brow[j + 2]);
+                E::mac(&mut orow[j + 3], aval, brow[j + 3]);
+                j += 4;
+            }
+            while j < n {
+                E::mac(&mut orow[j], aval, brow[j]);
+                j += 1;
+            }
+        }
+    }
+}
+
+/// AVX2 kernels behind the [`Simd`] backend. Only compiled on x86_64; the
+/// caller checks `is_x86_feature_detected!("avx2")` (and `"fma"` for the
+/// fused f32 path) before entering, which is the entire safety obligation of
+/// the `unsafe` functions here.
+///
+/// Integer kernels broadcast one `a` element per reduction step and run a
+/// strip of output columns in 64-bit lanes: `_mm256_cvtepi32_epi64` /
+/// `_mm256_cvtepi8_epi64` sign-extend the `b` strip, then
+/// `_mm256_mul_epi32` (signed low-32 × low-32 → 64) accumulates exactly.
+/// Each output element still sees the reduction in ascending-`k` order with
+/// the shared zero-skip rule, so integer results are bit-exact with
+/// [`naive_rows`]. The f32 kernel instead keeps 4 ymm accumulators per
+/// column strip and fuses multiply-add when FMA is available — the declared
+/// fast-f32 tier (see the module docs).
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// Runs the AVX2 i32 kernel if the host supports it; `false` means the
+    /// caller must take the portable fallback.
+    pub fn try_gemm_i32(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[i32],
+        b: &[i32],
+        out: &mut [i64],
+    ) -> bool {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return false;
+        }
+        // SAFETY: avx2 verified at runtime just above.
+        unsafe { gemm_i32(m, k, n, a, b, out) };
+        true
+    }
+
+    /// Runs the AVX2 u8×i8 kernel if the host supports it.
+    pub fn try_gemm_u8i8(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[u8],
+        b: &[i8],
+        out: &mut [i64],
+    ) -> bool {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return false;
+        }
+        // SAFETY: avx2 verified at runtime just above.
+        unsafe { gemm_u8i8(m, k, n, a, b, out) };
+        true
+    }
+
+    /// Runs the AVX2 f32 kernel (fused multiply-add where the host has FMA)
+    /// if the host supports it.
+    pub fn try_gemm_f32(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+    ) -> bool {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return false;
+        }
+        if std::arch::is_x86_feature_detected!("fma") {
+            // SAFETY: avx2 + fma verified at runtime just above.
+            unsafe { gemm_f32_fma(m, k, n, a, b, out) };
+        } else {
+            // SAFETY: avx2 verified at runtime just above.
+            unsafe { gemm_f32(m, k, n, a, b, out) };
+        }
+        true
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn gemm_i32(m: usize, k: usize, n: usize, a: &[i32], b: &[i32], out: &mut [i64]) {
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            let mut j = 0usize;
+            while j + 16 <= n {
+                let mut acc0 = _mm256_setzero_si256();
+                let mut acc1 = _mm256_setzero_si256();
+                let mut acc2 = _mm256_setzero_si256();
+                let mut acc3 = _mm256_setzero_si256();
+                for (p, &aval) in arow.iter().enumerate() {
+                    if aval == 0 {
+                        continue;
+                    }
+                    let va = _mm256_set1_epi64x(aval as i64);
+                    let bp = b.as_ptr().add(p * n + j);
+                    let b01 = _mm256_loadu_si256(bp as *const __m256i);
+                    let b23 = _mm256_loadu_si256(bp.add(8) as *const __m256i);
+                    let vb0 = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(b01));
+                    let vb1 = _mm256_cvtepi32_epi64(_mm256_extracti128_si256::<1>(b01));
+                    let vb2 = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(b23));
+                    let vb3 = _mm256_cvtepi32_epi64(_mm256_extracti128_si256::<1>(b23));
+                    acc0 = _mm256_add_epi64(acc0, _mm256_mul_epi32(va, vb0));
+                    acc1 = _mm256_add_epi64(acc1, _mm256_mul_epi32(va, vb1));
+                    acc2 = _mm256_add_epi64(acc2, _mm256_mul_epi32(va, vb2));
+                    acc3 = _mm256_add_epi64(acc3, _mm256_mul_epi32(va, vb3));
+                }
+                let op = orow.as_mut_ptr().add(j);
+                _mm256_storeu_si256(op as *mut __m256i, acc0);
+                _mm256_storeu_si256(op.add(4) as *mut __m256i, acc1);
+                _mm256_storeu_si256(op.add(8) as *mut __m256i, acc2);
+                _mm256_storeu_si256(op.add(12) as *mut __m256i, acc3);
+                j += 16;
+            }
+            // Scalar tail: same ascending-k, zero-skip order per element.
+            for jj in j..n {
+                let mut acc = 0i64;
+                for (p, &aval) in arow.iter().enumerate() {
+                    if aval == 0 {
+                        continue;
+                    }
+                    acc += aval as i64 * b[p * n + jj] as i64;
+                }
+                orow[jj] = acc;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn gemm_u8i8(m: usize, k: usize, n: usize, a: &[u8], b: &[i8], out: &mut [i64]) {
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            let mut j = 0usize;
+            while j + 16 <= n {
+                let mut acc0 = _mm256_setzero_si256();
+                let mut acc1 = _mm256_setzero_si256();
+                let mut acc2 = _mm256_setzero_si256();
+                let mut acc3 = _mm256_setzero_si256();
+                for (p, &aval) in arow.iter().enumerate() {
+                    if aval == 0 {
+                        continue;
+                    }
+                    // u8 broadcast is non-negative, so the signed low-32
+                    // multiply below is exact for it.
+                    let va = _mm256_set1_epi64x(aval as i64);
+                    let bytes = _mm_loadu_si128(b.as_ptr().add(p * n + j) as *const __m128i);
+                    let vb0 = _mm256_cvtepi8_epi64(bytes);
+                    let vb1 = _mm256_cvtepi8_epi64(_mm_srli_si128::<4>(bytes));
+                    let vb2 = _mm256_cvtepi8_epi64(_mm_srli_si128::<8>(bytes));
+                    let vb3 = _mm256_cvtepi8_epi64(_mm_srli_si128::<12>(bytes));
+                    acc0 = _mm256_add_epi64(acc0, _mm256_mul_epi32(va, vb0));
+                    acc1 = _mm256_add_epi64(acc1, _mm256_mul_epi32(va, vb1));
+                    acc2 = _mm256_add_epi64(acc2, _mm256_mul_epi32(va, vb2));
+                    acc3 = _mm256_add_epi64(acc3, _mm256_mul_epi32(va, vb3));
+                }
+                let op = orow.as_mut_ptr().add(j);
+                _mm256_storeu_si256(op as *mut __m256i, acc0);
+                _mm256_storeu_si256(op.add(4) as *mut __m256i, acc1);
+                _mm256_storeu_si256(op.add(8) as *mut __m256i, acc2);
+                _mm256_storeu_si256(op.add(12) as *mut __m256i, acc3);
+                j += 16;
+            }
+            for jj in j..n {
+                let mut acc = 0i64;
+                for (p, &aval) in arow.iter().enumerate() {
+                    if aval == 0 {
+                        continue;
+                    }
+                    acc += aval as i64 * b[p * n + jj] as i64;
+                }
+                orow[jj] = acc;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn gemm_f32_fma(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        gemm_f32_impl::<true>(m, k, n, a, b, out);
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn gemm_f32(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        gemm_f32_impl::<false>(m, k, n, a, b, out);
+    }
+
+    /// Shared f32 strip kernel; `FMA` selects fused multiply-add. Inlined
+    /// into the two `#[target_feature]` wrappers above so each gets compiled
+    /// with its own feature set.
+    #[inline(always)]
+    unsafe fn gemm_f32_impl<const FMA: bool>(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+    ) {
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            let mut j = 0usize;
+            while j + 32 <= n {
+                let mut acc0 = _mm256_setzero_ps();
+                let mut acc1 = _mm256_setzero_ps();
+                let mut acc2 = _mm256_setzero_ps();
+                let mut acc3 = _mm256_setzero_ps();
+                for (p, &aval) in arow.iter().enumerate() {
+                    if aval == 0.0 {
+                        continue;
+                    }
+                    let va = _mm256_set1_ps(aval);
+                    let bp = b.as_ptr().add(p * n + j);
+                    let vb0 = _mm256_loadu_ps(bp);
+                    let vb1 = _mm256_loadu_ps(bp.add(8));
+                    let vb2 = _mm256_loadu_ps(bp.add(16));
+                    let vb3 = _mm256_loadu_ps(bp.add(24));
+                    if FMA {
+                        acc0 = _mm256_fmadd_ps(va, vb0, acc0);
+                        acc1 = _mm256_fmadd_ps(va, vb1, acc1);
+                        acc2 = _mm256_fmadd_ps(va, vb2, acc2);
+                        acc3 = _mm256_fmadd_ps(va, vb3, acc3);
+                    } else {
+                        acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(va, vb0));
+                        acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(va, vb1));
+                        acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(va, vb2));
+                        acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(va, vb3));
+                    }
+                }
+                let op = orow.as_mut_ptr().add(j);
+                _mm256_storeu_ps(op, acc0);
+                _mm256_storeu_ps(op.add(8), acc1);
+                _mm256_storeu_ps(op.add(16), acc2);
+                _mm256_storeu_ps(op.add(24), acc3);
+                j += 32;
+            }
+            for jj in j..n {
+                let mut acc = 0.0f32;
+                for (p, &aval) in arow.iter().enumerate() {
+                    if aval == 0.0 {
+                        continue;
+                    }
+                    acc += aval * b[p * n + jj];
+                }
+                orow[jj] = acc;
+            }
+        }
+    }
+}
+
+/// Runtime-detected SIMD kernels: AVX2 on x86_64 hosts that report it, the
+/// portable [`unrolled_rows`] fallback everywhere else. Integer kernels are
+/// bit-exact; f32 is the declared fast-f32 tier (module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Simd;
+
+impl GemmBackend for Simd {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+    fn gemm_f32(
+        &self,
+        _: &ExecContext,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if avx2::try_gemm_f32(m, k, n, a, b, out) {
+            return;
+        }
+        unrolled_rows::<F32Gemm>(a, b, k, n, 0, m, out);
+    }
+    fn gemm_i32(
+        &self,
+        _: &ExecContext,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[i32],
+        b: &[i32],
+        out: &mut [i64],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if avx2::try_gemm_i32(m, k, n, a, b, out) {
+            return;
+        }
+        unrolled_rows::<I32Gemm>(a, b, k, n, 0, m, out);
+    }
+    fn gemm_u8i8(
+        &self,
+        _: &ExecContext,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[u8],
+        b: &[i8],
+        out: &mut [i64],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if avx2::try_gemm_u8i8(m, k, n, a, b, out) {
+            return;
+        }
+        unrolled_rows::<U8I8Gemm>(a, b, k, n, 0, m, out);
+    }
+}
+
+/// Columns per packed panel (the microkernel's register-block width).
+pub const PACK_NR: usize = 16;
+
+/// The B matrix of a GEMM re-laid into column panels of [`PACK_NR`]: panel
+/// `pj` holds columns `pj*NR .. pj*NR+NR` contiguously per reduction step
+/// (`k × NR`, zero-padded in the last panel), so the microkernel streams B
+/// linearly regardless of `n`.
+///
+/// Packing is a pure, deterministic relayout — computing through a pack is
+/// bit-identical to the unpacked kernels for every element type. Build one
+/// with [`PackedRhs::pack`] and reuse it across calls; the serve stack
+/// caches one pack per layer for the lifetime of a serving session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedRhs<T> {
+    k: usize,
+    n: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> PackedRhs<T> {
+    /// Packs a row-major `k × n` matrix into column panels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `b.len() != k * n`.
+    pub fn pack(k: usize, n: usize, b: &[T]) -> Self {
+        assert_eq!(
+            b.len(),
+            k * n,
+            "pack: rhs is {} elements, expected {k} x {n}",
+            b.len()
+        );
+        let panels = n.div_ceil(PACK_NR);
+        let mut data = vec![T::default(); panels * k * PACK_NR];
+        for pj in 0..panels {
+            let j0 = pj * PACK_NR;
+            let width = PACK_NR.min(n - j0);
+            let base = pj * k * PACK_NR;
+            for p in 0..k {
+                for l in 0..width {
+                    data[base + p * PACK_NR + l] = b[p * n + j0 + l];
+                }
+            }
+        }
+        PackedRhs { k, n, data }
+    }
+}
+
+impl<T> PackedRhs<T> {
+    /// Reduction dimension of the packed matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Column count of the packed matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+/// The register-blocked microkernel over packed panels: 2 rows × [`PACK_NR`]
+/// columns of accumulators live across the whole reduction, B streams
+/// linearly from the panel. Each output element still accumulates in
+/// ascending-`k` order with the shared zero-skip rule, so results are
+/// bit-exact with [`naive_rows`] for every element type including f32.
+fn packed_rows<E: GemmElems>(
+    a: &[E::Lhs],
+    pack: &PackedRhs<E::Rhs>,
+    k: usize,
+    n: usize,
+    row_start: usize,
+    nrows: usize,
+    out: &mut [E::Acc],
+) {
+    let panels = n.div_ceil(PACK_NR);
+    for pj in 0..panels {
+        let j0 = pj * PACK_NR;
+        let width = PACK_NR.min(n - j0);
+        let pdata = &pack.data[pj * k * PACK_NR..(pj + 1) * k * PACK_NR];
+        let mut i = 0usize;
+        while i + 2 <= nrows {
+            let ar0 = &a[(row_start + i) * k..(row_start + i) * k + k];
+            let ar1 = &a[(row_start + i + 1) * k..(row_start + i + 1) * k + k];
+            let mut acc = [[E::Acc::default(); PACK_NR]; 2];
+            for p in 0..k {
+                let bl = &pdata[p * PACK_NR..(p + 1) * PACK_NR];
+                let a0 = ar0[p];
+                let a1 = ar1[p];
+                let z0 = E::is_zero(a0);
+                let z1 = E::is_zero(a1);
+                // One fused pass over the panel row when both rows are live:
+                // the common dense case loads each B lane once for two MACs.
+                if !z0 && !z1 {
+                    for l in 0..PACK_NR {
+                        E::mac(&mut acc[0][l], a0, bl[l]);
+                        E::mac(&mut acc[1][l], a1, bl[l]);
+                    }
+                } else if !z0 {
+                    for l in 0..PACK_NR {
+                        E::mac(&mut acc[0][l], a0, bl[l]);
+                    }
+                } else if !z1 {
+                    for l in 0..PACK_NR {
+                        E::mac(&mut acc[1][l], a1, bl[l]);
+                    }
+                }
+            }
+            for l in 0..width {
+                out[i * n + j0 + l] = acc[0][l];
+                out[(i + 1) * n + j0 + l] = acc[1][l];
+            }
+            i += 2;
+        }
+        if i < nrows {
+            let ar0 = &a[(row_start + i) * k..(row_start + i) * k + k];
+            let mut acc = [E::Acc::default(); PACK_NR];
+            for p in 0..k {
+                let bl = &pdata[p * PACK_NR..(p + 1) * PACK_NR];
+                let a0 = ar0[p];
+                if !E::is_zero(a0) {
+                    for l in 0..PACK_NR {
+                        E::mac(&mut acc[l], a0, bl[l]);
+                    }
+                }
+            }
+            for l in 0..width {
+                out[i * n + j0 + l] = acc[l];
+            }
+        }
+    }
+}
+
+/// Packs B per call, then runs the register-blocked microkernel over the
+/// panels. Bit-exact for every element type. Callers that reuse the same B
+/// across many GEMMs should pack once via [`PackedRhs::pack`] and use
+/// [`ExecContext::gemm_u8i8_prepacked`] instead, which skips the per-call
+/// pack entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Packed;
+
+impl GemmBackend for Packed {
+    fn name(&self) -> &'static str {
+        "packed"
+    }
+    fn gemm_f32(
+        &self,
+        _: &ExecContext,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+    ) {
+        let pack = PackedRhs::pack(k, n, b);
+        packed_rows::<F32Gemm>(a, &pack, k, n, 0, m, out);
+    }
+    fn gemm_i32(
+        &self,
+        _: &ExecContext,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[i32],
+        b: &[i32],
+        out: &mut [i64],
+    ) {
+        let pack = PackedRhs::pack(k, n, b);
+        packed_rows::<I32Gemm>(a, &pack, k, n, 0, m, out);
+    }
+    fn gemm_u8i8(
+        &self,
+        _: &ExecContext,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[u8],
+        b: &[i8],
+        out: &mut [i64],
+    ) {
+        let pack = PackedRhs::pack(k, n, b);
+        packed_rows::<U8I8Gemm>(a, &pack, k, n, 0, m, out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -710,6 +1300,8 @@ mod tests {
             GemmBackendKind::Naive,
             GemmBackendKind::Blocked,
             GemmBackendKind::Parallel,
+            GemmBackendKind::Simd,
+            GemmBackendKind::Packed,
         ] {
             for threads in [1usize, 2, 8] {
                 ctxs.push(ExecContext::new(ExecConfig {
@@ -729,6 +1321,8 @@ mod tests {
             GemmBackendKind::Naive,
             GemmBackendKind::Blocked,
             GemmBackendKind::Parallel,
+            GemmBackendKind::Simd,
+            GemmBackendKind::Packed,
         ] {
             assert_eq!(GemmBackendKind::parse(kind.name()), Some(kind));
         }
@@ -736,7 +1330,7 @@ mod tests {
             GemmBackendKind::parse("NAIVE"),
             Some(GemmBackendKind::Naive)
         );
-        assert_eq!(GemmBackendKind::parse("simd"), None);
+        assert_eq!(GemmBackendKind::parse("avx512"), None);
         assert_eq!(GemmBackendKind::default(), GemmBackendKind::Parallel);
     }
 
@@ -769,10 +1363,69 @@ mod tests {
         ExecContext::sequential().gemm_f32(m, k, n, &a, &b, &mut reference);
         let ref_bits: Vec<u32> = reference.iter().map(|v| v.to_bits()).collect();
         for ctx in all_contexts() {
+            // Simd f32 is the declared fast-f32 tier (reassociated lanes),
+            // covered by its own tolerance test below; every other backend
+            // stays bit-exact.
+            if ctx.config().backend == GemmBackendKind::Simd {
+                continue;
+            }
             let mut out = vec![0.0_f32; m * n];
             ctx.gemm_f32(m, k, n, &a, &b, &mut out);
             let bits: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
             assert_eq!(bits, ref_bits, "ctx {:?}", ctx.config());
+        }
+    }
+
+    #[test]
+    fn simd_f32_stays_within_declared_tolerance() {
+        // Shapes chosen to exercise the 32-wide strip and the scalar tail.
+        for (m, k, n) in [(9, 33, 7), (4, 17, 40), (3, 64, 37)] {
+            let a: Vec<f32> = sample_i32(m, k, 3)
+                .iter()
+                .map(|&v| v as f32 * 0.37)
+                .collect();
+            let b: Vec<f32> = sample_i32(k, n, 4)
+                .iter()
+                .map(|&v| v as f32 * 0.11)
+                .collect();
+            let mut reference = vec![0.0_f32; m * n];
+            ExecContext::sequential().gemm_f32(m, k, n, &a, &b, &mut reference);
+            let ctx = ExecContext::new(ExecConfig {
+                backend: GemmBackendKind::Simd,
+                ..ExecConfig::sequential()
+            });
+            let mut out = vec![0.0_f32; m * n];
+            ctx.gemm_f32(m, k, n, &a, &b, &mut out);
+            for (idx, (&got, &want)) in out.iter().zip(reference.iter()).enumerate() {
+                // Declared fast-f32 tier: 1e-5 relative to the l1 magnitude
+                // of the reduction (robust under cancellation).
+                let (i, j) = (idx / n, idx % n);
+                let scale: f32 = (0..k).map(|p| (a[i * k + p] * b[p * n + j]).abs()).sum();
+                let tol = 1e-5_f32 * scale.max(1.0);
+                assert!(
+                    (got - want).abs() <= tol,
+                    "element {idx}: {got} vs {want} ({m}x{k}x{n})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_u8i8_matches_unpacked() {
+        let (m, k, n) = (7, 23, 19);
+        let a: Vec<u8> = sample_i32(m, k, 9)
+            .iter()
+            .map(|&v| v.unsigned_abs() as u8)
+            .collect();
+        let b: Vec<i8> = sample_i32(k, n, 10).iter().map(|&v| v as i8).collect();
+        let mut reference = vec![0_i64; m * n];
+        ExecContext::sequential().gemm_u8i8(m, k, n, &a, &b, &mut reference);
+        let pack = PackedRhs::pack(k, n, &b);
+        assert_eq!((pack.k(), pack.n()), (k, n));
+        for ctx in all_contexts() {
+            let mut out = vec![0_i64; m * n];
+            ctx.gemm_u8i8_prepacked(m, &a, &pack, &mut out);
+            assert_eq!(out, reference, "ctx {:?}", ctx.config());
         }
     }
 

@@ -15,8 +15,9 @@
 //!   the im2col / col2im lowering used to express convolutions as GEMMs,
 //! * [`exec`] — the workspace-wide execution layer: [`exec::ExecContext`]
 //!   (deterministic worker pool + tile configuration) and the
-//!   [`exec::GemmBackend`] kernels (`Naive`, `Blocked`, `Parallel`) every
-//!   hot loop nest runs through,
+//!   [`exec::GemmBackend`] kernels (`Naive`, `Blocked`, `Parallel`,
+//!   runtime-detected `Simd`, panel-packing `Packed`) every hot loop nest
+//!   runs through,
 //! * [`random`] — reproducible synthesis of bell-shaped (Gaussian / Laplace)
 //!   value distributions with controllable sparsity, used to calibrate the
 //!   synthetic model zoo (see `nbsmt-workloads`),
@@ -39,7 +40,12 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide. The single sanctioned exception is the
+// AVX2 kernel module in `exec`, which opts back in with a scoped
+// `#[allow(unsafe_code)]`: every unsafe function there is `#[target_feature]`
+// and only reachable through safe wrappers that verify the feature with
+// `is_x86_feature_detected!` first.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;
@@ -51,7 +57,7 @@ pub mod tensor;
 pub mod validate;
 
 pub use error::TensorError;
-pub use exec::{ExecConfig, ExecContext, GemmBackend, GemmBackendKind};
+pub use exec::{ExecConfig, ExecContext, GemmBackend, GemmBackendKind, PackedRhs};
 pub use shape::Shape;
 pub use tensor::Tensor;
 pub use validate::{ExecConfigError, Validate};
