@@ -7,6 +7,7 @@
 pub mod accuracy;
 pub mod faults_exp;
 pub mod hw_exp;
+pub mod obs_exp;
 pub mod registry;
 pub mod serve_exp;
 pub mod zoo_exp;

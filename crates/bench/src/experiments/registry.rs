@@ -36,6 +36,7 @@ use crate::experiments::accuracy::{
 };
 use crate::experiments::faults_exp::{faults_summary, faults_sweep_with, FaultKnobs};
 use crate::experiments::hw_exp::table2_rows;
+use crate::experiments::obs_exp::ObsBench;
 use crate::experiments::serve_exp::{
     serve_summary, serve_sweep_with, shard_summary, shard_sweep_with,
 };
@@ -45,6 +46,7 @@ use crate::experiments::zoo_exp::{
 };
 use crate::spec::{ParamKey, RunSpec, SpecError};
 use crate::summary::BenchSummary;
+use crate::trace_export::{render_chrome_trace, stage_summary};
 
 /// Writes a line into the sink, ignoring the (infallible in both sink
 /// variants) formatter result.
@@ -266,6 +268,7 @@ impl ExperimentRegistry {
         registry.register(Box::new(Serve));
         registry.register(Box::new(Shard));
         registry.register(Box::new(Faults));
+        registry.register(Box::new(Obs));
         registry
     }
 
@@ -348,7 +351,7 @@ impl ExperimentRegistry {
              \x20 --spec <path>        load a RunSpec JSON file (see examples/specs/)\n\
              \x20 --set <key>=<value>  override one spec key: scale, seed, threads, backend,\n\
              \x20                      requests, replicas, fault_seed, crash_per_mille,\n\
-             \x20                      stall_per_mille, straggle_per_mille, hedging\n\
+             \x20                      stall_per_mille, straggle_per_mille, hedging, trace.path\n\
              \x20                      (repeatable, applied in order)\n\
              \x20 --dump-spec          print the resolved spec as JSON and exit without running\n\
              \x20 --full               shorthand for --set scale=full\n\
@@ -1506,6 +1509,128 @@ impl Experiment for Faults {
     }
 }
 
+struct Obs;
+
+impl Experiment for Obs {
+    fn name(&self) -> &'static str {
+        "obs"
+    }
+
+    fn describe(&self) -> ExperimentInfo {
+        ExperimentInfo {
+            description:
+                "tracing overhead: recorder on vs off on one seeded pool run → BENCH_obs.json (explicit only)",
+            params: &[ParamKey::Requests, ParamKey::Trace],
+            writes: Some("BENCH_obs.json"),
+            in_all: false,
+        }
+    }
+
+    fn default_spec(&self) -> RunSpec {
+        let mut spec = RunSpec::defaults(self.name());
+        spec.requests = Some(96);
+        spec
+    }
+
+    fn run(&self, spec: &RunSpec, sink: &mut SummarySink) -> Result<RunReport, ExperimentError> {
+        let defaults = self.default_spec();
+        let requests = spec
+            .requests
+            .or(defaults.requests)
+            .expect("default_spec sets requests");
+        out!(
+            sink,
+            "## obs — tracing overhead (recorder on vs off, {requests} requests, 2 replicas)\n"
+        );
+        out!(
+            sink,
+            "Training SynthNet and compiling the dense/2T/4T ladder…\n"
+        );
+        let bench = ObsBench::prepare(spec.scale, &spec.exec, requests, spec.seed);
+        let iters = match spec.scale {
+            crate::Scale::Quick => 5,
+            crate::Scale::Full => 10,
+        };
+        let backend = spec.exec.backend.name();
+        // One untimed pass per cell warms the allocator, the weight-pack
+        // caches, and the branch predictors — without it the first measured
+        // cell eats the cold-start cost and the overhead number is noise.
+        bench.run_off();
+        bench.run_traced();
+        let mut summary = BenchSummary::new();
+        let off_ns = summary
+            .measure(
+                &format!("obs_recorder_off_n{requests}"),
+                spec.exec.threads,
+                backend,
+                0,
+                iters,
+                || {
+                    bench.run_off();
+                },
+            )
+            .mean_ns;
+        let on_ns = summary
+            .measure(
+                &format!("obs_recorder_on_n{requests}"),
+                spec.exec.threads,
+                backend,
+                0,
+                iters,
+                || {
+                    bench.run_traced();
+                },
+            )
+            .mean_ns;
+        let overhead = (on_ns - off_ns) / off_ns * 100.0;
+        out!(
+            sink,
+            "recorder off: {:.2} ms/run   recorder on: {:.2} ms/run   overhead: {:+.1}%",
+            off_ns / 1e6,
+            on_ns / 1e6,
+            overhead
+        );
+        // The traced replay is also the determinism check: two runs of the
+        // same seeded workload must export byte-identical Chrome traces.
+        let (outcome, snapshot) = bench.run_traced();
+        let rendered = render_chrome_trace(&snapshot);
+        let (_, again) = bench.run_traced();
+        assert_eq!(
+            rendered,
+            render_chrome_trace(&again),
+            "traced replays must export byte-identical traces"
+        );
+        out!(
+            sink,
+            "trace: {} events, {} dropped, {} requests completed; byte-identical across replays\n",
+            snapshot.events.len(),
+            snapshot.dropped,
+            outcome.metrics.completed
+        );
+        out!(sink, "{}", stage_summary(&snapshot).trim_end());
+        let mut report = RunReport::new(self.name());
+        report.cells = 2;
+        if sink.persists() {
+            if let Some(trace_path) = &spec.trace {
+                let path = Path::new(trace_path);
+                std::fs::write(path, &rendered).map_err(|e| ExperimentError::io(path, &e))?;
+                out!(
+                    sink,
+                    "\nwrote {} (Chrome trace-event format)",
+                    path.display()
+                );
+            }
+            let path = Path::new("BENCH_obs.json");
+            summary
+                .write(path)
+                .map_err(|e| ExperimentError::io(path, &e))?;
+            out!(sink, "\nwrote {} (merged by record name)", path.display());
+            report.summaries.push(path.to_path_buf());
+        }
+        Ok(report)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1534,6 +1659,7 @@ mod tests {
                 "serve",
                 "shard",
                 "faults",
+                "obs",
             ]
         );
         assert!(registry.contains(ALL));
@@ -1553,7 +1679,7 @@ mod tests {
                 experiment.name()
             );
         }
-        for name in ["gemmbench", "serve", "shard", "faults"] {
+        for name in ["gemmbench", "serve", "shard", "faults", "obs"] {
             assert!(!registry.get(name).expect("registered").describe().in_all);
         }
     }
@@ -1576,6 +1702,9 @@ mod tests {
         assert_eq!(faults.fault_seed, Some(7));
         assert_eq!(faults.crash_per_mille, Some(30));
         assert_eq!(faults.hedging, Some(true));
+        let obs = registry.default_spec("obs").expect("registered");
+        assert_eq!(obs.requests, Some(96));
+        assert_eq!(obs.trace, None);
         assert_eq!(
             registry.default_spec(ALL).expect("composite").experiment,
             ALL
@@ -1608,6 +1737,7 @@ mod tests {
             "| `faults` | `requests`, `fault_seed`, `crash_per_mille`, `stall_per_mille`, \
              `straggle_per_mille`, `hedging` | `BENCH_faults.json` | no |"
         ));
+        assert!(table.contains("| `obs` | `requests`, `trace.path` | `BENCH_obs.json` | no |"));
         assert!(table.contains("| `table1` | — | — | yes |"));
     }
 

@@ -24,6 +24,7 @@ pub mod loadgen;
 pub mod scale;
 pub mod spec;
 pub mod summary;
+pub mod trace_export;
 
 pub use engine::{NbSmtEngine, NbSmtEngineConfig};
 pub use experiments::registry::{
@@ -33,3 +34,4 @@ pub use json::Json;
 pub use scale::{ExecSettings, Scale};
 pub use spec::{ParamKey, RunSpec, SpecError};
 pub use summary::{BenchRecord, BenchSummary, ServeRecord, ServeSummary};
+pub use trace_export::{chrome_trace, render_chrome_trace, stage_summary};

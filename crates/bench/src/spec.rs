@@ -55,6 +55,8 @@ pub enum ParamKey {
     StragglePerMille,
     /// `hedging` — whether the countermeasure client hedges stragglers.
     Hedging,
+    /// `trace.path` — file the exported Chrome-trace JSON is written to.
+    Trace,
 }
 
 impl ParamKey {
@@ -68,6 +70,7 @@ impl ParamKey {
             ParamKey::StallPerMille => "stall_per_mille",
             ParamKey::StragglePerMille => "straggle_per_mille",
             ParamKey::Hedging => "hedging",
+            ParamKey::Trace => "trace.path",
         }
     }
 }
@@ -104,6 +107,10 @@ pub struct RunSpec {
     /// Whether the countermeasure client hedges stragglers
     /// ([`ParamKey::Hedging`]).
     pub hedging: Option<bool>,
+    /// File the exported Chrome-trace JSON is written to
+    /// ([`ParamKey::Trace`]; rendered as a nested `{"trace": {"path": …}}`
+    /// object, mirroring `exec`).
+    pub trace: Option<String>,
 }
 
 impl RunSpec {
@@ -123,6 +130,7 @@ impl RunSpec {
             stall_per_mille: None,
             straggle_per_mille: None,
             hedging: None,
+            trace: None,
         }
     }
 
@@ -169,6 +177,9 @@ impl RunSpec {
         }
         if let Some(hedging) = self.hedging {
             fields.push(("hedging".to_string(), Json::Bool(hedging)));
+        }
+        if let Some(path) = &self.trace {
+            fields.push(("trace".to_string(), Json::obj([("path", Json::str(path))])));
         }
         Json::Obj(fields)
     }
@@ -276,6 +287,22 @@ impl RunSpec {
                             .ok_or_else(|| SpecError::bad("hedging", "expected true or false"))?,
                     );
                 }
+                "trace" => {
+                    let Json::Obj(trace_fields) = value else {
+                        return Err(SpecError::bad("trace", "expected an object"));
+                    };
+                    for (trace_key, trace_value) in trace_fields {
+                        match trace_key.as_str() {
+                            "path" => {
+                                let path = trace_value.as_str().ok_or_else(|| {
+                                    SpecError::bad("trace.path", "expected a string")
+                                })?;
+                                spec.trace = Some(path.to_string());
+                            }
+                            other => return Err(SpecError::UnknownField(format!("trace.{other}"))),
+                        }
+                    }
+                }
                 "replicas" => {
                     let items = value
                         .as_arr()
@@ -373,6 +400,9 @@ impl RunSpec {
                     }
                 });
             }
+            "trace.path" => {
+                self.trace = Some(value.to_string());
+            }
             other => return Err(SpecError::UnknownKey(other.to_string())),
         }
         Ok(())
@@ -402,6 +432,9 @@ impl RunSpec {
         }
         if self.hedging.is_some() {
             keys.push(ParamKey::Hedging);
+        }
+        if self.trace.is_some() {
+            keys.push(ParamKey::Trace);
         }
         keys
     }
@@ -499,6 +532,9 @@ impl Validate for RunSpec {
                 ));
             }
         }
+        if self.trace.as_deref() == Some("") {
+            return Err(SpecError::bad("trace.path", "must not be empty"));
+        }
         Ok(())
     }
 }
@@ -565,7 +601,7 @@ impl std::fmt::Display for SpecError {
                     f,
                     "unknown spec key '{key}' (known keys: scale, seed, threads, backend, \
                      requests, replicas, fault_seed, crash_per_mille, stall_per_mille, \
-                     straggle_per_mille, hedging)"
+                     straggle_per_mille, hedging, trace.path)"
                 )
             }
             SpecError::KeyNotAccepted { experiment, key } => write!(
@@ -792,6 +828,41 @@ mod tests {
             RunSpec::parse(r#"{"experiment": "faults", "hedging": 1}"#),
             Err(SpecError::Bad { .. })
         ));
+    }
+
+    #[test]
+    fn trace_param_round_trips_and_validates() {
+        let mut spec = RunSpec::defaults("obs");
+        spec.trace = Some("out/trace.json".to_string());
+        assert_eq!(spec.validate(), Ok(()));
+        // Renders as a nested object, mirroring exec.
+        let text = spec.render();
+        assert!(text.contains("\"trace\""));
+        assert!(text.contains("\"path\": \"out/trace.json\""));
+        let back = RunSpec::parse(&text).expect("parses");
+        assert_eq!(back, spec);
+        assert_eq!(back.params_set(), vec![ParamKey::Trace]);
+        // --set reaches the same field through the dotted key.
+        let mut from_set = RunSpec::defaults("obs");
+        from_set.set("trace.path", "out/trace.json").unwrap();
+        assert_eq!(from_set, spec);
+        // Unknown nested fields and non-string paths are typed errors.
+        assert_eq!(
+            RunSpec::parse(r#"{"experiment": "obs", "trace": {"pth": "x"}}"#),
+            Err(SpecError::UnknownField("trace.pth".to_string()))
+        );
+        assert!(matches!(
+            RunSpec::parse(r#"{"experiment": "obs", "trace": {"path": 3}}"#),
+            Err(SpecError::Bad { .. })
+        ));
+        assert!(matches!(
+            RunSpec::parse(r#"{"experiment": "obs", "trace": "x"}"#),
+            Err(SpecError::Bad { .. })
+        ));
+        // An empty path is rejected at validation.
+        let mut bad = RunSpec::defaults("obs");
+        bad.trace = Some(String::new());
+        assert!(matches!(bad.validate(), Err(SpecError::Bad { .. })));
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! Chrome trace-event export and per-stage summaries for serving traces.
+//!
+//! Converts a [`TraceSnapshot`] (the canonically ordered view of a
+//! [`nbsmt_serve::TraceRecorder`]) into the Chrome trace-event JSON format —
+//! loadable in `chrome://tracing` or Perfetto — through the same hand-rolled
+//! [`crate::json`] writer every other artifact in this crate uses. Spans
+//! (queue wait, batch, kernel, service) become `"ph": "X"` duration events;
+//! submit/respond markers become `"ph": "i"` instants. `pid` is always 0 and
+//! `tid` is the replica index, so each replica renders as its own track.
+//!
+//! Determinism rides on two facts: the snapshot is canonically sorted (worker
+//! interleaving never changes event order), and every number the exporter
+//! emits is either an integer or an exact IEEE division by 1000 (ns → µs).
+//! Identical snapshots therefore render to byte-identical strings —
+//! the property the lockstep-vs-simulator trace tests assert.
+//!
+//! [`stage_summary`] is the human end of the same data: a fixed-width text
+//! table with per-stage event counts and p50/p95/p99 durations.
+
+use nbsmt_serve::TraceEvent;
+use nbsmt_serve::{LatencyHistogram, TraceSnapshot, TraceStage};
+
+use crate::json::Json;
+
+/// Every pipeline stage in rank order — the row order of [`stage_summary`].
+pub const ALL_STAGES: [TraceStage; 6] = [
+    TraceStage::Submit,
+    TraceStage::QueueWait,
+    TraceStage::Batch,
+    TraceStage::Kernel,
+    TraceStage::Service,
+    TraceStage::Respond,
+];
+
+/// Converts a snapshot to a Chrome trace-event document.
+///
+/// The returned object has the standard `traceEvents` array plus an
+/// `otherData` block carrying the recorder's `dropped` count and ring
+/// `capacity`, so a viewer (or the CI smoke test) can tell whether the trace
+/// is complete.
+pub fn chrome_trace(snapshot: &TraceSnapshot) -> Json {
+    let events: Vec<Json> = snapshot.events.iter().map(event_json).collect();
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ns")),
+        (
+            "otherData",
+            Json::obj([
+                ("dropped", Json::Num(snapshot.dropped as f64)),
+                ("capacity", Json::Num(snapshot.capacity as f64)),
+            ]),
+        ),
+    ])
+}
+
+/// Renders a snapshot as Chrome trace-event JSON text (ends with a newline,
+/// like every file [`crate::json`] writes). Identical snapshots render to
+/// byte-identical strings.
+pub fn render_chrome_trace(snapshot: &TraceSnapshot) -> String {
+    chrome_trace(snapshot).render()
+}
+
+fn event_json(event: &TraceEvent) -> Json {
+    // Chrome's ts/dur are microseconds; dividing integer nanoseconds by
+    // 1000.0 is one deterministic IEEE operation, so equal events always
+    // serialize equally.
+    let mut fields = vec![
+        ("name".to_string(), Json::str(event.stage.name())),
+        (
+            "ph".to_string(),
+            Json::str(if event.stage.is_instant() { "i" } else { "X" }),
+        ),
+        ("ts".to_string(), Json::Num(event.start_ns as f64 / 1000.0)),
+    ];
+    if event.stage.is_instant() {
+        // Thread-scoped instant: renders as a marker on the replica track.
+        fields.push(("s".to_string(), Json::str("t")));
+    } else {
+        fields.push(("dur".to_string(), Json::Num(event.dur_ns as f64 / 1000.0)));
+    }
+    fields.push(("pid".to_string(), Json::Num(0.0)));
+    fields.push(("tid".to_string(), Json::Num(event.replica as f64)));
+    let mut args: Vec<(String, Json)> = Vec::new();
+    if let Some(request) = event.request {
+        args.push(("request".to_string(), Json::Num(request as f64)));
+    }
+    if let Some(batch) = event.batch {
+        args.push(("batch".to_string(), Json::Num(batch as f64)));
+    }
+    if let Some(mode) = event.mode {
+        args.push(("mode".to_string(), Json::Num(mode as f64)));
+    }
+    if let Some(layer) = event.layer {
+        args.push(("layer".to_string(), Json::Num(layer as f64)));
+    }
+    if let Some(size) = event.batch_size {
+        args.push(("batch_size".to_string(), Json::Num(size as f64)));
+    }
+    if let Some(stats) = &event.stats {
+        args.push(("pe_cycles".to_string(), Json::Num(stats.cycles as f64)));
+        args.push((
+            "pe_busy_cycles".to_string(),
+            Json::Num(stats.busy_cycles as f64),
+        ));
+        args.push((
+            "pe_collision_cycles".to_string(),
+            Json::Num(stats.collision_cycles as f64),
+        ));
+        args.push((
+            "pe_reduced_thread_slots".to_string(),
+            Json::Num(stats.reduced_thread_slots as f64),
+        ));
+        args.push((
+            "pe_active_thread_slots".to_string(),
+            Json::Num(stats.active_thread_slots as f64),
+        ));
+    }
+    if !args.is_empty() {
+        fields.push(("args".to_string(), Json::Obj(args)));
+    }
+    Json::Obj(fields)
+}
+
+/// A fixed-width per-stage breakdown: event count and p50/p95/p99 span
+/// durations (µs) for every stage present in the snapshot, plus a drop
+/// warning when the ring overflowed. Instant stages (submit, respond) report
+/// counts only — their durations are zero by construction.
+pub fn stage_summary(snapshot: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>8} {:>12} {:>12} {:>12}\n",
+        "stage", "events", "p50_us", "p95_us", "p99_us"
+    ));
+    for stage in ALL_STAGES {
+        let mut hist = LatencyHistogram::new();
+        for event in snapshot.events.iter().filter(|e| e.stage == stage) {
+            hist.record(event.dur_ns);
+        }
+        if hist.count() == 0 {
+            continue;
+        }
+        if stage.is_instant() {
+            out.push_str(&format!(
+                "{:<12} {:>8} {:>12} {:>12} {:>12}\n",
+                stage.name(),
+                hist.count(),
+                "-",
+                "-",
+                "-"
+            ));
+        } else {
+            out.push_str(&format!(
+                "{:<12} {:>8} {:>12.1} {:>12.1} {:>12.1}\n",
+                stage.name(),
+                hist.count(),
+                hist.quantile(0.50) as f64 / 1000.0,
+                hist.quantile(0.95) as f64 / 1000.0,
+                hist.quantile(0.99) as f64 / 1000.0,
+            ));
+        }
+    }
+    if snapshot.dropped > 0 {
+        out.push_str(&format!(
+            "warning: ring dropped {} events (capacity {})\n",
+            snapshot.dropped, snapshot.capacity
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbsmt_serve::{TraceEvent, TraceRecorder};
+
+    fn sample_snapshot() -> TraceSnapshot {
+        let rec = TraceRecorder::virtual_clock();
+        rec.record(TraceEvent::new(TraceStage::Submit, 0, 0, 0).request(7));
+        rec.record(
+            TraceEvent::new(TraceStage::Batch, 0, 100, 900)
+                .batch(1)
+                .mode(2)
+                .batch_size(3),
+        );
+        rec.record(
+            TraceEvent::new(TraceStage::Kernel, 0, 100, 400)
+                .batch(1)
+                .mode(2)
+                .layer(0)
+                .stats(nbsmt_core::pe::PeStats {
+                    cycles: 10,
+                    busy_cycles: 8,
+                    collision_cycles: 2,
+                    reduced_thread_slots: 1,
+                    active_thread_slots: 9,
+                }),
+        );
+        rec.record(
+            TraceEvent::new(TraceStage::QueueWait, 0, 0, 100)
+                .request(7)
+                .batch(1),
+        );
+        rec.record(
+            TraceEvent::new(TraceStage::Service, 0, 100, 900)
+                .request(7)
+                .batch(1)
+                .mode(2),
+        );
+        rec.record(
+            TraceEvent::new(TraceStage::Respond, 0, 1000, 0)
+                .request(7)
+                .batch(1),
+        );
+        rec.snapshot()
+    }
+
+    #[test]
+    fn chrome_trace_has_spans_instants_and_metadata() {
+        let doc = chrome_trace(&sample_snapshot());
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 6);
+        // Instants carry a scope but no duration; spans the reverse.
+        for event in events {
+            let ph = event.get("ph").unwrap().as_str().unwrap();
+            match ph {
+                "i" => {
+                    assert!(event.get("s").is_some());
+                    assert!(event.get("dur").is_none());
+                }
+                "X" => {
+                    assert!(event.get("dur").is_some());
+                    assert!(event.get("s").is_none());
+                }
+                other => panic!("unexpected phase {other}"),
+            }
+            assert_eq!(event.get("pid").unwrap().as_u64(), Some(0));
+        }
+        // Kernel spans surface the PE counters in args.
+        let kernel = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("kernel"))
+            .unwrap();
+        let args = kernel.get("args").unwrap();
+        assert_eq!(args.get("pe_collision_cycles").unwrap().as_u64(), Some(2));
+        assert_eq!(args.get("layer").unwrap().as_u64(), Some(0));
+        // Recorder health is in otherData.
+        let other = doc.get("otherData").unwrap();
+        assert_eq!(other.get("dropped").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn identical_snapshots_render_identically() {
+        let a = render_chrome_trace(&sample_snapshot());
+        let b = render_chrome_trace(&sample_snapshot());
+        assert_eq!(a, b);
+        assert!(a.ends_with('\n'));
+        // And the rendered document is valid JSON by our own parser.
+        Json::parse(&a).expect("exported trace parses");
+    }
+
+    #[test]
+    fn stage_summary_lists_stages_and_drops() {
+        let mut snapshot = sample_snapshot();
+        let text = stage_summary(&snapshot);
+        for name in [
+            "submit",
+            "queue_wait",
+            "batch",
+            "kernel",
+            "service",
+            "respond",
+        ] {
+            assert!(text.contains(name), "summary is missing {name}: {text}");
+        }
+        assert!(!text.contains("warning"));
+        snapshot.dropped = 5;
+        let text = stage_summary(&snapshot);
+        assert!(text.contains("dropped 5 events"));
+    }
+}

@@ -12,6 +12,7 @@
 use std::sync::Arc;
 
 use nbsmt_bench::loadgen::{burst, closed_loop, open_poisson};
+use nbsmt_bench::render_chrome_trace;
 use nbsmt_serve::config::{
     AdaptivePolicy, BatchPolicy, PoolConfig, RoutePolicy, SchedulerConfig, SmtConfig,
 };
@@ -20,9 +21,10 @@ use nbsmt_serve::pool::{PoolSnapshot, ReplicaPool};
 use nbsmt_serve::registry::ModelRegistry;
 use nbsmt_serve::session::Session;
 use nbsmt_serve::sim::{
-    simulate, simulate_pool, simulate_pool_faulted, ArrivalProcess, PoolSimOutcome, ServiceModel,
-    SimOutcome,
+    simulate, simulate_pool, simulate_pool_faulted, simulate_pool_traced, ArrivalProcess,
+    PoolSimOutcome, ServiceModel, SimOutcome,
 };
+use nbsmt_serve::TraceRecorder;
 use nbsmt_tensor::exec::{ExecConfig, ExecContext, GemmBackendKind};
 use nbsmt_tensor::tensor::Tensor;
 use nbsmt_workloads::synthnet::quick_synthnet;
@@ -431,6 +433,98 @@ fn threaded_pool_and_simulator_agree_in_lockstep() {
             assert_eq!(
                 snapshot.total.mode_transitions,
                 sim.metrics.mode_transitions
+            );
+        }
+    }
+}
+
+/// The trace half of the lockstep contract: with a virtual-clock recorder
+/// attached, the lockstep [`ReplicaPool`] and [`simulate_pool_traced`] must
+/// export **byte-identical** Chrome traces for the same burst — every span's
+/// stage, timing, batch/mode/layer identity, and per-layer `PeStats` — for
+/// every replica count, host thread count, and GEMM backend. The canonical
+/// snapshot order is what makes worker interleaving invisible here.
+#[test]
+fn lockstep_pool_and_simulator_emit_byte_identical_traces() {
+    let fixture = fixture(97);
+    let n = fixture.inputs.len();
+    for replicas in [1usize, 2] {
+        let config = pool_config(replicas, RoutePolicy::RoundRobin);
+
+        let sim_recorder = TraceRecorder::virtual_clock();
+        let sim = simulate_pool_traced(
+            &ladder(&fixture),
+            &ExecContext::sequential(),
+            &fixture.inputs,
+            &burst(n),
+            config,
+            ServiceModel::default(),
+            None,
+            Some(&sim_recorder),
+        )
+        .expect("traced pool simulation succeeds");
+        assert_eq!(sim.metrics.completed, n as u64, "the burst fits the queues");
+        let sim_snapshot = sim_recorder.snapshot();
+        assert!(
+            sim_snapshot.events.iter().any(|e| e.stats.is_some()),
+            "kernel spans must surface PE stats"
+        );
+        let sim_trace = render_chrome_trace(&sim_snapshot);
+
+        for exec in [
+            ExecConfig {
+                threads: 1,
+                backend: GemmBackendKind::Naive,
+                ..ExecConfig::default()
+            },
+            ExecConfig {
+                threads: 8,
+                backend: GemmBackendKind::Naive,
+                ..ExecConfig::default()
+            },
+            ExecConfig {
+                threads: 4,
+                backend: GemmBackendKind::Blocked,
+                ..ExecConfig::default()
+            },
+        ] {
+            let mut pool = ReplicaPool::start_lockstep(
+                ladder(&fixture),
+                config,
+                exec,
+                true,
+                ServiceModel::default(),
+                &FaultPlan::none(),
+            )
+            .expect("lockstep pool starts");
+            let recorder = Arc::new(TraceRecorder::virtual_clock());
+            pool.set_recorder(recorder.clone());
+            let client = pool.client();
+            let handles: Vec<_> = fixture
+                .inputs
+                .iter()
+                .enumerate()
+                .map(|(i, input)| {
+                    client
+                        .submit(i as u64, input.clone())
+                        .expect("burst fits the queues")
+                })
+                .collect();
+            pool.resume();
+            for handle in handles {
+                let _ = handle
+                    .wait()
+                    .expect("not cancelled")
+                    .expect("no model error");
+            }
+            // Shutdown joins the workers, so every kernel span recorded
+            // outside the gate lock is in the ring before we snapshot.
+            let _ = pool.shutdown();
+            let pool_trace = render_chrome_trace(&recorder.snapshot());
+            assert_eq!(
+                pool_trace, sim_trace,
+                "exported traces diverged ({replicas} replicas, {} {}t)",
+                exec.backend, exec.threads
             );
         }
     }

@@ -81,6 +81,19 @@ fn gen_spec(rng: &mut StdRng) -> RunSpec {
     if rng.gen::<u64>() & 1 == 0 {
         spec.hedging = Some(rng.gen::<u64>() & 1 == 0);
     }
+    if rng.gen::<u64>() & 1 == 0 {
+        // Paths with separators, dots, and spaces must survive the JSON
+        // string escaping round trip.
+        spec.trace = Some(
+            [
+                "trace.json",
+                "out/trace.json",
+                "deep/nested/dir/t.json",
+                "with space.json",
+            ][rng.gen_range(0..4usize)]
+            .to_string(),
+        );
+    }
     spec
 }
 
@@ -419,7 +432,7 @@ fn every_committed_example_spec_parses_and_is_accepted() {
         );
     }
     assert!(
-        found >= 4,
+        found >= 5,
         "expected committed example specs, found {found}"
     );
 }

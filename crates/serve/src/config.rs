@@ -424,6 +424,19 @@ impl AdaptivePolicy {
     }
 }
 
+/// Capacity cap on every per-run batch log (`PoolBatchLog` in the pool,
+/// `PoolBatchRecord` in the simulator). Entries past the cap are counted in
+/// an explicit `dropped` counter instead of growing the log, keeping
+/// million-request sweeps strictly constant-memory.
+pub const BATCH_LOG_CAP: usize = 65_536;
+
+/// Capacity cap on the per-replica [`ModeTransition`] log kept by
+/// [`AdaptiveState`]. Transitions past the cap still *apply* (the mode
+/// changes and the caller is notified) — only the retained history is
+/// bounded, with the overflow counted in
+/// [`AdaptiveState::dropped_transitions`].
+pub const TRANSITION_LOG_CAP: usize = 16_384;
+
 /// One adaptive mode switch, recorded identically by the threaded pool and
 /// the simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -453,6 +466,7 @@ pub struct AdaptiveState {
     mode: usize,
     batches_seen: u64,
     transitions: Vec<ModeTransition>,
+    dropped_transitions: u64,
 }
 
 impl AdaptiveState {
@@ -466,6 +480,7 @@ impl AdaptiveState {
             mode: 0,
             batches_seen: 0,
             transitions: Vec::new(),
+            dropped_transitions: 0,
         }
     }
 
@@ -482,6 +497,12 @@ impl AdaptiveState {
     /// Consumes the state, yielding the transition log.
     pub fn into_transitions(self) -> Vec<ModeTransition> {
         self.transitions
+    }
+
+    /// Transitions that applied but were not retained because the log hit
+    /// [`TRANSITION_LOG_CAP`].
+    pub fn dropped_transitions(&self) -> u64 {
+        self.dropped_transitions
     }
 
     /// Observes one launched batch (called *after* its latencies were
@@ -514,7 +535,11 @@ impl AdaptiveState {
             queue_depth: queue_depth_after,
         };
         self.mode = next;
-        self.transitions.push(transition.clone());
+        if self.transitions.len() < TRANSITION_LOG_CAP {
+            self.transitions.push(transition.clone());
+        } else {
+            self.dropped_transitions += 1;
+        }
         Some(transition)
     }
 }
@@ -785,7 +810,30 @@ mod tests {
         let down = state.observe_batch(0, 0).expect("recovers");
         assert_eq!((down.from, down.to), (2, 1));
         assert_eq!(state.transitions().len(), 3);
+        assert_eq!(state.dropped_transitions(), 0);
         assert_eq!(state.into_transitions().len(), 3);
+    }
+
+    #[test]
+    fn transition_log_caps_retention_but_not_behavior() {
+        // depth_high 1 / depth_low 0 with 2 rungs flips the mode on every
+        // batch when the depth alternates 1, 0, 1, 0, ...
+        let policy = AdaptivePolicy {
+            depth_high: 1,
+            depth_low: 0,
+            p95_high_ns: 0,
+            eval_every_batches: 1,
+        };
+        let mut state = AdaptiveState::new(policy, 0, 2);
+        let total = TRANSITION_LOG_CAP as u64 + 100;
+        for i in 0..total {
+            let depth = if i % 2 == 0 { 1 } else { 0 };
+            // Every observation still reports its transition even past the
+            // retention cap.
+            assert!(state.observe_batch(depth, 0).is_some());
+        }
+        assert_eq!(state.transitions().len(), TRANSITION_LOG_CAP);
+        assert_eq!(state.dropped_transitions(), 100);
     }
 
     #[test]

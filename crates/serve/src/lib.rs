@@ -73,10 +73,12 @@ pub mod registry;
 pub mod server;
 pub mod session;
 pub mod sim;
+pub mod trace;
 
 pub use config::{
     AdaptivePolicy, AdaptiveState, BatchPolicy, ConfigError, ModeTransition, PoolConfig,
-    RoutePolicy, SchedulerConfig, ServeError, SmtConfig, SubmitError,
+    RoutePolicy, SchedulerConfig, ServeError, SmtConfig, SubmitError, BATCH_LOG_CAP,
+    TRANSITION_LOG_CAP,
 };
 pub use faults::{
     FaultClient, FaultClientStats, FaultConfig, FaultEvent, FaultKind, FaultPlan, HandoffRecord,
@@ -89,6 +91,10 @@ pub use server::{Client, RequestResult, Server};
 pub use session::{Inference, Session};
 pub use sim::{
     ArrivalProcess, BatchRecord, PoolBatchRecord, PoolSimOutcome, ServiceModel, SimOutcome,
+};
+pub use trace::{
+    layer_intervals, Clock, LayerKernel, TraceEvent, TraceRecorder, TraceSnapshot, TraceStage,
+    DEFAULT_TRACE_CAPACITY,
 };
 
 /// Convenience re-exports for serving code.
@@ -106,7 +112,8 @@ pub mod prelude {
     pub use crate::server::Server;
     pub use crate::session::{Inference, Session};
     pub use crate::sim::{
-        simulate, simulate_pool, simulate_pool_faulted, ArrivalProcess, PoolSimOutcome,
-        ServiceModel, SimOutcome,
+        simulate, simulate_pool, simulate_pool_faulted, simulate_pool_traced, ArrivalProcess,
+        PoolSimOutcome, ServiceModel, SimOutcome,
     };
+    pub use crate::trace::{Clock, TraceRecorder, TraceSnapshot, TraceStage};
 }

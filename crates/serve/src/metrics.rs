@@ -82,6 +82,13 @@ impl LatencyHistogram {
 pub struct ServeMetrics {
     /// Per-request latency histogram (submit → response).
     pub latency: LatencyHistogram,
+    /// Per-request queue-wait histogram (submit → batch launch): the
+    /// admission-side half of `latency`, so the trace summary and the p95
+    /// adaptive trigger agree on where time went.
+    pub queue_wait: LatencyHistogram,
+    /// Per-request service-time histogram (batch launch → response): the
+    /// execution-side half of `latency`.
+    pub service: LatencyHistogram,
     /// `batch_sizes[s]` counts batches that launched with `s` requests.
     pub batch_sizes: Vec<u64>,
     /// Requests completed.
@@ -118,6 +125,14 @@ impl ServeMetrics {
     pub fn record_latency(&mut self, ns: u64) {
         self.latency.record(ns);
         self.completed += 1;
+    }
+
+    /// Records one completed request's queue-wait and service-time split
+    /// (companion to [`Self::record_latency`]; both drivers call it with
+    /// `wait + service == latency` up to the launch instant used).
+    pub fn record_stage_split(&mut self, wait_ns: u64, service_ns: u64) {
+        self.queue_wait.record(wait_ns);
+        self.service.record(service_ns);
     }
 
     /// Records one launched batch and the queue depth left behind it.
@@ -173,6 +188,8 @@ impl ServeMetrics {
     /// per-replica schedulers.
     pub fn merge(&mut self, other: &ServeMetrics) {
         self.latency.absorb(&other.latency);
+        self.queue_wait.absorb(&other.queue_wait);
+        self.service.absorb(&other.service);
         if self.batch_sizes.len() < other.batch_sizes.len() {
             self.batch_sizes.resize(other.batch_sizes.len(), 0);
         }
@@ -235,6 +252,12 @@ impl ServeMetrics {
             p50_ns: self.latency.quantile(0.50),
             p95_ns: self.latency.quantile(0.95),
             p99_ns: self.latency.quantile(0.99),
+            queue_wait_p50_ns: self.queue_wait.quantile(0.50),
+            queue_wait_p95_ns: self.queue_wait.quantile(0.95),
+            queue_wait_p99_ns: self.queue_wait.quantile(0.99),
+            service_p50_ns: self.service.quantile(0.50),
+            service_p95_ns: self.service.quantile(0.95),
+            service_p99_ns: self.service.quantile(0.99),
             throughput_rps: if elapsed_ns == 0 {
                 0.0
             } else {
@@ -277,6 +300,18 @@ pub struct MetricsSnapshot {
     pub p95_ns: u64,
     /// 99th-percentile latency estimate [ns].
     pub p99_ns: u64,
+    /// Median queue-wait estimate [ns] (submit → batch launch).
+    pub queue_wait_p50_ns: u64,
+    /// 95th-percentile queue-wait estimate [ns].
+    pub queue_wait_p95_ns: u64,
+    /// 99th-percentile queue-wait estimate [ns].
+    pub queue_wait_p99_ns: u64,
+    /// Median service-time estimate [ns] (batch launch → response).
+    pub service_p50_ns: u64,
+    /// 95th-percentile service-time estimate [ns].
+    pub service_p95_ns: u64,
+    /// 99th-percentile service-time estimate [ns].
+    pub service_p99_ns: u64,
     /// Completed requests per second over the observation window.
     pub throughput_rps: f64,
     /// The observation window [ns].
@@ -399,6 +434,10 @@ mod tests {
             for &ns in latencies {
                 target.record_latency(ns);
                 whole.record_latency(ns);
+                // Split accounting rides along: a third waits, the rest
+                // serves.
+                target.record_stage_split(ns / 3, ns - ns / 3);
+                whole.record_stage_split(ns / 3, ns - ns / 3);
             }
         }
         a.record_mode_batch(0);

@@ -48,13 +48,16 @@ use nbsmt_tensor::tensor::Tensor;
 use nbsmt_tensor::validate::Validate;
 
 use crate::config::ServeError;
-use crate::config::{AdaptiveState, ModeTransition, PoolConfig, RoutePolicy, SubmitError};
+use crate::config::{
+    AdaptiveState, ModeTransition, PoolConfig, RoutePolicy, SubmitError, BATCH_LOG_CAP,
+};
 use crate::faults::{pick_handoff_target, pick_replica, FaultPlan, HandoffRecord, ReplicaFaults};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::queue::{response_channel, BoundedQueue, ResponseHandle, ResponseSlot};
 use crate::server::RequestResult;
 use crate::session::Session;
 use crate::sim::ServiceModel;
+use crate::trace::{layer_intervals, BatchTraceCtx, TraceEvent, TraceRecorder, TraceStage};
 
 struct PooledRequest {
     key: u64,
@@ -95,6 +98,14 @@ pub struct PoolSnapshot {
     /// empty without fault injection. Part of the extended lockstep
     /// contract (mirrors [`crate::sim::PoolSimOutcome::handoffs`]).
     pub handoffs: Vec<HandoffRecord>,
+    /// Batches executed but *not* retained in `batch_log` because the log
+    /// hit [`BATCH_LOG_CAP`] — the log is constant-memory, this counter
+    /// closes the accounting (mirrors
+    /// [`crate::sim::PoolSimOutcome::dropped_batches`]).
+    pub dropped_batches: u64,
+    /// Mode transitions applied but not retained past
+    /// [`crate::config::TRANSITION_LOG_CAP`], summed over replicas.
+    pub dropped_transitions: u64,
 }
 
 struct RouterCore {
@@ -186,6 +197,8 @@ struct ReplicaOutcome {
     transitions: Vec<ModeTransition>,
     log: Vec<PoolBatchLog>,
     handoffs: Vec<HandoffRecord>,
+    dropped_batches: u64,
+    dropped_transitions: u64,
 }
 
 impl ReplicaOutcome {
@@ -197,6 +210,8 @@ impl ReplicaOutcome {
             transitions: Vec::new(),
             log: Vec::new(),
             handoffs: Vec::new(),
+            dropped_batches: 0,
+            dropped_transitions: 0,
         }
     }
 }
@@ -230,6 +245,7 @@ pub struct ReplicaPool {
     exec: ExecConfig,
     record_log: bool,
     mode: FaultMode,
+    recorder: Option<Arc<TraceRecorder>>,
     started: Instant,
     running: bool,
 }
@@ -300,9 +316,21 @@ impl ReplicaPool {
             exec,
             record_log,
             mode: FaultMode::None,
+            recorder: None,
             started: Instant::now(),
             running: false,
         })
+    }
+
+    /// Attaches a shared [`TraceRecorder`] — call between a paused start and
+    /// [`Self::resume`]. Every executed batch then leaves the full span
+    /// chain (submit, queue-wait, batch, per-layer kernels, service,
+    /// respond). In lockstep mode the recorder must hold a virtual
+    /// [`crate::trace::Clock`] and the emitted trace is byte-identical to
+    /// [`crate::sim::simulate_pool_traced`] on the same burst; free-running
+    /// pools emit the same schema on the recorder's wall clock.
+    pub fn set_recorder(&mut self, recorder: Arc<TraceRecorder>) {
+        self.recorder = Some(recorder);
     }
 
     /// Starts a free-running pool with `plan` injected for real: crashes
@@ -370,7 +398,9 @@ impl ReplicaPool {
                 faults: (0..n).map(|r| plan.for_replica(r)).collect(),
                 metrics: (0..n).map(|_| ServeMetrics::new()).collect(),
                 log: Vec::new(),
+                dropped_batches: 0,
                 handoffs: Vec::new(),
+                recorder: None,
             }),
             cv: Condvar::new(),
             max_batch: pool.config.scheduler.batch.max_batch,
@@ -408,8 +438,17 @@ impl ReplicaPool {
         };
         if let Spawn::Lockstep(gate) = &plan {
             let mut state = gate.state.lock().expect("gate lock");
+            state.recorder = self.recorder.clone();
             for (index, replica) in self.replicas.iter().enumerate() {
                 for req in replica.queue.drain_up_to(usize::MAX) {
+                    // The burst arrives at virtual t = 0 on the replica the
+                    // router already picked — the same submit instant the
+                    // simulator records for an all-at-zero arrival trace.
+                    if let Some(rec) = &self.recorder {
+                        rec.record(
+                            TraceEvent::new(TraceStage::Submit, index, 0, 0).request(req.key),
+                        );
+                    }
                     state.queues[index].push_back(GateRequest {
                         req,
                         ready_v: 0,
@@ -427,13 +466,21 @@ impl ReplicaPool {
             let exec = self.exec;
             let record_log = self.record_log;
             let router = Arc::clone(&self.router);
+            let recorder = self.recorder.clone();
             let worker = match &plan {
                 Spawn::Normal => std::thread::Builder::new()
                     .name(format!("nbsmt-pool-{index}"))
                     .spawn(move || {
                         let ctx = ExecContext::new(exec);
                         replica_loop(
-                            index, &queue, &sessions, &scheduler, adaptive, &ctx, record_log,
+                            index,
+                            &queue,
+                            &sessions,
+                            &scheduler,
+                            adaptive,
+                            &ctx,
+                            record_log,
+                            recorder.as_deref(),
                         )
                     }),
                 Spawn::Live(faults, service) => {
@@ -444,8 +491,17 @@ impl ReplicaPool {
                         .spawn(move || {
                             let ctx = ExecContext::new(exec);
                             replica_loop_faulted(
-                                index, &queue, &sessions, &scheduler, adaptive, &ctx, record_log,
-                                &router, &faults, service,
+                                index,
+                                &queue,
+                                &sessions,
+                                &scheduler,
+                                adaptive,
+                                &ctx,
+                                record_log,
+                                &router,
+                                &faults,
+                                service,
+                                recorder.as_deref(),
                             )
                         })
                 }
@@ -455,7 +511,7 @@ impl ReplicaPool {
                         .name(format!("nbsmt-pool-{index}"))
                         .spawn(move || {
                             let ctx = ExecContext::new(exec);
-                            lockstep_loop(index, &gate, &sessions, &ctx)
+                            lockstep_loop(index, &gate, &sessions, &ctx, recorder.as_deref())
                         })
                 }
             }
@@ -495,6 +551,8 @@ impl ReplicaPool {
         let mut transitions = Vec::new();
         let mut batch_log = Vec::new();
         let mut handoffs = Vec::new();
+        let mut dropped_batches = 0u64;
+        let mut dropped_transitions = 0u64;
         let mut outcomes = Vec::new();
         for replica in self.replicas.iter_mut() {
             outcomes.push(
@@ -518,12 +576,16 @@ impl ReplicaPool {
                     transitions: Vec::new(),
                     log: Vec::new(),
                     handoffs: Vec::new(),
+                    dropped_batches: 0,
+                    dropped_transitions: 0,
                 })
                 .collect();
             for adaptive in state.adaptive.drain(..) {
+                dropped_transitions += adaptive.dropped_transitions();
                 transitions.extend(adaptive.into_transitions());
             }
             batch_log = std::mem::take(&mut state.log);
+            dropped_batches += state.dropped_batches;
             handoffs = std::mem::take(&mut state.handoffs);
         }
         for (index, mut outcome) in outcomes.into_iter().enumerate() {
@@ -533,6 +595,8 @@ impl ReplicaPool {
             transitions.extend(outcome.transitions);
             batch_log.extend(outcome.log);
             handoffs.extend(outcome.handoffs);
+            dropped_batches += outcome.dropped_batches;
+            dropped_transitions += outcome.dropped_transitions;
         }
         PoolSnapshot {
             total: total.snapshot(elapsed),
@@ -540,6 +604,8 @@ impl ReplicaPool {
             transitions,
             batch_log,
             handoffs,
+            dropped_batches,
+            dropped_transitions,
         }
     }
 }
@@ -557,6 +623,7 @@ impl Drop for ReplicaPool {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn replica_loop(
     index: usize,
     queue: &BoundedQueue<PooledRequest>,
@@ -565,10 +632,13 @@ fn replica_loop(
     adaptive: crate::config::AdaptivePolicy,
     ctx: &ExecContext,
     record_log: bool,
+    recorder: Option<&TraceRecorder>,
 ) -> ReplicaOutcome {
     let mut metrics = ServeMetrics::new();
     let mut state = AdaptiveState::new(adaptive, index, sessions.len());
     let mut log = Vec::new();
+    let mut dropped_batches = 0u64;
+    let mut batch_index = 0u64;
     let max_batch = scheduler.batch.max_batch;
     let max_wait = Duration::from_nanos(scheduler.batch.max_wait_ns);
     while let Some(first) = queue.pop_blocking() {
@@ -578,15 +648,26 @@ fn replica_loop(
         let mode = state.mode();
         metrics.record_batch(batch.len(), depth_after);
         metrics.record_mode_batch(mode);
+        batch_index += 1;
         if record_log {
-            log.push(PoolBatchLog {
-                replica: index,
-                mode,
-                keys: batch.iter().map(|r| r.key).collect(),
-                queue_depth_after: depth_after,
-            });
+            if log.len() < BATCH_LOG_CAP {
+                log.push(PoolBatchLog {
+                    replica: index,
+                    mode,
+                    keys: batch.iter().map(|r| r.key).collect(),
+                    queue_depth_after: depth_after,
+                });
+            } else {
+                dropped_batches += 1;
+            }
         }
-        crate::server::execute_batch(&sessions[mode], ctx, batch, &mut metrics);
+        let trace = recorder.map(|rec| BatchTraceCtx {
+            recorder: rec,
+            replica: index,
+            batch_index,
+            mode,
+        });
+        crate::server::execute_batch(&sessions[mode], ctx, batch, &mut metrics, trace.as_ref());
         // Policy evaluation runs after the batch's latencies landed in the
         // histogram; a switch applies from the next batch on.
         let p95 = metrics.latency.quantile(0.95);
@@ -596,9 +677,11 @@ fn replica_loop(
     }
     ReplicaOutcome {
         metrics,
+        dropped_transitions: state.dropped_transitions(),
         transitions: state.into_transitions(),
         log,
         handoffs: Vec::new(),
+        dropped_batches,
     }
 }
 
@@ -623,10 +706,12 @@ fn replica_loop_faulted(
     router: &RouterCore,
     faults: &ReplicaFaults,
     service: ServiceModel,
+    recorder: Option<&TraceRecorder>,
 ) -> ReplicaOutcome {
     let mut metrics = ServeMetrics::new();
     let mut state = AdaptiveState::new(adaptive, index, sessions.len());
     let mut log = Vec::new();
+    let mut dropped_batches = 0u64;
     let mut handoffs = Vec::new();
     let mut batch_index = 0u64;
     let max_batch = scheduler.batch.max_batch;
@@ -641,14 +726,24 @@ fn replica_loop_faulted(
         metrics.record_batch(batch_len, depth_after);
         metrics.record_mode_batch(mode);
         if record_log {
-            log.push(PoolBatchLog {
-                replica: index,
-                mode,
-                keys: batch.iter().map(|r| r.key).collect(),
-                queue_depth_after: depth_after,
-            });
+            if log.len() < BATCH_LOG_CAP {
+                log.push(PoolBatchLog {
+                    replica: index,
+                    mode,
+                    keys: batch.iter().map(|r| r.key).collect(),
+                    queue_depth_after: depth_after,
+                });
+            } else {
+                dropped_batches += 1;
+            }
         }
-        crate::server::execute_batch(&sessions[mode], ctx, batch, &mut metrics);
+        let trace = recorder.map(|rec| BatchTraceCtx {
+            recorder: rec,
+            replica: index,
+            batch_index,
+            mode,
+        });
+        crate::server::execute_batch(&sessions[mode], ctx, batch, &mut metrics, trace.as_ref());
         let factor = faults.service_factor_x1024(batch_index);
         if factor > 1024 {
             // The straggler pads the batch with the *extra* time the factor
@@ -721,9 +816,11 @@ fn replica_loop_faulted(
     }
     ReplicaOutcome {
         metrics,
+        dropped_transitions: state.dropped_transitions(),
         transitions: state.into_transitions(),
         log,
         handoffs,
+        dropped_batches,
     }
 }
 
@@ -749,7 +846,20 @@ struct GateState {
     faults: Vec<ReplicaFaults>,
     metrics: Vec<ServeMetrics>,
     log: Vec<PoolBatchLog>,
+    dropped_batches: u64,
     handoffs: Vec<HandoffRecord>,
+    recorder: Option<Arc<TraceRecorder>>,
+}
+
+/// Everything a lockstep worker needs after its batch was committed: the
+/// drained requests, the rung to execute at, and the virtual-time window the
+/// gate assigned (so the worker can emit kernel spans inside it).
+struct GrantedBatch {
+    batch: Vec<GateRequest>,
+    mode: usize,
+    batch_index: u64,
+    launch: u64,
+    service_ns: u64,
 }
 
 /// The virtual-clock coordinator of [`ReplicaPool::start_lockstep`]: grants
@@ -774,7 +884,7 @@ impl LockstepGate {
     /// lowest replica index, as in the simulator), commits it, and returns
     /// the granted batch and its ladder rung — or `None` when `r` has
     /// crashed or the pool has fully drained.
-    fn acquire(&self, r: usize, sessions: &[Arc<Session>]) -> Option<(Vec<GateRequest>, usize)> {
+    fn acquire(&self, r: usize, sessions: &[Arc<Session>]) -> Option<GrantedBatch> {
         let mut state = self.state.lock().expect("gate lock");
         loop {
             if state.crashed[r] {
@@ -827,7 +937,7 @@ impl LockstepGate {
         r: usize,
         launch: u64,
         sessions: &[Arc<Session>],
-    ) -> (Vec<GateRequest>, usize) {
+    ) -> GrantedBatch {
         let batch_index = state.batches[r] + 1;
         let take = state.queues[r].len().min(self.max_batch);
         let batch: Vec<GateRequest> = state.queues[r].drain(..take).collect();
@@ -841,15 +951,54 @@ impl LockstepGate {
         state.metrics[r].record_batch(batch.len(), depth_after);
         state.metrics[r].record_mode_batch(mode);
         for item in &batch {
+            state.metrics[r].record_stage_split(launch.saturating_sub(item.submit_v), service_ns);
             state.metrics[r].record_latency(finish.saturating_sub(item.submit_v));
         }
+        if let Some(rec) = state.recorder.clone() {
+            // Identical arithmetic and fields to the simulator's launch arm
+            // — the canonical snapshot order makes the byte-identical trace
+            // contract hold even though workers interleave.
+            rec.record(
+                TraceEvent::new(TraceStage::Batch, r, launch, service_ns)
+                    .batch(batch_index)
+                    .mode(mode)
+                    .batch_size(batch.len()),
+            );
+            for item in &batch {
+                rec.record(
+                    TraceEvent::new(
+                        TraceStage::QueueWait,
+                        r,
+                        item.submit_v,
+                        launch.saturating_sub(item.submit_v),
+                    )
+                    .request(item.req.key)
+                    .batch(batch_index),
+                );
+                rec.record(
+                    TraceEvent::new(TraceStage::Service, r, launch, service_ns)
+                        .request(item.req.key)
+                        .batch(batch_index)
+                        .mode(mode),
+                );
+                rec.record(
+                    TraceEvent::new(TraceStage::Respond, r, finish, 0)
+                        .request(item.req.key)
+                        .batch(batch_index),
+                );
+            }
+        }
         if self.record_log {
-            state.log.push(PoolBatchLog {
-                replica: r,
-                mode,
-                keys: batch.iter().map(|g| g.req.key).collect(),
-                queue_depth_after: depth_after,
-            });
+            if state.log.len() < BATCH_LOG_CAP {
+                state.log.push(PoolBatchLog {
+                    replica: r,
+                    mode,
+                    keys: batch.iter().map(|g| g.req.key).collect(),
+                    queue_depth_after: depth_after,
+                });
+            } else {
+                state.dropped_batches += 1;
+            }
         }
         state.t_free[r] = finish;
         // Both adaptive triggers read virtual state here: depth from the
@@ -903,7 +1052,13 @@ impl LockstepGate {
                 }
             }
         }
-        (batch, mode)
+        GrantedBatch {
+            batch,
+            mode,
+            batch_index,
+            launch,
+            service_ns,
+        }
     }
 }
 
@@ -916,11 +1071,44 @@ fn lockstep_loop(
     gate: &LockstepGate,
     sessions: &[Arc<Session>],
     ctx: &ExecContext,
+    recorder: Option<&TraceRecorder>,
 ) -> ReplicaOutcome {
-    while let Some((batch, mode)) = gate.acquire(index, sessions) {
+    while let Some(grant) = gate.acquire(index, sessions) {
+        let GrantedBatch {
+            batch,
+            mode,
+            batch_index,
+            launch,
+            service_ns,
+        } = grant;
         let inputs: Vec<&Tensor<f32>> = batch.iter().map(|g| &g.req.input).collect();
-        match sessions[mode].infer_batch_refs(ctx, &inputs) {
-            Ok(responses) => {
+        let result = match recorder {
+            Some(_) => sessions[mode].infer_batch_traced(ctx, &inputs),
+            None => sessions[mode]
+                .infer_batch_refs(ctx, &inputs)
+                .map(|out| (out, Vec::new())),
+        };
+        match result {
+            Ok((responses, kernels)) => {
+                if let Some(rec) = recorder {
+                    // Kernel spans are recorded outside the gate lock —
+                    // insertion order races across workers, but the
+                    // snapshot's canonical sort restores the simulator's
+                    // exact order.
+                    let weights: Vec<u64> = kernels.iter().map(|k| k.stats.cycles).collect();
+                    for (kernel, (span_start, span_dur)) in kernels
+                        .iter()
+                        .zip(layer_intervals(launch, service_ns, &weights))
+                    {
+                        rec.record(
+                            TraceEvent::new(TraceStage::Kernel, index, span_start, span_dur)
+                                .batch(batch_index)
+                                .mode(mode)
+                                .layer(kernel.layer)
+                                .stats(kernel.stats),
+                        );
+                    }
+                }
                 for (item, response) in batch.into_iter().zip(responses) {
                     item.req.slot.complete(Ok(response));
                 }
@@ -936,6 +1124,9 @@ fn lockstep_loop(
 }
 
 impl crate::server::BatchItem for PooledRequest {
+    fn key(&self) -> u64 {
+        self.key
+    }
     fn input(&self) -> &Tensor<f32> {
         &self.input
     }

@@ -25,11 +25,13 @@ use crate::config::{SchedulerConfig, ServeError, SubmitError};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::queue::{response_channel, BoundedQueue, ResponseHandle, ResponseSlot};
 use crate::session::{Inference, Session};
+use crate::trace::{layer_intervals, BatchTraceCtx, TraceEvent, TraceRecorder, TraceStage};
 
 /// Result delivered to each request's [`ResponseHandle`].
 pub type RequestResult = Result<Inference, ServeError>;
 
 struct QueuedRequest {
+    key: u64,
     input: Tensor<f32>,
     submitted: Instant,
     slot: ResponseSlot<RequestResult>,
@@ -39,12 +41,16 @@ struct QueuedRequest {
 /// single-session server's and the replica pool's request types so both
 /// schedulers share one [`execute_batch`].
 pub(crate) trait BatchItem {
+    fn key(&self) -> u64;
     fn input(&self) -> &Tensor<f32>;
     fn submitted(&self) -> Instant;
     fn into_slot(self) -> ResponseSlot<RequestResult>;
 }
 
 impl BatchItem for QueuedRequest {
+    fn key(&self) -> u64 {
+        self.key
+    }
     fn input(&self) -> &Tensor<f32> {
         &self.input
     }
@@ -60,6 +66,7 @@ impl BatchItem for QueuedRequest {
 pub struct Server {
     queue: Arc<BoundedQueue<QueuedRequest>>,
     rejected: Arc<AtomicU64>,
+    seq: Arc<AtomicU64>,
     worker: Option<JoinHandle<ServeMetrics>>,
     started: Instant,
 }
@@ -69,6 +76,7 @@ pub struct Server {
 pub struct Client {
     queue: Arc<BoundedQueue<QueuedRequest>>,
     rejected: Arc<AtomicU64>,
+    seq: Arc<AtomicU64>,
 }
 
 impl Client {
@@ -80,9 +88,12 @@ impl Client {
     /// after shutdown began.
     pub fn submit(&self, input: Tensor<f32>) -> Result<ResponseHandle<RequestResult>, SubmitError> {
         let (slot, handle) = response_channel();
+        let key = self.seq.fetch_add(1, Ordering::Relaxed);
+        let submitted = Instant::now();
         let queued = QueuedRequest {
+            key,
             input,
-            submitted: Instant::now(),
+            submitted,
             slot,
         };
         match self.queue.try_push(queued) {
@@ -115,16 +126,46 @@ impl Server {
         config: SchedulerConfig,
         ctx: ExecContext,
     ) -> Result<Server, ServeError> {
+        Server::start_with_recorder(session, config, ctx, None)
+    }
+
+    /// [`Server::start`] with a shared [`TraceRecorder`]: every admitted
+    /// request leaves a submit → queue-wait → service → respond span chain
+    /// and every batch a batch span plus per-layer kernel spans, all
+    /// timestamped on the recorder's wall [`crate::trace::Clock`] — the
+    /// same schema the deterministic simulator emits on virtual time.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Server::start`].
+    pub fn start_traced(
+        session: Arc<Session>,
+        config: SchedulerConfig,
+        ctx: ExecContext,
+        recorder: Arc<TraceRecorder>,
+    ) -> Result<Server, ServeError> {
+        Server::start_with_recorder(session, config, ctx, Some(recorder))
+    }
+
+    fn start_with_recorder(
+        session: Arc<Session>,
+        config: SchedulerConfig,
+        ctx: ExecContext,
+        recorder: Option<Arc<TraceRecorder>>,
+    ) -> Result<Server, ServeError> {
         config.validate()?;
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let worker_queue = Arc::clone(&queue);
         let worker = std::thread::Builder::new()
             .name(format!("nbsmt-serve-{}", session.name()))
-            .spawn(move || scheduler_loop(&worker_queue, &session, &config, &ctx))
+            .spawn(move || {
+                scheduler_loop(&worker_queue, &session, &config, &ctx, recorder.as_deref())
+            })
             .expect("spawning the scheduler thread succeeds");
         Ok(Server {
             queue,
             rejected: Arc::new(AtomicU64::new(0)),
+            seq: Arc::new(AtomicU64::new(0)),
             worker: Some(worker),
             started: Instant::now(),
         })
@@ -135,6 +176,7 @@ impl Server {
         Client {
             queue: Arc::clone(&self.queue),
             rejected: Arc::clone(&self.rejected),
+            seq: Arc::clone(&self.seq),
         }
     }
 
@@ -173,10 +215,12 @@ fn scheduler_loop(
     session: &Session,
     config: &SchedulerConfig,
     ctx: &ExecContext,
+    recorder: Option<&TraceRecorder>,
 ) -> ServeMetrics {
     let mut metrics = ServeMetrics::new();
     let max_batch = config.batch.max_batch;
     let max_wait = Duration::from_nanos(config.batch.max_wait_ns);
+    let mut batch_index = 0u64;
     while let Some(first) = queue.pop_blocking() {
         // Keep the batch open until it fills or the first request's wait
         // budget is spent. Requests already queued behind `first` are
@@ -184,24 +228,104 @@ fn scheduler_loop(
         let deadline = first.submitted + max_wait;
         let batch = queue.collect_batch(first, max_batch, deadline);
         metrics.record_batch(batch.len(), queue.len());
-        execute_batch(session, ctx, batch, &mut metrics);
+        batch_index += 1;
+        let trace = recorder.map(|rec| BatchTraceCtx {
+            recorder: rec,
+            replica: 0,
+            batch_index,
+            mode: 0,
+        });
+        execute_batch(session, ctx, batch, &mut metrics, trace.as_ref());
     }
     metrics
 }
 
 /// Executes one coalesced batch and completes every member's response slot
 /// — shared by the single-session scheduler and the replica-pool workers.
+/// With a [`BatchTraceCtx`] the batch leaves the full wall-clock span chain
+/// (queue-wait, batch, per-layer kernels, service, respond) on the shared
+/// recorder.
 pub(crate) fn execute_batch<R: BatchItem>(
     session: &Session,
     ctx: &ExecContext,
     batch: Vec<R>,
     metrics: &mut ServeMetrics,
+    trace: Option<&BatchTraceCtx<'_>>,
 ) {
     let inputs: Vec<&Tensor<f32>> = batch.iter().map(BatchItem::input).collect();
-    match session.infer_batch_refs(ctx, &inputs) {
-        Ok(responses) => {
+    let exec_start = Instant::now();
+    let result = match trace {
+        Some(_) => session.infer_batch_traced(ctx, &inputs),
+        None => session
+            .infer_batch_refs(ctx, &inputs)
+            .map(|out| (out, Vec::new())),
+    };
+    match result {
+        Ok((responses, kernels)) => {
             let done = Instant::now();
+            if let Some(t) = trace {
+                let clock = t.recorder.clock();
+                let start_ns = clock.instant_ns(exec_start);
+                let done_ns = clock.instant_ns(done);
+                let dur_ns = done_ns.saturating_sub(start_ns);
+                t.recorder.record(
+                    TraceEvent::new(TraceStage::Batch, t.replica, start_ns, dur_ns)
+                        .batch(t.batch_index)
+                        .mode(t.mode)
+                        .batch_size(batch.len()),
+                );
+                let weights: Vec<u64> = kernels.iter().map(|k| k.stats.cycles).collect();
+                for (kernel, (span_start, span_dur)) in kernels
+                    .iter()
+                    .zip(layer_intervals(start_ns, dur_ns, &weights))
+                {
+                    t.recorder.record(
+                        TraceEvent::new(TraceStage::Kernel, t.replica, span_start, span_dur)
+                            .batch(t.batch_index)
+                            .mode(t.mode)
+                            .layer(kernel.layer)
+                            .stats(kernel.stats),
+                    );
+                }
+                for request in &batch {
+                    let submit_ns = clock.instant_ns(request.submitted());
+                    t.recorder.record(
+                        TraceEvent::new(TraceStage::Submit, t.replica, submit_ns, 0)
+                            .request(request.key()),
+                    );
+                    t.recorder.record(
+                        TraceEvent::new(
+                            TraceStage::QueueWait,
+                            t.replica,
+                            submit_ns,
+                            start_ns.saturating_sub(submit_ns),
+                        )
+                        .request(request.key())
+                        .batch(t.batch_index),
+                    );
+                    t.recorder.record(
+                        TraceEvent::new(TraceStage::Service, t.replica, start_ns, dur_ns)
+                            .request(request.key())
+                            .batch(t.batch_index)
+                            .mode(t.mode),
+                    );
+                    t.recorder.record(
+                        TraceEvent::new(TraceStage::Respond, t.replica, done_ns, 0)
+                            .request(request.key())
+                            .batch(t.batch_index),
+                    );
+                }
+            }
             for (request, response) in batch.into_iter().zip(responses) {
+                let wait = exec_start
+                    .saturating_duration_since(request.submitted())
+                    .as_nanos()
+                    .min(u128::from(u64::MAX)) as u64;
+                let service = done
+                    .saturating_duration_since(exec_start)
+                    .as_nanos()
+                    .min(u128::from(u64::MAX)) as u64;
+                metrics.record_stage_split(wait, service);
                 let latency = done
                     .saturating_duration_since(request.submitted())
                     .as_nanos()

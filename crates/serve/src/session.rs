@@ -16,6 +16,7 @@
 use std::sync::{Arc, OnceLock};
 
 use nbsmt_core::matmul::{NbSmtMatmul, NbSmtMatmulConfig};
+use nbsmt_core::pe::PeStats;
 use nbsmt_core::policy::SharingPolicy;
 use nbsmt_core::ThreadCount;
 use nbsmt_nn::model::Model;
@@ -27,6 +28,7 @@ use nbsmt_tensor::exec::{ExecContext, GemmBackendKind, PackedRhs};
 use nbsmt_tensor::tensor::{Matrix, Tensor};
 
 use crate::config::{ServeError, SmtConfig};
+use crate::trace::LayerKernel;
 
 /// One completed inference.
 #[derive(Debug, Clone, PartialEq)]
@@ -183,6 +185,35 @@ impl Session {
         ctx: &ExecContext,
         inputs: &[&Tensor<f32>],
     ) -> Result<Vec<Inference>, ServeError> {
+        self.infer_batch_inner(ctx, inputs, None)
+    }
+
+    /// [`Self::infer_batch_refs`] with per-layer kernel observability: the
+    /// returned [`LayerKernel`] records carry each engine-dispatched
+    /// layer's GEMM shape and NB-SMT [`PeStats`] (zeroed for dense
+    /// sessions, whose layers never enter the PE array). The inferences are
+    /// bit-identical to the untraced path — tracing only *reads* the stats
+    /// the kernels already compute.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::infer_batch_refs`].
+    pub fn infer_batch_traced(
+        &self,
+        ctx: &ExecContext,
+        inputs: &[&Tensor<f32>],
+    ) -> Result<(Vec<Inference>, Vec<LayerKernel>), ServeError> {
+        let mut kernels = Vec::new();
+        let inferences = self.infer_batch_inner(ctx, inputs, Some(&mut kernels))?;
+        Ok((inferences, kernels))
+    }
+
+    fn infer_batch_inner(
+        &self,
+        ctx: &ExecContext,
+        inputs: &[&Tensor<f32>],
+        mut kernels: Option<&mut Vec<LayerKernel>>,
+    ) -> Result<Vec<Inference>, ServeError> {
         if inputs.is_empty() {
             return Ok(Vec::new());
         }
@@ -197,7 +228,10 @@ impl Session {
             .map_err(|e| ServeError::Model(e.to_string()))?;
         let logits = match self.smt {
             SmtConfig::Dense => {
-                let mut engine = ServeDenseEngine { packs: &self.packs };
+                let mut engine = ServeDenseEngine {
+                    packs: &self.packs,
+                    kernels: kernels.as_deref_mut(),
+                };
                 self.quantized.forward_with_ctx(ctx, &batch, &mut engine)?
             }
             SmtConfig::NbSmt {
@@ -212,6 +246,7 @@ impl Session {
                     reorder,
                     first_layer_1t,
                     packs: &self.packs,
+                    kernels,
                 };
                 self.quantized.forward_with_ctx(ctx, &batch, &mut engine)?
             }
@@ -250,6 +285,9 @@ impl Session {
 /// identical either way — the pack only removes the per-call packing cost.
 struct ServeDenseEngine<'s> {
     packs: &'s PackCache,
+    /// Per-layer kernel records collected by the traced inference path
+    /// (dense layers never enter the PE array, so their stats are zeroed).
+    kernels: Option<&'s mut Vec<LayerKernel>>,
 }
 
 impl GemmEngine for ServeDenseEngine<'_> {
@@ -260,6 +298,14 @@ impl GemmEngine for ServeDenseEngine<'_> {
         x: &QuantMatrix,
         w: &QuantWeightMatrix,
     ) -> Result<Matrix<f32>, NnError> {
+        if let Some(kernels) = self.kernels.as_deref_mut() {
+            kernels.push(LayerKernel {
+                layer: layer_index,
+                rows: x.rows(),
+                cols: w.cols(),
+                stats: PeStats::default(),
+            });
+        }
         if ctx.config().backend == GemmBackendKind::Packed {
             if let Some(pack) = self.packs.get_or_pack(layer_index, w) {
                 return Ok(quantized_matmul_prepacked(ctx, x, w, pack)?);
@@ -282,6 +328,10 @@ struct ServeNbSmtEngine<'s> {
     reorder: bool,
     first_layer_1t: bool,
     packs: &'s PackCache,
+    /// Per-layer kernel records collected by the traced inference path —
+    /// the squeeze/collision counters the NB-SMT kernels already compute,
+    /// surfaced instead of discarded.
+    kernels: Option<&'s mut Vec<LayerKernel>>,
 }
 
 impl GemmEngine for ServeNbSmtEngine<'_> {
@@ -311,6 +361,14 @@ impl GemmEngine for ServeNbSmtEngine<'_> {
         let out = emu
             .execute_with_prepacked(ctx, x, w, pack)
             .map_err(NnError::from)?;
+        if let Some(kernels) = self.kernels.as_deref_mut() {
+            kernels.push(LayerKernel {
+                layer: layer_index,
+                rows: x.rows(),
+                cols: w.cols(),
+                stats: out.stats,
+            });
+        }
         Ok(out.output)
     }
 }
@@ -438,6 +496,34 @@ mod tests {
             "2T SySMT should agree with dense on most requests ({agree}/{})",
             inputs.len()
         );
+    }
+
+    #[test]
+    fn traced_inference_matches_untraced_and_surfaces_pe_stats() {
+        let (dense, smt2, inputs) = session_pair();
+        let ctx = ExecContext::sequential();
+        let refs: Vec<&Tensor<f32>> = inputs.iter().collect();
+        for (session, smt_layers) in [(&dense, false), (&smt2, true)] {
+            let plain = session.infer_batch_refs(&ctx, &refs).unwrap();
+            let (traced, kernels) = session.infer_batch_traced(&ctx, &refs).unwrap();
+            assert_eq!(traced, plain, "tracing must not perturb inference");
+            assert!(!kernels.is_empty(), "engine layers must be recorded");
+            for (i, kernel) in kernels.iter().enumerate() {
+                // Conv layers lower to im2col GEMMs, so rows is a multiple
+                // of the batch (batch × output positions), never less.
+                assert!(kernel.rows >= inputs.len());
+                assert_eq!(kernel.rows % inputs.len(), 0);
+                assert!(kernel.cols > 0);
+                if i > 0 {
+                    assert!(kernel.layer > kernels[i - 1].layer, "layers in order");
+                }
+                if smt_layers {
+                    assert!(kernel.stats.cycles > 0, "NB-SMT layers carry PE stats");
+                } else {
+                    assert_eq!(kernel.stats, Default::default(), "dense stats are zero");
+                }
+            }
+        }
     }
 
     #[test]

@@ -23,11 +23,12 @@ use nbsmt_tensor::validate::Validate;
 
 use crate::config::{
     AdaptivePolicy, AdaptiveState, ModeTransition, PoolConfig, RoutePolicy, SchedulerConfig,
-    ServeError,
+    ServeError, BATCH_LOG_CAP,
 };
 use crate::faults::{pick_handoff_target, pick_replica, FaultPlan, HandoffRecord, ReplicaFaults};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::session::{Inference, Session};
+use crate::trace::{layer_intervals, TraceEvent, TraceRecorder, TraceStage};
 
 /// Deterministic service-time model for the virtual clock.
 ///
@@ -347,6 +348,13 @@ pub struct PoolSimOutcome {
     /// empty without fault injection. Part of the extended lockstep
     /// contract (mirrors [`crate::pool::PoolSnapshot::handoffs`]).
     pub handoffs: Vec<HandoffRecord>,
+    /// Batches launched but *not* retained in `batches` because the log hit
+    /// [`BATCH_LOG_CAP`] — the log is constant-memory, this counter closes
+    /// the accounting.
+    pub dropped_batches: u64,
+    /// Mode transitions applied but not retained in `transitions` past
+    /// [`crate::config::TRANSITION_LOG_CAP`], summed over replicas.
+    pub dropped_transitions: u64,
     /// Virtual time at which the last batch finished [ns].
     pub makespan_ns: u64,
 }
@@ -417,6 +425,33 @@ pub fn simulate_pool_faulted<S: Borrow<Session>>(
     service: ServiceModel,
     faults: Option<&FaultPlan>,
 ) -> Result<PoolSimOutcome, ServeError> {
+    simulate_pool_traced(sessions, ctx, inputs, arrivals, pool, service, faults, None)
+}
+
+/// [`simulate_pool_faulted`] with an optional [`TraceRecorder`]: when a
+/// recorder is supplied every request leaves a submit → queue-wait →
+/// service → respond span chain, and every launched batch a batch span plus
+/// per-layer kernel spans (service time partitioned proportionally to each
+/// layer's [`nbsmt_core::pe::PeStats`] cycles via [`layer_intervals`], with
+/// the stats attached). All timestamps are virtual nanoseconds, so the
+/// emitted trace is bit-identical across runs, host thread counts, and
+/// backends — and byte-identical to the lockstep
+/// [`crate::pool::ReplicaPool`]'s trace of the same seeded burst.
+///
+/// # Errors
+///
+/// Same as [`simulate_pool`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_pool_traced<S: Borrow<Session>>(
+    sessions: &[S],
+    ctx: &ExecContext,
+    inputs: &[Tensor<f32>],
+    arrivals: &ArrivalProcess,
+    pool: PoolConfig,
+    service: ServiceModel,
+    faults: Option<&FaultPlan>,
+    recorder: Option<&TraceRecorder>,
+) -> Result<PoolSimOutcome, ServeError> {
     if sessions.is_empty() {
         return Err(ServeError::BadRequest(
             "replica pool needs at least one session in the ladder".into(),
@@ -458,6 +493,7 @@ pub fn simulate_pool_faulted<S: Borrow<Session>>(
     let mut responses = Vec::new();
     let mut rejected_ids = Vec::new();
     let mut batches = Vec::new();
+    let mut dropped_batches = 0u64;
     let mut handoffs: Vec<HandoffRecord> = Vec::new();
 
     loop {
@@ -505,6 +541,12 @@ pub fn simulate_pool_faulted<S: Borrow<Session>>(
                     Some(target) => {
                         let replica = &mut replicas[target];
                         if replica.queue.len() < capacity {
+                            if let Some(rec) = recorder {
+                                rec.record(
+                                    TraceEvent::new(TraceStage::Submit, target, arrival.time_ns, 0)
+                                        .request(arrival.id),
+                                );
+                            }
                             replica.queue.push_back(arrival);
                         } else {
                             rejected_ids.push(arrival.id);
@@ -537,7 +579,10 @@ pub fn simulate_pool_faulted<S: Borrow<Session>>(
         let session: &Session = sessions[mode].borrow();
         let batch_inputs: Vec<&Tensor<f32>> =
             batch.iter().map(|req| &inputs[req.input_index]).collect();
-        let outputs = session.infer_batch_refs(ctx, &batch_inputs)?;
+        let (outputs, kernels) = match recorder {
+            Some(_) => session.infer_batch_traced(ctx, &batch_inputs)?,
+            None => (session.infer_batch_refs(ctx, &batch_inputs)?, Vec::new()),
+        };
         let factor = replicas[r].faults.service_factor_x1024(batch_index);
         let service_ns = (service.service_ns(session, batch.len()) as u128 * factor as u128 / 1024)
             .min(u128::from(u64::MAX)) as u64;
@@ -549,17 +594,68 @@ pub fn simulate_pool_faulted<S: Borrow<Session>>(
         for (request, inference) in batch.iter().zip(outputs) {
             replica
                 .metrics
+                .record_stage_split(launch.saturating_sub(request.time_ns), service_ns);
+            replica
+                .metrics
                 .record_latency(finish.saturating_sub(request.time_ns));
             responses.push((request.id, inference));
         }
-        batches.push(PoolBatchRecord {
-            replica: r,
-            mode,
-            launch_ns: launch,
-            finish_ns: finish,
-            request_ids: batch.iter().map(|req| req.id).collect(),
-            queue_depth_after: depth_after,
-        });
+        if let Some(rec) = recorder {
+            rec.record(
+                TraceEvent::new(TraceStage::Batch, r, launch, service_ns)
+                    .batch(batch_index)
+                    .mode(mode)
+                    .batch_size(batch.len()),
+            );
+            let weights: Vec<u64> = kernels.iter().map(|k| k.stats.cycles).collect();
+            for (kernel, (span_start, span_dur)) in kernels
+                .iter()
+                .zip(layer_intervals(launch, service_ns, &weights))
+            {
+                rec.record(
+                    TraceEvent::new(TraceStage::Kernel, r, span_start, span_dur)
+                        .batch(batch_index)
+                        .mode(mode)
+                        .layer(kernel.layer)
+                        .stats(kernel.stats),
+                );
+            }
+            for request in &batch {
+                rec.record(
+                    TraceEvent::new(
+                        TraceStage::QueueWait,
+                        r,
+                        request.time_ns,
+                        launch.saturating_sub(request.time_ns),
+                    )
+                    .request(request.id)
+                    .batch(batch_index),
+                );
+                rec.record(
+                    TraceEvent::new(TraceStage::Service, r, launch, service_ns)
+                        .request(request.id)
+                        .batch(batch_index)
+                        .mode(mode),
+                );
+                rec.record(
+                    TraceEvent::new(TraceStage::Respond, r, finish, 0)
+                        .request(request.id)
+                        .batch(batch_index),
+                );
+            }
+        }
+        if batches.len() < BATCH_LOG_CAP {
+            batches.push(PoolBatchRecord {
+                replica: r,
+                mode,
+                launch_ns: launch,
+                finish_ns: finish,
+                request_ids: batch.iter().map(|req| req.id).collect(),
+                queue_depth_after: depth_after,
+            });
+        } else {
+            dropped_batches += 1;
+        }
         replica.t_free = finish;
 
         // Closed loop: completed clients think, then re-submit through the
@@ -629,9 +725,11 @@ pub fn simulate_pool_faulted<S: Borrow<Session>>(
     let mut total = ServeMetrics::new();
     let mut per_replica = Vec::new();
     let mut transitions = Vec::new();
+    let mut dropped_transitions = 0u64;
     for replica in replicas {
         total.merge(&replica.metrics);
         per_replica.push(replica.metrics.snapshot(makespan_ns));
+        dropped_transitions += replica.state.dropped_transitions();
         transitions.extend(replica.state.into_transitions());
     }
     Ok(PoolSimOutcome {
@@ -642,6 +740,8 @@ pub fn simulate_pool_faulted<S: Borrow<Session>>(
         per_replica,
         metrics: total.snapshot(makespan_ns),
         handoffs,
+        dropped_batches,
+        dropped_transitions,
         makespan_ns,
     })
 }
