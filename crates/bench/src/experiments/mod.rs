@@ -9,5 +9,6 @@ pub mod faults_exp;
 pub mod hw_exp;
 pub mod obs_exp;
 pub mod registry;
+pub mod scale_exp;
 pub mod serve_exp;
 pub mod zoo_exp;

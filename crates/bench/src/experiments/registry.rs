@@ -37,6 +37,7 @@ use crate::experiments::accuracy::{
 use crate::experiments::faults_exp::{faults_summary, faults_sweep_with, FaultKnobs};
 use crate::experiments::hw_exp::table2_rows;
 use crate::experiments::obs_exp::ObsBench;
+use crate::experiments::scale_exp::{scale_summary, scale_sweep_with, ScaleKnobs, ANCHOR_REQUESTS};
 use crate::experiments::serve_exp::{
     serve_summary, serve_sweep_with, shard_summary, shard_sweep_with,
 };
@@ -269,6 +270,7 @@ impl ExperimentRegistry {
         registry.register(Box::new(Shard));
         registry.register(Box::new(Faults));
         registry.register(Box::new(Obs));
+        registry.register(Box::new(ScaleExp));
         registry
     }
 
@@ -351,7 +353,8 @@ impl ExperimentRegistry {
              \x20 --spec <path>        load a RunSpec JSON file (see examples/specs/)\n\
              \x20 --set <key>=<value>  override one spec key: scale, seed, threads, backend,\n\
              \x20                      requests, replicas, fault_seed, crash_per_mille,\n\
-             \x20                      stall_per_mille, straggle_per_mille, hedging, trace.path\n\
+             \x20                      stall_per_mille, straggle_per_mille, hedging, trace.path,\n\
+             \x20                      arrival, size_alpha_x1024, size_min_x1024, size_max_x1024\n\
              \x20                      (repeatable, applied in order)\n\
              \x20 --dump-spec          print the resolved spec as JSON and exit without running\n\
              \x20 --full               shorthand for --set scale=full\n\
@@ -1631,6 +1634,130 @@ impl Experiment for Obs {
     }
 }
 
+struct ScaleExp;
+
+impl Experiment for ScaleExp {
+    fn name(&self) -> &'static str {
+        "scale"
+    }
+
+    fn describe(&self) -> ExperimentInfo {
+        ExperimentInfo {
+            description:
+                "scale-regime sweep: traffic model × policy × replicas, stats-only at 10^6 requests → BENCH_scale.json (explicit only)",
+            params: &[
+                ParamKey::Requests,
+                ParamKey::Replicas,
+                ParamKey::Arrival,
+                ParamKey::SizeAlpha,
+                ParamKey::SizeMin,
+                ParamKey::SizeMax,
+            ],
+            writes: Some("BENCH_scale.json"),
+            in_all: false,
+        }
+    }
+
+    fn default_spec(&self) -> RunSpec {
+        let mut spec = RunSpec::defaults(self.name());
+        spec.requests = Some(20_000);
+        spec.replicas = Some(vec![8, 64]);
+        spec.arrival = Some("all".to_string());
+        spec.size_alpha_x1024 = Some(1536);
+        spec.size_min_x1024 = Some(1024);
+        spec.size_max_x1024 = Some(8192);
+        spec
+    }
+
+    fn run(&self, spec: &RunSpec, sink: &mut SummarySink) -> Result<RunReport, ExperimentError> {
+        let defaults = self.default_spec();
+        let requests = spec
+            .requests
+            .or(defaults.requests)
+            .expect("default_spec sets requests");
+        let replicas = &spec
+            .replicas
+            .clone()
+            .or(defaults.replicas)
+            .expect("default_spec sets replicas");
+        let knobs = ScaleKnobs {
+            arrival: spec
+                .arrival
+                .clone()
+                .or(defaults.arrival)
+                .expect("default_spec sets arrival"),
+            size_alpha_x1024: spec
+                .size_alpha_x1024
+                .or(defaults.size_alpha_x1024)
+                .expect("default_spec sets size_alpha_x1024"),
+            size_min_x1024: spec
+                .size_min_x1024
+                .or(defaults.size_min_x1024)
+                .expect("default_spec sets size_min_x1024"),
+            size_max_x1024: spec
+                .size_max_x1024
+                .or(defaults.size_max_x1024)
+                .expect("default_spec sets size_max_x1024"),
+            anchor_requests: ANCHOR_REQUESTS,
+        };
+        out!(
+            sink,
+            "## scale — traffic model × policy × replicas ({requests} requests/cell + 10^6-request anchor, replicas {replicas:?}, arrival {})\n",
+            knobs.arrival
+        );
+        out!(
+            sink,
+            "Training SynthNet and compiling the dense/2T/4T ladder…\n"
+        );
+        let rows = scale_sweep_with(spec.scale, requests, replicas, spec.seed, &knobs);
+        out!(
+            sink,
+            "{:<8} {:<9} {:>4} {:>8} {:>9} {:>8} {:>10} {:>9} {:>9} {:>9} {:>7} {:>6}",
+            "Arrival",
+            "Policy",
+            "R",
+            "Offered",
+            "Done",
+            "Shed",
+            "Thru[rps]",
+            "p50[ms]",
+            "p95[ms]",
+            "p99[ms]",
+            "Batch",
+            "Trans"
+        );
+        for row in &rows {
+            out!(
+                sink,
+                "{:<8} {:<9} {:>4} {:>7.1}x {:>9} {:>8} {:>10.1} {:>9.2} {:>9.2} {:>9.2} {:>7.2} {:>6}",
+                row.arrival,
+                row.policy,
+                row.replicas,
+                row.offered,
+                row.completed,
+                row.rejected,
+                row.throughput_rps,
+                row.p50_ms,
+                row.p95_ms,
+                row.p99_ms,
+                row.mean_batch,
+                row.mode_transitions
+            );
+        }
+        let mut report = RunReport::new(self.name());
+        report.cells = rows.len();
+        if sink.persists() {
+            let path = Path::new("BENCH_scale.json");
+            scale_summary(&rows)
+                .write(path)
+                .map_err(|e| ExperimentError::io(path, &e))?;
+            out!(sink, "\nwrote {} (merged by record name)\n", path.display());
+            report.summaries.push(path.to_path_buf());
+        }
+        Ok(report)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1660,6 +1787,7 @@ mod tests {
                 "shard",
                 "faults",
                 "obs",
+                "scale",
             ]
         );
         assert!(registry.contains(ALL));
@@ -1679,7 +1807,7 @@ mod tests {
                 experiment.name()
             );
         }
-        for name in ["gemmbench", "serve", "shard", "faults", "obs"] {
+        for name in ["gemmbench", "serve", "shard", "faults", "obs", "scale"] {
             assert!(!registry.get(name).expect("registered").describe().in_all);
         }
     }
@@ -1705,6 +1833,13 @@ mod tests {
         let obs = registry.default_spec("obs").expect("registered");
         assert_eq!(obs.requests, Some(96));
         assert_eq!(obs.trace, None);
+        let scale = registry.default_spec("scale").expect("registered");
+        assert_eq!(scale.requests, Some(20_000));
+        assert_eq!(scale.replicas, Some(vec![8, 64]));
+        assert_eq!(scale.arrival.as_deref(), Some("all"));
+        assert_eq!(scale.size_alpha_x1024, Some(1536));
+        assert_eq!(scale.size_min_x1024, Some(1024));
+        assert_eq!(scale.size_max_x1024, Some(8192));
         assert_eq!(
             registry.default_spec(ALL).expect("composite").experiment,
             ALL
@@ -1738,6 +1873,10 @@ mod tests {
              `straggle_per_mille`, `hedging` | `BENCH_faults.json` | no |"
         ));
         assert!(table.contains("| `obs` | `requests`, `trace.path` | `BENCH_obs.json` | no |"));
+        assert!(table.contains(
+            "| `scale` | `requests`, `replicas`, `arrival`, `size_alpha_x1024`, \
+             `size_min_x1024`, `size_max_x1024` | `BENCH_scale.json` | no |"
+        ));
         assert!(table.contains("| `table1` | — | — | yes |"));
     }
 

@@ -57,6 +57,17 @@ pub enum ParamKey {
     Hedging,
     /// `trace.path` — file the exported Chrome-trace JSON is written to.
     Trace,
+    /// `arrival` — traffic-model filter for the scale sweep (`poisson`,
+    /// `mmpp`, `diurnal`, or `all`).
+    Arrival,
+    /// `size_alpha_x1024` — bounded-Pareto shape of the request-size model
+    /// (x1024 fixed point).
+    SizeAlpha,
+    /// `size_min_x1024` — smallest request size (x1024; 1024 = 1.0× the
+    /// model's per-request MACs).
+    SizeMin,
+    /// `size_max_x1024` — largest request size (x1024).
+    SizeMax,
 }
 
 impl ParamKey {
@@ -71,6 +82,10 @@ impl ParamKey {
             ParamKey::StragglePerMille => "straggle_per_mille",
             ParamKey::Hedging => "hedging",
             ParamKey::Trace => "trace.path",
+            ParamKey::Arrival => "arrival",
+            ParamKey::SizeAlpha => "size_alpha_x1024",
+            ParamKey::SizeMin => "size_min_x1024",
+            ParamKey::SizeMax => "size_max_x1024",
         }
     }
 }
@@ -111,6 +126,15 @@ pub struct RunSpec {
     /// ([`ParamKey::Trace`]; rendered as a nested `{"trace": {"path": …}}`
     /// object, mirroring `exec`).
     pub trace: Option<String>,
+    /// Traffic-model filter for the scale sweep ([`ParamKey::Arrival`]:
+    /// `poisson`, `mmpp`, `diurnal`, or `all`).
+    pub arrival: Option<String>,
+    /// Bounded-Pareto request-size shape, x1024 ([`ParamKey::SizeAlpha`]).
+    pub size_alpha_x1024: Option<u64>,
+    /// Smallest request size, x1024 ([`ParamKey::SizeMin`]).
+    pub size_min_x1024: Option<u64>,
+    /// Largest request size, x1024 ([`ParamKey::SizeMax`]).
+    pub size_max_x1024: Option<u64>,
 }
 
 impl RunSpec {
@@ -131,6 +155,10 @@ impl RunSpec {
             straggle_per_mille: None,
             hedging: None,
             trace: None,
+            arrival: None,
+            size_alpha_x1024: None,
+            size_min_x1024: None,
+            size_max_x1024: None,
         }
     }
 
@@ -180,6 +208,18 @@ impl RunSpec {
         }
         if let Some(path) = &self.trace {
             fields.push(("trace".to_string(), Json::obj([("path", Json::str(path))])));
+        }
+        if let Some(arrival) = &self.arrival {
+            fields.push(("arrival".to_string(), Json::str(arrival)));
+        }
+        if let Some(alpha) = self.size_alpha_x1024 {
+            fields.push(("size_alpha_x1024".to_string(), Json::Num(alpha as f64)));
+        }
+        if let Some(min) = self.size_min_x1024 {
+            fields.push(("size_min_x1024".to_string(), Json::Num(min as f64)));
+        }
+        if let Some(max) = self.size_max_x1024 {
+            fields.push(("size_max_x1024".to_string(), Json::Num(max as f64)));
         }
         Json::Obj(fields)
     }
@@ -303,6 +343,21 @@ impl RunSpec {
                         }
                     }
                 }
+                "arrival" => {
+                    let name = value
+                        .as_str()
+                        .ok_or_else(|| SpecError::bad("arrival", "expected a string"))?;
+                    spec.arrival = Some(name.to_string());
+                }
+                "size_alpha_x1024" => {
+                    spec.size_alpha_x1024 = Some(parse_int(value, "size_alpha_x1024")?);
+                }
+                "size_min_x1024" => {
+                    spec.size_min_x1024 = Some(parse_int(value, "size_min_x1024")?);
+                }
+                "size_max_x1024" => {
+                    spec.size_max_x1024 = Some(parse_int(value, "size_max_x1024")?);
+                }
                 "replicas" => {
                     let items = value
                         .as_arr()
@@ -403,6 +458,24 @@ impl RunSpec {
             "trace.path" => {
                 self.trace = Some(value.to_string());
             }
+            "arrival" => {
+                self.arrival = Some(value.to_string());
+            }
+            "size_alpha_x1024" => {
+                self.size_alpha_x1024 = Some(value.parse().map_err(|_| {
+                    SpecError::bad("size_alpha_x1024", format!("'{value}' is not a shape"))
+                })?);
+            }
+            "size_min_x1024" => {
+                self.size_min_x1024 = Some(value.parse().map_err(|_| {
+                    SpecError::bad("size_min_x1024", format!("'{value}' is not a size"))
+                })?);
+            }
+            "size_max_x1024" => {
+                self.size_max_x1024 = Some(value.parse().map_err(|_| {
+                    SpecError::bad("size_max_x1024", format!("'{value}' is not a size"))
+                })?);
+            }
             other => return Err(SpecError::UnknownKey(other.to_string())),
         }
         Ok(())
@@ -435,6 +508,18 @@ impl RunSpec {
         }
         if self.trace.is_some() {
             keys.push(ParamKey::Trace);
+        }
+        if self.arrival.is_some() {
+            keys.push(ParamKey::Arrival);
+        }
+        if self.size_alpha_x1024.is_some() {
+            keys.push(ParamKey::SizeAlpha);
+        }
+        if self.size_min_x1024.is_some() {
+            keys.push(ParamKey::SizeMin);
+        }
+        if self.size_max_x1024.is_some() {
+            keys.push(ParamKey::SizeMax);
         }
         keys
     }
@@ -535,6 +620,34 @@ impl Validate for RunSpec {
         if self.trace.as_deref() == Some("") {
             return Err(SpecError::bad("trace.path", "must not be empty"));
         }
+        if let Some(arrival) = self.arrival.as_deref() {
+            if !matches!(arrival, "poisson" | "mmpp" | "diurnal" | "all") {
+                return Err(SpecError::bad(
+                    "arrival",
+                    format!("'{arrival}' is not one of poisson, mmpp, diurnal, all"),
+                ));
+            }
+        }
+        for (field, value) in [
+            ("size_alpha_x1024", self.size_alpha_x1024),
+            ("size_min_x1024", self.size_min_x1024),
+            ("size_max_x1024", self.size_max_x1024),
+        ] {
+            if value == Some(0) {
+                return Err(SpecError::bad(field, "must be at least 1"));
+            }
+            if value.is_some_and(|v| v > MAX_SPEC_INT) {
+                return Err(SpecError::bad(field, "must be ≤ 2^53−1"));
+            }
+        }
+        if let (Some(min), Some(max)) = (self.size_min_x1024, self.size_max_x1024) {
+            if max < min {
+                return Err(SpecError::bad(
+                    "size_max_x1024",
+                    format!("{max} is below size_min_x1024 ({min})"),
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -601,7 +714,8 @@ impl std::fmt::Display for SpecError {
                     f,
                     "unknown spec key '{key}' (known keys: scale, seed, threads, backend, \
                      requests, replicas, fault_seed, crash_per_mille, stall_per_mille, \
-                     straggle_per_mille, hedging, trace.path)"
+                     straggle_per_mille, hedging, trace.path, arrival, size_alpha_x1024, \
+                     size_min_x1024, size_max_x1024)"
                 )
             }
             SpecError::KeyNotAccepted { experiment, key } => write!(
@@ -863,6 +977,59 @@ mod tests {
         let mut bad = RunSpec::defaults("obs");
         bad.trace = Some(String::new());
         assert!(matches!(bad.validate(), Err(SpecError::Bad { .. })));
+    }
+
+    #[test]
+    fn traffic_params_round_trip_and_validate() {
+        let mut spec = RunSpec::defaults("scale");
+        spec.arrival = Some("mmpp".to_string());
+        spec.size_alpha_x1024 = Some(1536);
+        spec.size_min_x1024 = Some(1024);
+        spec.size_max_x1024 = Some(8192);
+        assert_eq!(spec.validate(), Ok(()));
+        // Bit-exact render→parse round trip (everything is a string or an
+        // integer ≤ 2^53−1, so the JSON f64 path is lossless).
+        let back = RunSpec::parse(&spec.render()).expect("parses");
+        assert_eq!(back, spec);
+        assert_eq!(back.render(), spec.render());
+        assert_eq!(
+            back.params_set(),
+            vec![
+                ParamKey::Arrival,
+                ParamKey::SizeAlpha,
+                ParamKey::SizeMin,
+                ParamKey::SizeMax,
+            ]
+        );
+        // --set reaches the same fields…
+        let mut from_set = RunSpec::defaults("scale");
+        from_set.set("arrival", "mmpp").unwrap();
+        from_set.set("size_alpha_x1024", "1536").unwrap();
+        from_set.set("size_min_x1024", "1024").unwrap();
+        from_set.set("size_max_x1024", "8192").unwrap();
+        assert_eq!(from_set, spec);
+        // …and malformed values are typed errors.
+        assert!(matches!(
+            from_set.set("size_alpha_x1024", "steep"),
+            Err(SpecError::Bad { .. })
+        ));
+        // Validation rejects unknown traffic models, zero sizes, and an
+        // inverted size range.
+        let mut bad = RunSpec::defaults("scale");
+        bad.arrival = Some("lunar".to_string());
+        assert!(matches!(bad.validate(), Err(SpecError::Bad { .. })));
+        let mut bad = RunSpec::defaults("scale");
+        bad.size_min_x1024 = Some(0);
+        assert!(matches!(bad.validate(), Err(SpecError::Bad { .. })));
+        let mut bad = RunSpec::defaults("scale");
+        bad.size_min_x1024 = Some(4096);
+        bad.size_max_x1024 = Some(1024);
+        assert!(matches!(bad.validate(), Err(SpecError::Bad { .. })));
+        // A non-string arrival in a file is a typed parse error.
+        assert!(matches!(
+            RunSpec::parse(r#"{"experiment": "scale", "arrival": 3}"#),
+            Err(SpecError::Bad { .. })
+        ));
     }
 
     #[test]

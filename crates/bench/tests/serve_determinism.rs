@@ -24,6 +24,7 @@ use nbsmt_serve::sim::{
     simulate, simulate_pool, simulate_pool_faulted, simulate_pool_traced, ArrivalProcess,
     PoolSimOutcome, ServiceModel, SimOutcome,
 };
+use nbsmt_serve::traffic::{SizeModel, TrafficModel};
 use nbsmt_serve::TraceRecorder;
 use nbsmt_tensor::exec::{ExecConfig, ExecContext, GemmBackendKind};
 use nbsmt_tensor::tensor::Tensor;
@@ -825,6 +826,122 @@ fn p95_escalation_is_part_of_the_lockstep_contract() {
         let label = format!("p95 escalation, {threads}t");
         let (snapshot, completed) = faulted_lockstep(&fixture, exec, config, &plan);
         assert_lockstep_matches_sim(&label, &snapshot, &completed, &sim);
+    }
+}
+
+/// The traffic-model extension of the lockstep contract: a seeded **MMPP
+/// burst trace with heterogeneous bounded-Pareto request sizes** replayed
+/// through [`ReplicaPool::submit_virtual`] timed admission must match
+/// [`simulate_pool`] over the equivalent [`ArrivalProcess::Generated`]
+/// stream bit for bit — batch compositions, mode transitions, per-replica
+/// counters, *virtual* latency quantiles, and the completed requests'
+/// logits — for every replica count, host thread count, and GEMM backend.
+/// The size model is a pure function of the router key, so both drivers
+/// recompute identical per-request service times from the submitted keys.
+#[test]
+fn mmpp_sized_lockstep_is_identical_across_replicas_threads_and_backends() {
+    let fixture = fixture(101);
+    let n = 72u64;
+    let model = TrafficModel::Mmpp {
+        calm_mrps: 8_000_000,   // 8k rps calm
+        burst_mrps: 60_000_000, // 60k rps bursts
+        mean_calm_ns: 600_000,
+        mean_burst_ns: 300_000,
+    };
+    let arrival_seed = 404;
+    let service = ServiceModel {
+        size: SizeModel::BoundedPareto {
+            seed: 606,
+            alpha_x1024: 1_536,
+            min_x1024: 1_024,
+            max_x1024: 8_192,
+        },
+        ..ServiceModel::default()
+    };
+    let arrivals = ArrivalProcess::Generated {
+        model,
+        seed: arrival_seed,
+        n,
+    };
+    for replicas in [1usize, 2, 4] {
+        let config = pool_config(replicas, RoutePolicy::Hashed);
+
+        // Virtual-clock reference over the generated stream.
+        let sim = simulate_pool(
+            &ladder(&fixture),
+            &ExecContext::sequential(),
+            &fixture.inputs,
+            &arrivals,
+            config,
+            service,
+        )
+        .expect("pool simulation succeeds");
+        assert!(sim.metrics.completed > 0);
+        assert!(
+            sim.metrics.mode_transitions > 0,
+            "the bursts must exercise the adaptive ladder"
+        );
+
+        for exec in [
+            ExecConfig {
+                threads: 1,
+                backend: GemmBackendKind::Naive,
+                ..ExecConfig::default()
+            },
+            ExecConfig {
+                threads: 8,
+                backend: GemmBackendKind::Naive,
+                ..ExecConfig::default()
+            },
+            ExecConfig {
+                threads: 4,
+                backend: GemmBackendKind::Blocked,
+                ..ExecConfig::default()
+            },
+        ] {
+            // Threaded run: the identical stream (same model, same seed)
+            // replayed as timed submissions on a paused lockstep pool. The
+            // MMPP key is the stream index, so request i carries input
+            // i % inputs.len() exactly like the simulator's id mapping.
+            let mut pool = ReplicaPool::start_lockstep(
+                ladder(&fixture),
+                config,
+                exec,
+                true,
+                service,
+                &FaultPlan::none(),
+            )
+            .expect("lockstep pool starts");
+            let handles: Vec<_> = model
+                .generate(arrival_seed, n)
+                .enumerate()
+                .map(|(i, arrival)| {
+                    let input = fixture.inputs[i % fixture.inputs.len()].clone();
+                    (
+                        arrival.key,
+                        pool.submit_virtual(arrival.time_ns, arrival.key, input)
+                            .expect("timed submissions are monotone pre-resume"),
+                    )
+                })
+                .collect();
+            pool.resume();
+            let mut completed = Vec::new();
+            for (key, handle) in handles {
+                // Gate-shed requests cancel their handles and drop out,
+                // mirroring the simulator's rejected-id accounting.
+                if let Ok(result) = handle.wait() {
+                    let inference = result.expect("no model error");
+                    let bits = inference.logits.iter().map(|v| v.to_bits()).collect();
+                    completed.push((key, bits));
+                }
+            }
+            let snapshot = pool.shutdown();
+            let label = format!(
+                "mmpp sized lockstep, {replicas} replicas, {} {}t",
+                exec.backend, exec.threads
+            );
+            assert_lockstep_matches_sim(&label, &snapshot, &completed, &sim);
+        }
     }
 }
 

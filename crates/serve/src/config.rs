@@ -437,6 +437,19 @@ pub const BATCH_LOG_CAP: usize = 65_536;
 /// [`AdaptiveState::dropped_transitions`].
 pub const TRANSITION_LOG_CAP: usize = 16_384;
 
+/// Capacity cap on the per-run response log kept by the simulators
+/// (`SimOutcome::responses` / `PoolSimOutcome::responses`). Completions past
+/// the cap still feed metrics and traces — only the retained `(id, logits)`
+/// pairs are bounded, with the overflow counted in a `dropped_responses`
+/// counter, so 10^6–10^7-request sweeps stay constant-memory.
+pub const RESPONSE_LOG_CAP: usize = 65_536;
+
+/// Capacity cap on the per-run rejected-id log kept by the simulators.
+/// Rejections past the cap still count in [`crate::metrics::ServeMetrics`];
+/// only the retained id list is bounded, with the overflow counted in a
+/// `dropped_rejections` counter.
+pub const REJECTION_LOG_CAP: usize = 65_536;
+
 /// One adaptive mode switch, recorded identically by the threaded pool and
 /// the simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -74,11 +74,12 @@ pub mod server;
 pub mod session;
 pub mod sim;
 pub mod trace;
+pub mod traffic;
 
 pub use config::{
     AdaptivePolicy, AdaptiveState, BatchPolicy, ConfigError, ModeTransition, PoolConfig,
     RoutePolicy, SchedulerConfig, ServeError, SmtConfig, SubmitError, BATCH_LOG_CAP,
-    TRANSITION_LOG_CAP,
+    REJECTION_LOG_CAP, RESPONSE_LOG_CAP, TRANSITION_LOG_CAP,
 };
 pub use faults::{
     FaultClient, FaultClientStats, FaultConfig, FaultEvent, FaultKind, FaultPlan, HandoffRecord,
@@ -96,6 +97,7 @@ pub use trace::{
     layer_intervals, Clock, LayerKernel, TraceEvent, TraceRecorder, TraceSnapshot, TraceStage,
     DEFAULT_TRACE_CAPACITY,
 };
+pub use traffic::{GeneratedArrival, GeneratedArrivals, SizeModel, SplitMix64, TrafficModel};
 
 /// Convenience re-exports for serving code.
 pub mod prelude {
@@ -112,8 +114,9 @@ pub mod prelude {
     pub use crate::server::Server;
     pub use crate::session::{Inference, Session};
     pub use crate::sim::{
-        simulate, simulate_pool, simulate_pool_faulted, simulate_pool_traced, ArrivalProcess,
-        PoolSimOutcome, ServiceModel, SimOutcome,
+        simulate, simulate_pool, simulate_pool_faulted, simulate_pool_stats, simulate_pool_traced,
+        ArrivalProcess, PoolSimOutcome, ServiceModel, SimOutcome,
     };
     pub use crate::trace::{Clock, TraceRecorder, TraceSnapshot, TraceStage};
+    pub use crate::traffic::{GeneratedArrival, SizeModel, TrafficModel};
 }

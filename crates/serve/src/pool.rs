@@ -388,6 +388,8 @@ impl ReplicaPool {
         let gate = LockstepGate {
             state: Mutex::new(GateState {
                 queues: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
+                pending: std::collections::VecDeque::new(),
+                rr: 0,
                 t_free: vec![0; n],
                 batches: vec![0; n],
                 crashed: vec![false; n],
@@ -406,6 +408,7 @@ impl ReplicaPool {
             max_batch: pool.config.scheduler.batch.max_batch,
             max_wait_ns: pool.config.scheduler.batch.max_wait_ns,
             capacity: pool.config.scheduler.queue_capacity,
+            route: pool.config.route,
             service,
             record_log,
         };
@@ -530,6 +533,55 @@ impl ReplicaPool {
         PoolClient {
             router: Arc::clone(&self.router),
         }
+    }
+
+    /// Queues a **virtual-time** submission on a paused lockstep pool: the
+    /// request arrives at virtual `at_ns` and is routed *inside* the gate at
+    /// that instant — admission interleaves with launches exactly as the
+    /// simulator's event loop does, so a timed trace (e.g. a seeded MMPP
+    /// burst from [`crate::traffic::TrafficModel`]) replays bit-identically
+    /// against [`crate::sim::simulate_pool`] with the matching
+    /// [`crate::sim::ArrivalProcess`]. `key` is the router/affinity key and
+    /// the [`crate::traffic::SizeModel`] input, so per-request sizes are
+    /// recomputed identically on both sides.
+    ///
+    /// Submissions must be issued in non-decreasing `at_ns` order, before
+    /// [`Self::resume`]. A request shed by gate admission control cancels
+    /// its handle (the wait returns `None`), mirroring the simulator's
+    /// rejected-id accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`] when the pool is not a paused lockstep pool
+    /// or `at_ns` goes backwards — timed replay is strictly a pre-resume,
+    /// ascending-order protocol.
+    pub fn submit_virtual(
+        &self,
+        at_ns: u64,
+        key: u64,
+        input: Tensor<f32>,
+    ) -> Result<ResponseHandle<RequestResult>, SubmitError> {
+        let FaultMode::Lockstep { gate } = &self.mode else {
+            return Err(SubmitError::Closed);
+        };
+        if self.running {
+            return Err(SubmitError::Closed);
+        }
+        let mut state = gate.state.lock().expect("gate lock");
+        if state.pending.back().is_some_and(|p| p.at_ns > at_ns) {
+            return Err(SubmitError::Closed);
+        }
+        let (slot, handle) = response_channel();
+        state.pending.push_back(PendingSubmission {
+            at_ns,
+            req: PooledRequest {
+                key,
+                input,
+                submitted: Instant::now(),
+                slot,
+            },
+        });
+        Ok(handle)
     }
 
     /// Current per-replica queue depths (approximate under concurrency).
@@ -723,6 +775,7 @@ fn replica_loop_faulted(
         let depth_after = queue.len();
         let mode = state.mode();
         let batch_len = batch.len();
+        let batch_keys: Vec<u64> = batch.iter().map(|r| r.key).collect();
         metrics.record_batch(batch_len, depth_after);
         metrics.record_mode_batch(mode);
         if record_log {
@@ -747,8 +800,8 @@ fn replica_loop_faulted(
         let factor = faults.service_factor_x1024(batch_index);
         if factor > 1024 {
             // The straggler pads the batch with the *extra* time the factor
-            // implies over the service model's nominal cost.
-            let extra = (service.service_ns(&sessions[mode], batch_len) as u128
+            // implies over the service model's size-aware nominal cost.
+            let extra = (service.batch_ns(&sessions[mode], batch_keys.iter().copied()) as u128
                 * (factor - 1024) as u128
                 / 1024)
                 .min(u128::from(u64::MAX)) as u64;
@@ -834,10 +887,25 @@ struct GateRequest {
     submit_v: u64,
 }
 
+/// A virtual-time submission waiting to be routed by the lockstep gate —
+/// the threaded counterpart of the simulator's pending-arrival queue.
+struct PendingSubmission {
+    at_ns: u64,
+    req: PooledRequest,
+}
+
 /// All deterministic pool state in lockstep mode, owned by one mutex so a
 /// launch grant commits atomically in virtual-time order.
 struct GateState {
     queues: Vec<std::collections::VecDeque<GateRequest>>,
+    /// Timed arrivals from [`ReplicaPool::submit_virtual`], ascending by
+    /// `at_ns`; routed inside the gate at their virtual arrival instant
+    /// (admission precedes any launch at or after that instant, exactly the
+    /// simulator's event interleaving).
+    pending: std::collections::VecDeque<PendingSubmission>,
+    /// Round-robin tick for gate-side routing — the virtual twin of
+    /// [`RouterCore`]'s counter.
+    rr: u64,
     t_free: Vec<u64>,
     batches: Vec<u64>,
     crashed: Vec<bool>,
@@ -875,6 +943,7 @@ struct LockstepGate {
     max_batch: usize,
     max_wait_ns: u64,
     capacity: usize,
+    route: RoutePolicy,
     service: ServiceModel,
     record_log: bool,
 }
@@ -890,7 +959,7 @@ impl LockstepGate {
             if state.crashed[r] {
                 return None;
             }
-            if state.queues.iter().all(|q| q.is_empty()) {
+            if state.queues.iter().all(|q| q.is_empty()) && state.pending.is_empty() {
                 // Fully drained: release every parked worker so the pool
                 // shuts down instead of deadlocking on the last notify.
                 self.cv.notify_all();
@@ -910,6 +979,54 @@ impl LockstepGate {
                 };
                 if best.is_none_or(|(b, _)| launch < b) {
                     best = Some((launch, i));
+                }
+            }
+            // Timed arrivals at or before that launch are routed and
+            // admitted first — the simulator's exact event interleaving,
+            // with the same [`pick_replica`] arithmetic over the gate's
+            // virtual queue depths.
+            if let Some(front_t) = state.pending.front().map(|p| p.at_ns) {
+                if best.is_none_or(|(launch, _)| front_t <= launch) {
+                    let sub = state.pending.pop_front().expect("front checked");
+                    let eligible: Vec<(usize, usize)> = (0..state.queues.len())
+                        .filter(|&i| !state.crashed[i] && !state.closed[i])
+                        .map(|i| (i, state.queues[i].len()))
+                        .collect();
+                    let tick = state.rr;
+                    if self.route == RoutePolicy::RoundRobin {
+                        state.rr += 1;
+                    }
+                    match pick_replica(self.route, sub.req.key, tick, &eligible) {
+                        Some(target) => {
+                            if state.queues[target].len() < self.capacity {
+                                if let Some(rec) = state.recorder.clone() {
+                                    rec.record(
+                                        TraceEvent::new(TraceStage::Submit, target, sub.at_ns, 0)
+                                            .request(sub.req.key),
+                                    );
+                                }
+                                state.queues[target].push_back(GateRequest {
+                                    req: sub.req,
+                                    ready_v: sub.at_ns,
+                                    submit_v: sub.at_ns,
+                                });
+                            } else {
+                                // Shed: dropping the slot cancels the
+                                // client's handle, mirroring the
+                                // simulator's rejected-id accounting.
+                                state.metrics[target].record_rejected();
+                            }
+                        }
+                        None => {
+                            // Every replica dead or closed — attribute the
+                            // shed to replica 0, as the simulator does.
+                            state.metrics[0].record_rejected();
+                        }
+                    }
+                    // Admission may have changed which replica owns the
+                    // earliest launch: wake everyone to recompute.
+                    self.cv.notify_all();
+                    continue;
                 }
             }
             let Some((launch, winner)) = best else {
@@ -943,9 +1060,13 @@ impl LockstepGate {
         let batch: Vec<GateRequest> = state.queues[r].drain(..take).collect();
         let mode = state.adaptive[r].mode();
         let factor = state.faults[r].service_factor_x1024(batch_index);
-        let service_ns =
-            (self.service.service_ns(&sessions[mode], batch.len()) as u128 * factor as u128 / 1024)
-                .min(u128::from(u64::MAX)) as u64;
+        // Size-aware virtual cost, recomputed from the submitted keys — the
+        // same pure function of (size seed, key) the simulator evaluates, so
+        // heterogeneous request sizes stay inside the lockstep contract.
+        let base_ns = self
+            .service
+            .batch_ns(&sessions[mode], batch.iter().map(|g| g.req.key));
+        let service_ns = (base_ns as u128 * factor as u128 / 1024).min(u128::from(u64::MAX)) as u64;
         let finish = launch.saturating_add(service_ns);
         let depth_after = state.queues[r].len();
         state.metrics[r].record_batch(batch.len(), depth_after);

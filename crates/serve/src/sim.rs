@@ -9,10 +9,14 @@
 //! runs of the same seeded trace produce identical batch compositions,
 //! latencies, and metrics — on any machine, at any host thread count.
 //!
-//! Two arrival models are supported, matching the `nbsmt-bench` load
-//! generator: **open loop** (a pre-generated arrival trace, e.g. Poisson)
-//! and **closed loop** (N clients that submit, wait for the response, think,
-//! and submit again — arrivals emerge from completions).
+//! Three arrival models are supported, matching the `nbsmt-bench` load
+//! generator: **open loop** (a pre-generated arrival trace, e.g. Poisson),
+//! **closed loop** (N clients that submit, wait for the response, think,
+//! and submit again — arrivals emerge from completions), and **generated**
+//! (a lazy, seeded [`TrafficModel`] stream — bursty MMPP, diurnal
+//! envelopes, per-user sessions — that never materializes the trace, so
+//! 10^6–10^7-request runs stay constant-memory; see [`simulate_pool_stats`]
+//! for the matching constant-memory outcome path).
 
 use std::borrow::Borrow;
 use std::collections::VecDeque;
@@ -23,12 +27,13 @@ use nbsmt_tensor::validate::Validate;
 
 use crate::config::{
     AdaptivePolicy, AdaptiveState, ModeTransition, PoolConfig, RoutePolicy, SchedulerConfig,
-    ServeError, BATCH_LOG_CAP,
+    ServeError, BATCH_LOG_CAP, REJECTION_LOG_CAP, RESPONSE_LOG_CAP,
 };
 use crate::faults::{pick_handoff_target, pick_replica, FaultPlan, HandoffRecord, ReplicaFaults};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::session::{Inference, Session};
-use crate::trace::{layer_intervals, TraceEvent, TraceRecorder, TraceStage};
+use crate::trace::{layer_intervals, LayerKernel, TraceEvent, TraceRecorder, TraceStage};
+use crate::traffic::{GeneratedArrivals, SizeModel, TrafficModel};
 
 /// Deterministic service-time model for the virtual clock.
 ///
@@ -43,6 +48,11 @@ pub struct ServiceModel {
     pub ns_per_mac_x1024: u64,
     /// Fixed per-batch launch cost in nanoseconds.
     pub batch_overhead_ns: u64,
+    /// Per-request work multiplier keyed by router key. [`SizeModel::Unit`]
+    /// (the default) reproduces the historical uniform-size arithmetic
+    /// bit-exactly; a bounded-Pareto model makes service time scale with
+    /// heterogeneous request MACs.
+    pub size: SizeModel,
 }
 
 impl Default for ServiceModel {
@@ -52,15 +62,37 @@ impl Default for ServiceModel {
             // so quick-scale sweeps show real queueing behaviour.
             ns_per_mac_x1024: 2048,
             batch_overhead_ns: 20_000,
+            size: SizeModel::Unit,
         }
     }
 }
 
 impl ServiceModel {
-    /// Virtual service time of a batch of `batch` requests on `session`.
+    /// Virtual service time of a batch of `batch` unit-size requests on
+    /// `session` (the historical model; ignores [`ServiceModel::size`]).
     pub fn service_ns(&self, session: &Session, batch: usize) -> u64 {
         let macs = session.macs_per_sample() as u128 * batch as u128;
         let work = macs * self.ns_per_mac_x1024 as u128 / 1024 / session.smt().speedup() as u128;
+        self.batch_overhead_ns + work.min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Virtual service time of a batch whose requests carry the given
+    /// router keys, with each request's MACs scaled by
+    /// [`ServiceModel::size`]. For [`SizeModel::Unit`] every key weighs
+    /// 1024/1024 and the result is bit-identical to
+    /// [`ServiceModel::service_ns`] of the same batch length — the first
+    /// `/ 1024` is exact — so unit-size runs are unchanged by construction.
+    /// Used identically by the simulators and the threaded pool's lockstep
+    /// gate, keeping heterogeneous sizes inside the determinism contract.
+    pub fn batch_ns<I: IntoIterator<Item = u64>>(&self, session: &Session, keys: I) -> u64 {
+        let total_x1024: u128 = keys
+            .into_iter()
+            .map(|k| self.size.size_x1024(k) as u128)
+            .sum();
+        let work = session.macs_per_sample() as u128 * total_x1024 * self.ns_per_mac_x1024 as u128
+            / 1024
+            / 1024
+            / session.smt().speedup() as u128;
         self.batch_overhead_ns + work.min(u128::from(u64::MAX)) as u64
     }
 
@@ -93,6 +125,21 @@ pub enum ArrivalProcess {
         /// Total requests to issue across all clients.
         total_requests: usize,
     },
+    /// Generated open loop: a seeded [`TrafficModel`] streamed lazily, one
+    /// arrival at a time — the trace never materializes, so 10^7-request
+    /// runs cost O(1) arrival memory. Request `i` uses input
+    /// `i % inputs.len()` exactly like [`ArrivalProcess::Open`]; the
+    /// stream's key (the user id under [`TrafficModel::Sessions`], the
+    /// request index otherwise) feeds the router and the
+    /// [`SizeModel`].
+    Generated {
+        /// The traffic model to stream.
+        model: TrafficModel,
+        /// Stream seed: same seed, same arrivals, on every platform.
+        seed: u64,
+        /// Number of arrivals to generate.
+        n: u64,
+    },
 }
 
 /// One launched batch in the simulated schedule.
@@ -120,6 +167,14 @@ pub struct SimOutcome {
     pub batches: Vec<BatchRecord>,
     /// Metrics snapshot over the virtual makespan.
     pub metrics: MetricsSnapshot,
+    /// Completions not retained in `responses` past
+    /// [`RESPONSE_LOG_CAP`] (or not computed at all on the
+    /// [`simulate_pool_stats`] path) — `metrics.completed` still counts
+    /// them, closing the accounting.
+    pub dropped_responses: u64,
+    /// Sheds not retained in `rejected_ids` past [`REJECTION_LOG_CAP`] —
+    /// `metrics.rejected` still counts them.
+    pub dropped_rejections: u64,
     /// Virtual time at which the last batch finished [ns].
     pub makespan_ns: u64,
 }
@@ -127,6 +182,10 @@ pub struct SimOutcome {
 #[derive(Debug, Clone, Copy)]
 struct PendingArrival {
     id: u64,
+    /// Router/affinity key: equal to `id` for open and closed loops, the
+    /// stream key (e.g. the session's user id) for generated arrivals.
+    /// Feeds [`pick_replica`] and the [`SizeModel`].
+    key: u64,
     time_ns: u64,
     /// Earliest virtual time the request may launch. Equal to `time_ns` for
     /// a fresh arrival; a crash handoff re-enqueues the request with
@@ -187,6 +246,8 @@ pub fn simulate(
             })
             .collect(),
         metrics: outcome.metrics,
+        dropped_responses: outcome.dropped_responses,
+        dropped_rejections: outcome.dropped_rejections,
         makespan_ns: outcome.makespan_ns,
     })
 }
@@ -194,28 +255,34 @@ pub fn simulate(
 struct ArrivalPlan {
     /// Pending arrivals, always sorted by `(time, id)`.
     pending: VecDeque<PendingArrival>,
+    /// Lazy arrival stream for [`ArrivalProcess::Generated`]: `pending` is
+    /// refilled one arrival at a time from here, so the trace never
+    /// materializes.
+    generator: Option<GeneratedArrivals>,
     next_id: u64,
     remaining_closed: usize,
     think_ns: u64,
 }
 
-/// The client population a closed loop needs admitted (0 for open loop) —
+/// The client population a closed loop needs admitted (0 for open loops) —
 /// the per-queue capacity floor.
 fn closed_population(arrivals: &ArrivalProcess) -> usize {
     match arrivals {
-        ArrivalProcess::Open { .. } => 0,
+        ArrivalProcess::Open { .. } | ArrivalProcess::Generated { .. } => 0,
         ArrivalProcess::Closed { clients, .. } => *clients,
     }
 }
 
 /// Expands an arrival process into the initial pending set: the open loop
 /// prefills the whole trace; the closed loop seeds one submission per client
-/// and grows on completions.
+/// and grows on completions; the generated loop installs a lazy stream the
+/// event loop pulls from one arrival at a time.
 fn expand_arrivals(
     arrivals: &ArrivalProcess,
     inputs_len: usize,
 ) -> Result<ArrivalPlan, ServeError> {
     let mut pending: VecDeque<PendingArrival> = VecDeque::new();
+    let mut generator = None;
     let mut next_id = 0u64;
     let mut remaining_closed = 0usize;
     let think_ns = match arrivals {
@@ -228,6 +295,7 @@ fn expand_arrivals(
             for &t in arrivals_ns {
                 pending.push_back(PendingArrival {
                     id: next_id,
+                    key: next_id,
                     time_ns: t,
                     ready_ns: t,
                     input_index: next_id as usize % inputs_len,
@@ -247,6 +315,7 @@ fn expand_arrivals(
             for c in 0..clients {
                 pending.push_back(PendingArrival {
                     id: next_id,
+                    key: next_id,
                     time_ns: 0,
                     ready_ns: 0,
                     input_index: next_id as usize % inputs_len,
@@ -256,9 +325,15 @@ fn expand_arrivals(
             }
             *think_ns
         }
+        ArrivalProcess::Generated { model, seed, n } => {
+            model.check().map_err(ServeError::BadRequest)?;
+            generator = Some(model.generate(*seed, *n));
+            0
+        }
     };
     Ok(ArrivalPlan {
         pending,
+        generator,
         next_id,
         remaining_closed,
         think_ns,
@@ -287,6 +362,7 @@ fn respawn_closed(
         *remaining_closed -= 1;
         let arrival = PendingArrival {
             id: *next_id,
+            key: *next_id,
             time_ns: finish.saturating_add(think_ns),
             ready_ns: finish.saturating_add(think_ns),
             input_index: *next_id as usize % inputs_len,
@@ -355,6 +431,14 @@ pub struct PoolSimOutcome {
     /// Mode transitions applied but not retained in `transitions` past
     /// [`crate::config::TRANSITION_LOG_CAP`], summed over replicas.
     pub dropped_transitions: u64,
+    /// Completions not retained in `responses` past [`RESPONSE_LOG_CAP`]
+    /// (or whose outputs were never computed, on the
+    /// [`simulate_pool_stats`] path) — `metrics.completed` still counts
+    /// every one, closing the accounting at any request count.
+    pub dropped_responses: u64,
+    /// Sheds not retained in `rejected_ids` past [`REJECTION_LOG_CAP`] —
+    /// `metrics.rejected` still counts every one.
+    pub dropped_rejections: u64,
     /// Virtual time at which the last batch finished [ns].
     pub makespan_ns: u64,
 }
@@ -452,6 +536,52 @@ pub fn simulate_pool_traced<S: Borrow<Session>>(
     faults: Option<&FaultPlan>,
     recorder: Option<&TraceRecorder>,
 ) -> Result<PoolSimOutcome, ServeError> {
+    simulate_pool_inner(
+        sessions, ctx, inputs, arrivals, pool, service, faults, recorder, true,
+    )
+}
+
+/// The constant-memory statistics path for million-request sweeps:
+/// identical scheduling, routing, adaptive, and fault semantics to
+/// [`simulate_pool_traced`] — same batches, same virtual latencies, same
+/// metrics, bit for bit — but model outputs are **not computed** (no
+/// [`ExecContext`] needed) and `responses` stays empty, with every
+/// completion counted in `dropped_responses`. All retained collections
+/// (batch log, transition log, rejected ids, trace ring when a recorder is
+/// supplied) are capped, so peak memory is flat in request count. With a
+/// recorder, per-layer kernel spans are omitted (they would require real
+/// execution); all other span kinds are recorded as usual.
+///
+/// # Errors
+///
+/// Same as [`simulate_pool`].
+pub fn simulate_pool_stats<S: Borrow<Session>>(
+    sessions: &[S],
+    inputs: &[Tensor<f32>],
+    arrivals: &ArrivalProcess,
+    pool: PoolConfig,
+    service: ServiceModel,
+    faults: Option<&FaultPlan>,
+    recorder: Option<&TraceRecorder>,
+) -> Result<PoolSimOutcome, ServeError> {
+    let ctx = ExecContext::sequential();
+    simulate_pool_inner(
+        sessions, &ctx, inputs, arrivals, pool, service, faults, recorder, false,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simulate_pool_inner<S: Borrow<Session>>(
+    sessions: &[S],
+    ctx: &ExecContext,
+    inputs: &[Tensor<f32>],
+    arrivals: &ArrivalProcess,
+    pool: PoolConfig,
+    service: ServiceModel,
+    faults: Option<&FaultPlan>,
+    recorder: Option<&TraceRecorder>,
+    compute_outputs: bool,
+) -> Result<PoolSimOutcome, ServeError> {
     if sessions.is_empty() {
         return Err(ServeError::BadRequest(
             "replica pool needs at least one session in the ladder".into(),
@@ -472,6 +602,7 @@ pub fn simulate_pool_traced<S: Borrow<Session>>(
 
     let ArrivalPlan {
         mut pending,
+        mut generator,
         mut next_id,
         mut remaining_closed,
         think_ns,
@@ -494,9 +625,35 @@ pub fn simulate_pool_traced<S: Borrow<Session>>(
     let mut rejected_ids = Vec::new();
     let mut batches = Vec::new();
     let mut dropped_batches = 0u64;
+    let mut dropped_responses = 0u64;
+    let mut dropped_rejections = 0u64;
     let mut handoffs: Vec<HandoffRecord> = Vec::new();
+    let reject = |ids: &mut Vec<u64>, dropped: &mut u64, id: u64| {
+        if ids.len() < REJECTION_LOG_CAP {
+            ids.push(id);
+        } else {
+            *dropped += 1;
+        }
+    };
 
     loop {
+        // Generated arrivals stream in lazily, one at a time: the stream is
+        // monotone, so a single-element prefix of `pending` is
+        // bit-equivalent to the fully materialized trace (admission only
+        // ever peeks the front) while 10^7 arrivals never exist at once.
+        if pending.is_empty() {
+            if let Some(arrival) = generator.as_mut().and_then(Iterator::next) {
+                pending.push_back(PendingArrival {
+                    id: next_id,
+                    key: arrival.key,
+                    time_ns: arrival.time_ns,
+                    ready_ns: arrival.time_ns,
+                    input_index: next_id as usize % inputs.len(),
+                    client: 0,
+                });
+                next_id += 1;
+            }
+        }
         // Earliest launch any live replica could perform from its current
         // queue: a full batch launches once the worker is free and its
         // max_batch-th request is ready; a partial batch waits out the
@@ -537,7 +694,7 @@ pub fn simulate_pool_traced<S: Borrow<Session>>(
                 if pool.route == RoutePolicy::RoundRobin {
                     rr_counter += 1;
                 }
-                match pick_replica(pool.route, arrival.id, tick, &eligible) {
+                match pick_replica(pool.route, arrival.key, tick, &eligible) {
                     Some(target) => {
                         let replica = &mut replicas[target];
                         if replica.queue.len() < capacity {
@@ -549,7 +706,7 @@ pub fn simulate_pool_traced<S: Borrow<Session>>(
                             }
                             replica.queue.push_back(arrival);
                         } else {
-                            rejected_ids.push(arrival.id);
+                            reject(&mut rejected_ids, &mut dropped_rejections, arrival.id);
                             replica.metrics.record_rejected();
                         }
                     }
@@ -557,7 +714,7 @@ pub fn simulate_pool_traced<S: Borrow<Session>>(
                         // Every replica dead or closed: the submission is
                         // shed; attribute it to replica 0's counters (the
                         // pool-level aggregate is what fault benches read).
-                        rejected_ids.push(arrival.id);
+                        reject(&mut rejected_ids, &mut dropped_rejections, arrival.id);
                         replicas[0].metrics.record_rejected();
                     }
                 }
@@ -577,28 +734,49 @@ pub fn simulate_pool_traced<S: Borrow<Session>>(
         let batch: Vec<PendingArrival> = replicas[r].queue.drain(..take).collect();
         let mode = replicas[r].state.mode();
         let session: &Session = sessions[mode].borrow();
-        let batch_inputs: Vec<&Tensor<f32>> =
-            batch.iter().map(|req| &inputs[req.input_index]).collect();
-        let (outputs, kernels) = match recorder {
-            Some(_) => session.infer_batch_traced(ctx, &batch_inputs)?,
-            None => (session.infer_batch_refs(ctx, &batch_inputs)?, Vec::new()),
+        let (outputs, kernels): (Option<Vec<Inference>>, Vec<LayerKernel>) = if compute_outputs {
+            let batch_inputs: Vec<&Tensor<f32>> =
+                batch.iter().map(|req| &inputs[req.input_index]).collect();
+            match recorder {
+                Some(_) => {
+                    let (outs, kernels) = session.infer_batch_traced(ctx, &batch_inputs)?;
+                    (Some(outs), kernels)
+                }
+                None => (
+                    Some(session.infer_batch_refs(ctx, &batch_inputs)?),
+                    Vec::new(),
+                ),
+            }
+        } else {
+            (None, Vec::new())
         };
         let factor = replicas[r].faults.service_factor_x1024(batch_index);
-        let service_ns = (service.service_ns(session, batch.len()) as u128 * factor as u128 / 1024)
-            .min(u128::from(u64::MAX)) as u64;
+        let base_ns = service.batch_ns(session, batch.iter().map(|req| req.key));
+        let service_ns = (base_ns as u128 * factor as u128 / 1024).min(u128::from(u64::MAX)) as u64;
         let finish = launch.saturating_add(service_ns);
         let depth_after = replicas[r].queue.len();
         let replica = &mut replicas[r];
         replica.metrics.record_batch(batch.len(), depth_after);
         replica.metrics.record_mode_batch(mode);
-        for (request, inference) in batch.iter().zip(outputs) {
+        for request in &batch {
             replica
                 .metrics
                 .record_stage_split(launch.saturating_sub(request.time_ns), service_ns);
             replica
                 .metrics
                 .record_latency(finish.saturating_sub(request.time_ns));
-            responses.push((request.id, inference));
+        }
+        match outputs {
+            Some(outs) => {
+                for (request, inference) in batch.iter().zip(outs) {
+                    if responses.len() < RESPONSE_LOG_CAP {
+                        responses.push((request.id, inference));
+                    } else {
+                        dropped_responses += 1;
+                    }
+                }
+            }
+            None => dropped_responses += batch.len() as u64,
         }
         if let Some(rec) = recorder {
             rec.record(
@@ -704,7 +882,7 @@ pub fn simulate_pool_traced<S: Borrow<Session>>(
                 handoffs.push(HandoffRecord {
                     from_replica: r,
                     at_batch: batch_index,
-                    key: orphan.id,
+                    key: orphan.key,
                     to_replica: target,
                 });
                 match target {
@@ -742,6 +920,8 @@ pub fn simulate_pool_traced<S: Borrow<Session>>(
         handoffs,
         dropped_batches,
         dropped_transitions,
+        dropped_responses,
+        dropped_rejections,
         makespan_ns,
     })
 }
@@ -841,6 +1021,7 @@ mod tests {
             ServiceModel {
                 ns_per_mac_x1024: 0,
                 batch_overhead_ns: 10,
+                size: SizeModel::Unit,
             },
         )
         .unwrap();
@@ -859,6 +1040,7 @@ mod tests {
             ServiceModel {
                 ns_per_mac_x1024: 0,
                 batch_overhead_ns: 10,
+                size: SizeModel::Unit,
             },
         )
         .unwrap();

@@ -48,8 +48,9 @@ pub mod prelude {
     pub use nbsmt_serve::server::Server;
     pub use nbsmt_serve::session::{Inference, Session};
     pub use nbsmt_serve::sim::{
-        simulate, simulate_pool, ArrivalProcess, PoolSimOutcome, ServiceModel,
+        simulate, simulate_pool, simulate_pool_stats, ArrivalProcess, PoolSimOutcome, ServiceModel,
     };
+    pub use nbsmt_serve::traffic::{SizeModel, TrafficModel};
     pub use nbsmt_sparsity::stats::UtilizationBreakdown;
     pub use nbsmt_systolic::array::{OutputStationaryArray, SystolicConfig};
     pub use nbsmt_tensor::exec::{ExecConfig, ExecContext, GemmBackend, GemmBackendKind};

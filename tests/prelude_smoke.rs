@@ -95,8 +95,22 @@ fn prelude_covers_the_serving_layer() {
     let model = ServiceModel {
         ns_per_mac_x1024: 1024,
         batch_overhead_ns: 5,
+        size: SizeModel::Unit,
     };
     assert_eq!(model.batch_overhead_ns, 5);
+    assert_eq!(SizeModel::Unit.size_x1024(7), 1024);
+    let pareto = SizeModel::BoundedPareto {
+        seed: 1,
+        alpha_x1024: 1536,
+        min_x1024: 1024,
+        max_x1024: 8192,
+    };
+    assert!((1024..=8192).contains(&pareto.size_x1024(3)));
+    let stream = TrafficModel::Poisson {
+        rate_mrps: 1_000_000,
+    }
+    .generate(9, 4);
+    assert_eq!(stream.count(), 4);
     assert!(matches!(
         ArrivalProcess::Open {
             arrivals_ns: vec![0, 1]
