@@ -1,0 +1,476 @@
+//! The `repro control` experiment: shed-rate, tail-latency, and
+//! replica-second curves for the pool-level controller variants.
+//!
+//! Where `scale` sweeps *what the pool is given* (traffic model × replicas ×
+//! offered load), `control` sweeps *what sits above it*: the
+//! [`nbsmt_serve::control::PoolController`] in four configurations —
+//!
+//! * `reactive` — no controller; every replica walks the ladder on its own
+//!   queue-depth pressure (the `scale` baseline).
+//! * `predictive` — the EWMA arrival-rate estimator forecasts utilization
+//!   and raises the ladder floor *before* queues build.
+//! * `predictive-autoscale` — predictive plus live-replica scaling: calm
+//!   phases drain replicas down (reusing the crash-handoff machinery) and
+//!   bursts bring them back, trading replica-seconds against shed rate.
+//! * `predictive-steal` — predictive plus bounded deepest→shallowest work
+//!   stealing, rebalancing hash-skewed queues.
+//!
+//! Every variant replays the *identical* seeded MMPP / diurnal trace through
+//! [`simulate_pool_controlled_stats`] (the statistics-only virtual-clock
+//! path), so each cell is bit-reproducible and the four variants differ only
+//! in controller policy. Cells land in `BENCH_control.json` (merge-by-name),
+//! and the committed file is held to the dominance criterion below:
+//! `predictive-autoscale` must beat `reactive` on at least one of
+//! {shed rate, p99, replica-seconds} on every traffic model at 1.5× load.
+
+use nbsmt_serve::config::{
+    AdaptivePolicy, BatchPolicy, PoolConfig, RoutePolicy, SchedulerConfig, SmtConfig,
+};
+use nbsmt_serve::control::{AutoscaleConfig, ControlConfig, PredictiveConfig, StealConfig};
+use nbsmt_serve::sim::{
+    simulate_pool_controlled_stats, simulate_pool_stats, ArrivalProcess, PoolSimOutcome,
+    ServiceModel,
+};
+
+use crate::experiments::serve_exp::SweepFixture;
+use crate::loadgen::{diurnal, mmpp, pareto_sizes};
+use crate::scale::Scale;
+use crate::summary::{ControlRecord, ControlSummary};
+
+/// The offered-load grid every (arrival × variant × replicas) curve samples.
+/// The 1.5× overload point is where the dominance criterion is judged.
+pub const LOAD_GRID: [f64; 2] = [1.0, 1.5];
+
+/// The traffic models the controller sweep covers, in presentation order.
+/// (Poisson is deliberately absent: a memoryless constant-rate stream gives
+/// the estimator nothing to forecast; the bursty models are the regime the
+/// controller exists for.)
+pub const ARRIVALS: [&str; 2] = ["mmpp", "diurnal"];
+
+/// The controller variants, in presentation order.
+pub const VARIANTS: [&str; 4] = [
+    "reactive",
+    "predictive",
+    "predictive-autoscale",
+    "predictive-steal",
+];
+
+/// Knobs of the controller sweep beyond the universal scale/seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlKnobs {
+    /// Traffic-model filter: `mmpp`, `diurnal`, or `all`.
+    pub arrival: String,
+}
+
+/// One cell of the controller sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlRow {
+    /// Traffic-model label (`mmpp`, `diurnal`).
+    pub arrival: &'static str,
+    /// Controller-variant label (one of [`VARIANTS`]).
+    pub variant: &'static str,
+    /// Allocated replica count of the pool (the autoscale ceiling).
+    pub replicas: usize,
+    /// Offered load as a multiple of the size-adjusted aggregate dense rate.
+    pub offered: f64,
+    /// Requests issued.
+    pub requests: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub rejected: u64,
+    /// Completed requests per second of virtual time.
+    pub throughput_rps: f64,
+    /// Median latency [ms].
+    pub p50_ms: f64,
+    /// 95th-percentile latency [ms].
+    pub p95_ms: f64,
+    /// 99th-percentile latency [ms].
+    pub p99_ms: f64,
+    /// Integrated live-replica time over the run [s].
+    pub replica_seconds: f64,
+    /// Autoscale up events.
+    pub scale_ups: u64,
+    /// Autoscale down events.
+    pub scale_downs: u64,
+    /// Predictive ladder-floor changes.
+    pub predictive_shifts: u64,
+    /// Work-stealing events.
+    pub steals: u64,
+    /// Requests moved by stealing.
+    pub stolen_requests: u64,
+    /// Reactive adaptive mode switches over the run.
+    pub mode_transitions: u64,
+}
+
+impl ControlRow {
+    fn from_outcome(
+        arrival: &'static str,
+        variant: &'static str,
+        replicas: usize,
+        offered: f64,
+        requests: u64,
+        outcome: &PoolSimOutcome,
+    ) -> ControlRow {
+        let m = &outcome.metrics;
+        ControlRow {
+            arrival,
+            variant,
+            replicas,
+            offered,
+            requests,
+            completed: m.completed,
+            rejected: m.rejected,
+            throughput_rps: m.throughput_rps,
+            p50_ms: m.p50_ns as f64 / 1e6,
+            p95_ms: m.p95_ns as f64 / 1e6,
+            p99_ms: m.p99_ns as f64 / 1e6,
+            replica_seconds: outcome.replica_ns as f64 / 1e9,
+            scale_ups: m.scale_ups,
+            scale_downs: m.scale_downs,
+            predictive_shifts: m.predictive_shifts,
+            steals: m.steals,
+            stolen_requests: m.stolen_requests,
+            mode_transitions: m.mode_transitions,
+        }
+    }
+
+    /// Shed fraction of the offered trace.
+    pub fn shed_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.requests as f64
+        }
+    }
+
+    /// The record id used in `BENCH_control.json` (merge key across runs).
+    /// Includes the trace length so a CI smoke run merges in beside the
+    /// tracked full-length curves instead of replacing them.
+    pub fn record_name(&self) -> String {
+        format!(
+            "control_synthnet_{}_{}_r{}_x{:.1}_n{}",
+            self.arrival, self.variant, self.replicas, self.offered, self.requests
+        )
+    }
+}
+
+/// The seeded arrival trace for one cell: `n` arrivals at a long-run mean of
+/// `rate_rps`, shaped by `arrival` — the same MMPP/diurnal construction the
+/// scale sweep uses, so the two summaries stress comparable regimes.
+fn arrivals_for(arrival: &str, seed: u64, rate_rps: f64, n: u64) -> ArrivalProcess {
+    match arrival {
+        "mmpp" => {
+            let burst_rps = rate_rps * 2.5;
+            let mean_burst_ns = ((64.0 / burst_rps) * 1e9).max(1.0) as u64;
+            mmpp(
+                seed,
+                rate_rps * 0.5,
+                burst_rps,
+                mean_burst_ns.saturating_mul(3),
+                mean_burst_ns,
+                n,
+            )
+        }
+        "diurnal" => {
+            let period_ns = ((n as f64 / rate_rps) * 1e9 / 4.0).max(1.0) as u64;
+            diurnal(seed, rate_rps * 0.5, rate_rps * 1.5, period_ns, n)
+        }
+        other => panic!("unknown traffic model '{other}'"),
+    }
+}
+
+/// The [`ControlConfig`] for one (variant, replicas, rate) cell, or `None`
+/// for the uncontrolled reactive baseline. The estimator window spans ~32
+/// mean inter-arrivals so an MMPP burst (≈64 requests) moves the forecast
+/// within a burst, not one burst late.
+fn control_for(variant: &str, replicas: usize, rate_rps: f64) -> Option<ControlConfig> {
+    if variant == "reactive" {
+        return None;
+    }
+    let window_ns = (((32.0 / rate_rps) * 1e9).max(1.0) as u64).max(1);
+    let predictive = Some(PredictiveConfig {
+        util_high_x1024: 600,
+        util_low_x1024: 200,
+    });
+    let autoscale = (variant == "predictive-autoscale").then(|| AutoscaleConfig {
+        min_replicas: (replicas / 4).max(1),
+        max_replicas: replicas,
+        util_high_x1024: 700,
+        util_low_x1024: 350,
+    });
+    let steal = (variant == "predictive-steal").then_some(StealConfig {
+        imbalance_threshold: 4,
+        max_steal: 4,
+    });
+    Some(ControlConfig {
+        alpha_x1024: 512,
+        window_ns,
+        predictive,
+        autoscale,
+        steal,
+    })
+}
+
+/// The controller sweep: traffic model × [`VARIANTS`] × replicas ×
+/// [`LOAD_GRID`], every variant over the *identical* seeded trace per
+/// (arrival, replicas, load) group. Deterministic per
+/// `(scale, requests, replica_counts, seed, knobs)`.
+pub fn control_sweep_with(
+    scale: Scale,
+    requests: usize,
+    replica_counts: &[usize],
+    seed: u64,
+    knobs: &ControlKnobs,
+) -> Vec<ControlRow> {
+    let fixture = SweepFixture::prepare(scale, requests, seed);
+    let ladder = fixture
+        .registry
+        .compile_ladder(
+            "synthnet",
+            &[
+                SmtConfig::Dense,
+                SmtConfig::sysmt_2t(),
+                SmtConfig::sysmt_4t(),
+            ],
+        )
+        .expect("ladder compiles");
+    // The same heavy-tailed request-size model as the scale sweep's
+    // defaults, and the same size-adjusted aggregate-rate anchor, so a 1.5×
+    // cell here saturates the pool at the same operating point as there.
+    let size = pareto_sizes(seed.wrapping_add(1000), 1536, 1024, 8192);
+    let service = ServiceModel {
+        size,
+        ..fixture.service
+    };
+    let mean_size_x1024 = ((0..4096u64)
+        .map(|k| size.size_x1024(k) as u128)
+        .sum::<u128>()
+        / 4096)
+        .max(1) as f64;
+    let base_rate = fixture.dense_rate_rps() * 1024.0 / mean_size_x1024;
+
+    let scheduler = SchedulerConfig {
+        batch: BatchPolicy {
+            max_batch: 8,
+            max_wait_ns: 2_000_000,
+        },
+        queue_capacity: 16,
+    };
+    let adaptive = AdaptivePolicy {
+        depth_high: 4,
+        depth_low: 1,
+        p95_high_ns: 0,
+        eval_every_batches: 1,
+    };
+    let selected: Vec<&'static str> = ARRIVALS
+        .iter()
+        .copied()
+        .filter(|a| knobs.arrival == "all" || knobs.arrival == *a)
+        .collect();
+
+    let mut rows = Vec::new();
+    for &arrival in &selected {
+        for &replicas in replica_counts {
+            let replicas = replicas.max(1);
+            for load_x in LOAD_GRID {
+                let rate = base_rate * replicas as f64 * load_x;
+                let cell_seed = seed
+                    .wrapping_add((load_x * 10.0) as u64)
+                    .wrapping_add(requests as u64)
+                    .wrapping_mul(replicas as u64 | 1);
+                for variant in VARIANTS {
+                    // The same seeded trace for every variant of the cell:
+                    // the four rows differ in controller policy only.
+                    let arrivals = arrivals_for(arrival, cell_seed, rate, requests as u64);
+                    let pool = PoolConfig {
+                        replicas,
+                        route: RoutePolicy::Hashed,
+                        scheduler,
+                        adaptive,
+                    };
+                    let outcome = match control_for(variant, replicas, rate) {
+                        Some(control) => simulate_pool_controlled_stats(
+                            &ladder[..],
+                            &fixture.inputs,
+                            &arrivals,
+                            pool,
+                            service,
+                            control,
+                            None,
+                            None,
+                        ),
+                        None => simulate_pool_stats(
+                            &ladder[..],
+                            &fixture.inputs,
+                            &arrivals,
+                            pool,
+                            service,
+                            None,
+                            None,
+                        ),
+                    }
+                    .expect("pool simulation succeeds");
+                    rows.push(ControlRow::from_outcome(
+                        arrival,
+                        variant,
+                        replicas,
+                        load_x,
+                        requests as u64,
+                        &outcome,
+                    ));
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Whether `candidate` dominates `baseline` on at least one of the three
+/// axes the controller optimizes: shed rate, p99 latency, replica-seconds.
+/// (A small relative margin keeps rounding noise from counting as a win.)
+pub fn dominates_on_one_axis(candidate: &ControlRow, baseline: &ControlRow) -> bool {
+    let better = |c: f64, b: f64| c < b * 0.999;
+    better(candidate.shed_rate(), baseline.shed_rate())
+        || better(candidate.p99_ms, baseline.p99_ms)
+        || better(candidate.replica_seconds, baseline.replica_seconds)
+}
+
+/// Converts controller-sweep rows into the `BENCH_control.json` summary.
+pub fn control_summary(rows: &[ControlRow]) -> ControlSummary {
+    let mut summary = ControlSummary::new();
+    for row in rows {
+        summary.push(ControlRecord {
+            name: row.record_name(),
+            controller: row.variant.to_string(),
+            arrival: row.arrival.to_string(),
+            offered: row.offered,
+            requests: row.requests,
+            completed: row.completed,
+            rejected: row.rejected,
+            throughput_rps: row.throughput_rps,
+            p50_ms: row.p50_ms,
+            p95_ms: row.p95_ms,
+            p99_ms: row.p99_ms,
+            replicas: row.replicas as u64,
+            replica_seconds: row.replica_seconds,
+            scale_ups: row.scale_ups,
+            scale_downs: row.scale_downs,
+            predictive_shifts: row.predictive_shifts,
+            steals: row.steals,
+            stolen_requests: row.stolen_requests,
+            mode_transitions: row.mode_transitions,
+        });
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn knobs() -> ControlKnobs {
+        ControlKnobs {
+            arrival: "all".to_string(),
+        }
+    }
+
+    fn cell<'a>(
+        rows: &'a [ControlRow],
+        arrival: &str,
+        variant: &str,
+        offered: f64,
+    ) -> &'a ControlRow {
+        rows.iter()
+            .find(|r| r.arrival == arrival && r.variant == variant && r.offered == offered)
+            .expect("cell exists")
+    }
+
+    #[test]
+    fn sweep_covers_the_grid_and_is_deterministic() {
+        let rows = control_sweep_with(Scale::Quick, 96, &[2], 2024, &knobs());
+        // 2 arrivals × 2 loads × 4 variants × 1 replica count.
+        assert_eq!(rows.len(), 16);
+        for row in &rows {
+            assert_eq!(row.completed + row.rejected, row.requests);
+            assert!(row.p50_ms <= row.p95_ms && row.p95_ms <= row.p99_ms);
+            assert!(row.replica_seconds > 0.0);
+        }
+        // Record names are unique (the merge key must not collide).
+        let mut names: Vec<String> = rows.iter().map(ControlRow::record_name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), rows.len());
+        let again = control_sweep_with(Scale::Quick, 96, &[2], 2024, &knobs());
+        assert_eq!(rows, again);
+    }
+
+    #[test]
+    fn arrival_filter_restricts_the_grid() {
+        let mut only = knobs();
+        only.arrival = "diurnal".to_string();
+        let rows = control_sweep_with(Scale::Quick, 64, &[2], 7, &only);
+        // 1 arrival × 2 loads × 4 variants.
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().all(|r| r.arrival == "diurnal"));
+    }
+
+    #[test]
+    fn controllers_intervene_and_autoscale_dominates_reactive() {
+        let rows = control_sweep_with(Scale::Quick, 2_000, &[4], 2024, &knobs());
+        for arrival in ARRIVALS {
+            // The predictive floor moves on bursty traffic…
+            assert!(
+                cell(&rows, arrival, "predictive", 1.5).predictive_shifts > 0,
+                "{arrival}: predictive floor never moved"
+            );
+            // …autoscaling actually scales…
+            let auto = cell(&rows, arrival, "predictive-autoscale", 1.5);
+            assert!(
+                auto.scale_ups + auto.scale_downs > 0,
+                "{arrival}: autoscaler never intervened"
+            );
+            // …and the uncontrolled baseline charges every allocated
+            // replica for the whole makespan, so the autoscaled cell can
+            // only match or undercut it on replica-seconds.
+            let reactive = cell(&rows, arrival, "reactive", 1.5);
+            assert!(auto.replica_seconds <= reactive.replica_seconds * 1.001);
+            // The acceptance criterion on the committed curves.
+            assert!(
+                dominates_on_one_axis(auto, reactive),
+                "{arrival}: predictive-autoscale must beat reactive on one \
+                 of shed/p99/replica-seconds (auto: shed {:.4} p99 {:.3} rs {:.3}; \
+                 reactive: shed {:.4} p99 {:.3} rs {:.3})",
+                auto.shed_rate(),
+                auto.p99_ms,
+                auto.replica_seconds,
+                reactive.shed_rate(),
+                reactive.p99_ms,
+                reactive.replica_seconds,
+            );
+        }
+        // The steal variant moves work when hashing skews queues.
+        let stole: u64 = rows
+            .iter()
+            .filter(|r| r.variant == "predictive-steal")
+            .map(|r| r.stolen_requests)
+            .sum();
+        assert!(stole > 0, "stealing never rebalanced a queue");
+    }
+
+    #[test]
+    fn control_summary_round_trips_records() {
+        let mut only = knobs();
+        only.arrival = "mmpp".to_string();
+        let rows = control_sweep_with(Scale::Quick, 48, &[2], 13, &only);
+        let summary = control_summary(&rows);
+        assert_eq!(summary.runs.len(), rows.len());
+        let parsed = ControlSummary::parse(&summary.to_json()).expect("summary parses");
+        let again = ControlSummary::parse(&parsed.to_json()).expect("re-render parses");
+        assert_eq!(again, parsed);
+        assert!(parsed
+            .runs
+            .iter()
+            .all(|r| r.name.starts_with("control_synthnet_mmpp_")));
+    }
+}

@@ -5,6 +5,7 @@
 //! EXPERIMENTS.md.
 
 pub mod accuracy;
+pub mod control_exp;
 pub mod faults_exp;
 pub mod hw_exp;
 pub mod obs_exp;

@@ -34,6 +34,7 @@ use crate::experiments::accuracy::{
     fig10_pruning, fig7_robustness, mlperf_mobilenet, table3_policies, table4_comparison,
     table5_slowdown, AccuracyBench,
 };
+use crate::experiments::control_exp::{control_summary, control_sweep_with, ControlKnobs};
 use crate::experiments::faults_exp::{faults_summary, faults_sweep_with, FaultKnobs};
 use crate::experiments::hw_exp::table2_rows;
 use crate::experiments::obs_exp::ObsBench;
@@ -271,6 +272,7 @@ impl ExperimentRegistry {
         registry.register(Box::new(Faults));
         registry.register(Box::new(Obs));
         registry.register(Box::new(ScaleExp));
+        registry.register(Box::new(Control));
         registry
     }
 
@@ -1758,6 +1760,109 @@ impl Experiment for ScaleExp {
     }
 }
 
+struct Control;
+
+impl Experiment for Control {
+    fn name(&self) -> &'static str {
+        "control"
+    }
+
+    fn describe(&self) -> ExperimentInfo {
+        ExperimentInfo {
+            description:
+                "pool-controller sweep: {reactive, predictive, +autoscale, +steal} × traffic → BENCH_control.json (explicit only)",
+            params: &[ParamKey::Requests, ParamKey::Replicas, ParamKey::Arrival],
+            writes: Some("BENCH_control.json"),
+            in_all: false,
+        }
+    }
+
+    fn default_spec(&self) -> RunSpec {
+        let mut spec = RunSpec::defaults(self.name());
+        spec.requests = Some(20_000);
+        spec.replicas = Some(vec![8, 64]);
+        spec.arrival = Some("all".to_string());
+        spec
+    }
+
+    fn run(&self, spec: &RunSpec, sink: &mut SummarySink) -> Result<RunReport, ExperimentError> {
+        let defaults = self.default_spec();
+        let requests = spec
+            .requests
+            .or(defaults.requests)
+            .expect("default_spec sets requests");
+        let replicas = &spec
+            .replicas
+            .clone()
+            .or(defaults.replicas)
+            .expect("default_spec sets replicas");
+        let knobs = ControlKnobs {
+            arrival: spec
+                .arrival
+                .clone()
+                .or(defaults.arrival)
+                .expect("default_spec sets arrival"),
+        };
+        out!(
+            sink,
+            "## control — controller variants × traffic model ({requests} requests/cell, replicas {replicas:?}, arrival {})\n",
+            knobs.arrival
+        );
+        out!(
+            sink,
+            "Training SynthNet and compiling the dense/2T/4T ladder…\n"
+        );
+        let rows = control_sweep_with(spec.scale, requests, replicas, spec.seed, &knobs);
+        out!(
+            sink,
+            "{:<8} {:<21} {:>4} {:>8} {:>9} {:>8} {:>9} {:>9} {:>10} {:>5} {:>5} {:>6} {:>6}",
+            "Arrival",
+            "Controller",
+            "R",
+            "Offered",
+            "Done",
+            "Shed",
+            "p95[ms]",
+            "p99[ms]",
+            "Repl[s]",
+            "Up",
+            "Down",
+            "Shift",
+            "Stole"
+        );
+        for row in &rows {
+            out!(
+                sink,
+                "{:<8} {:<21} {:>4} {:>7.1}x {:>9} {:>8} {:>9.2} {:>9.2} {:>10.2} {:>5} {:>5} {:>6} {:>6}",
+                row.arrival,
+                row.variant,
+                row.replicas,
+                row.offered,
+                row.completed,
+                row.rejected,
+                row.p95_ms,
+                row.p99_ms,
+                row.replica_seconds,
+                row.scale_ups,
+                row.scale_downs,
+                row.predictive_shifts,
+                row.stolen_requests
+            );
+        }
+        let mut report = RunReport::new(self.name());
+        report.cells = rows.len();
+        if sink.persists() {
+            let path = Path::new("BENCH_control.json");
+            control_summary(&rows)
+                .write(path)
+                .map_err(|e| ExperimentError::io(path, &e))?;
+            out!(sink, "\nwrote {} (merged by record name)\n", path.display());
+            report.summaries.push(path.to_path_buf());
+        }
+        Ok(report)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1788,6 +1893,7 @@ mod tests {
                 "faults",
                 "obs",
                 "scale",
+                "control",
             ]
         );
         assert!(registry.contains(ALL));
@@ -1807,7 +1913,15 @@ mod tests {
                 experiment.name()
             );
         }
-        for name in ["gemmbench", "serve", "shard", "faults", "obs", "scale"] {
+        for name in [
+            "gemmbench",
+            "serve",
+            "shard",
+            "faults",
+            "obs",
+            "scale",
+            "control",
+        ] {
             assert!(!registry.get(name).expect("registered").describe().in_all);
         }
     }
@@ -1840,6 +1954,11 @@ mod tests {
         assert_eq!(scale.size_alpha_x1024, Some(1536));
         assert_eq!(scale.size_min_x1024, Some(1024));
         assert_eq!(scale.size_max_x1024, Some(8192));
+        let control = registry.default_spec("control").expect("registered");
+        assert_eq!(control.requests, Some(20_000));
+        assert_eq!(control.replicas, Some(vec![8, 64]));
+        assert_eq!(control.arrival.as_deref(), Some("all"));
+        assert_eq!(control.size_alpha_x1024, None);
         assert_eq!(
             registry.default_spec(ALL).expect("composite").experiment,
             ALL
@@ -1876,6 +1995,9 @@ mod tests {
         assert!(table.contains(
             "| `scale` | `requests`, `replicas`, `arrival`, `size_alpha_x1024`, \
              `size_min_x1024`, `size_max_x1024` | `BENCH_scale.json` | no |"
+        ));
+        assert!(table.contains(
+            "| `control` | `requests`, `replicas`, `arrival` | `BENCH_control.json` | no |"
         ));
         assert!(table.contains("| `table1` | — | — | yes |"));
     }

@@ -33,5 +33,7 @@ pub use experiments::registry::{
 pub use json::Json;
 pub use scale::{ExecSettings, Scale};
 pub use spec::{ParamKey, RunSpec, SpecError};
-pub use summary::{BenchRecord, BenchSummary, ServeRecord, ServeSummary};
+pub use summary::{
+    BenchRecord, BenchSummary, ControlRecord, ControlSummary, ServeRecord, ServeSummary,
+};
 pub use trace_export::{chrome_trace, render_chrome_trace, stage_summary};

@@ -457,6 +457,167 @@ impl FaultSummary {
     }
 }
 
+/// One pool-controller entry: a (controller variant, traffic model, replica
+/// count, offered load) cell of the `repro control` experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlRecord {
+    /// Record id, e.g. `control_synthnet_mmpp_predictive-autoscale_r8_x1.5_n20000`.
+    pub name: String,
+    /// Controller variant (`reactive`, `predictive`, `predictive-autoscale`,
+    /// `predictive-steal`).
+    pub controller: String,
+    /// Traffic model (`mmpp` or `diurnal`).
+    pub arrival: String,
+    /// Offered load as a multiple of the size-adjusted aggregate dense rate.
+    pub offered: f64,
+    /// Requests issued.
+    pub requests: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub rejected: u64,
+    /// Completed requests per second of virtual time.
+    pub throughput_rps: f64,
+    /// Median latency [ms].
+    pub p50_ms: f64,
+    /// 95th-percentile latency [ms].
+    pub p95_ms: f64,
+    /// 99th-percentile latency [ms].
+    pub p99_ms: f64,
+    /// Allocated replica count of the pool (the autoscale ceiling).
+    pub replicas: u64,
+    /// Integrated live-replica time over the run [s] — the resource axis
+    /// autoscaling optimizes. Uncontrolled cells charge every allocated
+    /// replica for the whole makespan.
+    pub replica_seconds: f64,
+    /// Autoscale up events.
+    pub scale_ups: u64,
+    /// Autoscale down events (each reuses the drain/handoff machinery).
+    pub scale_downs: u64,
+    /// Predictive ladder-floor changes.
+    pub predictive_shifts: u64,
+    /// Work-stealing events.
+    pub steals: u64,
+    /// Requests moved by stealing.
+    pub stolen_requests: u64,
+    /// Reactive adaptive mode switches over the run.
+    pub mode_transitions: u64,
+}
+
+impl ControlRecord {
+    fn to_json(&self) -> Json {
+        let r3 = |v: f64| (v * 1e3).round() / 1e3;
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("controller", Json::str(&self.controller)),
+            ("arrival", Json::str(&self.arrival)),
+            ("offered", Json::Num(r3(self.offered))),
+            ("requests", Json::Num(self.requests as f64)),
+            ("completed", Json::Num(self.completed as f64)),
+            ("rejected", Json::Num(self.rejected as f64)),
+            ("throughput_rps", Json::Num(r3(self.throughput_rps))),
+            ("p50_ms", Json::Num(r3(self.p50_ms))),
+            ("p95_ms", Json::Num(r3(self.p95_ms))),
+            ("p99_ms", Json::Num(r3(self.p99_ms))),
+            ("replicas", Json::Num(self.replicas as f64)),
+            ("replica_seconds", Json::Num(r3(self.replica_seconds))),
+            ("scale_ups", Json::Num(self.scale_ups as f64)),
+            ("scale_downs", Json::Num(self.scale_downs as f64)),
+            (
+                "predictive_shifts",
+                Json::Num(self.predictive_shifts as f64),
+            ),
+            ("steals", Json::Num(self.steals as f64)),
+            ("stolen_requests", Json::Num(self.stolen_requests as f64)),
+            ("mode_transitions", Json::Num(self.mode_transitions as f64)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<ControlRecord> {
+        Some(ControlRecord {
+            name: value.get("name")?.as_str()?.to_string(),
+            controller: value.get("controller")?.as_str()?.to_string(),
+            arrival: value.get("arrival")?.as_str()?.to_string(),
+            offered: value.get("offered")?.as_f64()?,
+            requests: value.get("requests")?.as_u64()?,
+            completed: value.get("completed")?.as_u64()?,
+            rejected: value.get("rejected")?.as_u64()?,
+            throughput_rps: value.get("throughput_rps")?.as_f64()?,
+            p50_ms: value.get("p50_ms")?.as_f64()?,
+            p95_ms: value.get("p95_ms")?.as_f64()?,
+            p99_ms: value.get("p99_ms")?.as_f64()?,
+            replicas: value.get("replicas")?.as_u64()?,
+            replica_seconds: value.get("replica_seconds")?.as_f64()?,
+            scale_ups: value.get("scale_ups")?.as_u64()?,
+            scale_downs: value.get("scale_downs")?.as_u64()?,
+            predictive_shifts: value.get("predictive_shifts")?.as_u64()?,
+            steals: value.get("steals")?.as_u64()?,
+            stolen_requests: value.get("stolen_requests")?.as_u64()?,
+            mode_transitions: value.get("mode_transitions")?.as_u64()?,
+        })
+    }
+}
+
+/// The `BENCH_control.json` summary: pool-controller records with the same
+/// merge-by-name write semantics as [`BenchSummary`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ControlSummary {
+    /// The recorded controller runs, in insertion order.
+    pub runs: Vec<ControlRecord>,
+}
+
+impl ControlSummary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        ControlSummary::default()
+    }
+
+    /// Appends a run record.
+    pub fn push(&mut self, record: ControlRecord) {
+        self.runs.push(record);
+    }
+
+    /// Renders the summary as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        Json::obj([(
+            "runs",
+            Json::Arr(self.runs.iter().map(ControlRecord::to_json).collect()),
+        )])
+        .render()
+    }
+
+    /// Parses a summary previously written by [`Self::write`]. Like
+    /// [`BenchSummary::parse`], any unconvertible record fails the whole
+    /// parse so the merging write backs the file up instead of dropping it.
+    pub fn parse(text: &str) -> Option<ControlSummary> {
+        let doc = Json::parse(text).ok()?;
+        let runs = doc
+            .get("runs")?
+            .as_arr()?
+            .iter()
+            .map(ControlRecord::from_json)
+            .collect::<Option<Vec<_>>>()?;
+        Some(ControlSummary { runs })
+    }
+
+    /// Writes the summary to `path` with merge-by-name semantics (see
+    /// [`BenchSummary::write`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let merged = merge_by_name(
+            read_existing(path, ControlSummary::parse)?.map(|s| s.runs),
+            self.runs.clone(),
+            |r| r.name.clone(),
+        );
+        let body = ControlSummary { runs: merged }.to_json();
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(body.as_bytes())
+    }
+}
+
 /// Reads and parses an existing summary file. A present-but-unparsable file
 /// is moved aside to `<path>.bak` (returning `None`) so the caller's fresh
 /// write never destroys the only copy of unknown content.
@@ -718,6 +879,56 @@ mod tests {
         // A record missing a required field fails the whole parse (→ .bak).
         let broken = r#"{"runs": [{"name": "x", "schedule": "s"}]}"#;
         assert!(FaultSummary::parse(broken).is_none());
+    }
+
+    fn control_record(name: &str) -> ControlRecord {
+        ControlRecord {
+            name: name.to_string(),
+            controller: "predictive-autoscale".to_string(),
+            arrival: "mmpp".to_string(),
+            offered: 1.5,
+            requests: 20_000,
+            completed: 19_000,
+            rejected: 1_000,
+            throughput_rps: 512.5,
+            p50_ms: 2.25,
+            p95_ms: 7.0,
+            p99_ms: 11.5,
+            replicas: 8,
+            replica_seconds: 123.456,
+            scale_ups: 3,
+            scale_downs: 5,
+            predictive_shifts: 9,
+            steals: 0,
+            stolen_requests: 0,
+            mode_transitions: 40,
+        }
+    }
+
+    #[test]
+    fn control_summary_round_trips_and_merges() {
+        let mut summary = ControlSummary::new();
+        summary.push(control_record("control_a"));
+        let parsed = ControlSummary::parse(&summary.to_json()).unwrap();
+        assert_eq!(parsed, summary);
+
+        let path = std::env::temp_dir().join("nbsmt_control_summary_test.json");
+        let _ = std::fs::remove_file(&path);
+        summary.write(&path).unwrap();
+        let mut update = ControlSummary::new();
+        let mut changed = control_record("control_a");
+        changed.scale_downs = 7;
+        update.push(changed);
+        update.push(control_record("control_b"));
+        update.write(&path).unwrap();
+        let merged = ControlSummary::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(merged.runs.len(), 2);
+        assert_eq!(merged.runs[0].scale_downs, 7);
+        assert_eq!(merged.runs[1].name, "control_b");
+        let _ = std::fs::remove_file(&path);
+        // A record missing a required field fails the whole parse (→ .bak).
+        let broken = r#"{"runs": [{"name": "x", "controller": "reactive"}]}"#;
+        assert!(ControlSummary::parse(broken).is_none());
     }
 
     #[test]

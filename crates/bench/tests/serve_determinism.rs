@@ -16,13 +16,14 @@ use nbsmt_bench::render_chrome_trace;
 use nbsmt_serve::config::{
     AdaptivePolicy, BatchPolicy, PoolConfig, RoutePolicy, SchedulerConfig, SmtConfig,
 };
+use nbsmt_serve::control::{AutoscaleConfig, ControlConfig, PredictiveConfig, StealConfig};
 use nbsmt_serve::faults::{FaultConfig, FaultEvent, FaultKind, FaultPlan};
 use nbsmt_serve::pool::{PoolSnapshot, ReplicaPool};
 use nbsmt_serve::registry::ModelRegistry;
 use nbsmt_serve::session::Session;
 use nbsmt_serve::sim::{
-    simulate, simulate_pool, simulate_pool_faulted, simulate_pool_traced, ArrivalProcess,
-    PoolSimOutcome, ServiceModel, SimOutcome,
+    simulate, simulate_pool, simulate_pool_controlled, simulate_pool_faulted, simulate_pool_traced,
+    ArrivalProcess, PoolSimOutcome, ServiceModel, SimOutcome,
 };
 use nbsmt_serve::traffic::{SizeModel, TrafficModel};
 use nbsmt_serve::TraceRecorder;
@@ -268,6 +269,7 @@ fn sharded_sim_is_identical_across_host_thread_counts_and_replicas() {
             RoutePolicy::RoundRobin,
             RoutePolicy::LeastOutstanding,
             RoutePolicy::Hashed,
+            RoutePolicy::PowerOfTwo,
         ] {
             let config = pool_config(replicas, route);
             let reference = run_pool(&fixture, &ExecContext::sequential(), config);
@@ -340,6 +342,7 @@ fn threaded_pool_and_simulator_agree_in_lockstep() {
             RoutePolicy::RoundRobin,
             RoutePolicy::LeastOutstanding,
             RoutePolicy::Hashed,
+            RoutePolicy::PowerOfTwo,
         ] {
             let config = pool_config(replicas, route);
 
@@ -941,6 +944,167 @@ fn mmpp_sized_lockstep_is_identical_across_replicas_threads_and_backends() {
                 exec.backend, exec.threads
             );
             assert_lockstep_matches_sim(&label, &snapshot, &completed, &sim);
+        }
+    }
+}
+
+/// The control-plane extension of the lockstep contract: with a
+/// [`PoolController`] in the loop (predictive mode floor + autoscaling +
+/// work stealing), the threaded lockstep pool and
+/// [`simulate_pool_controlled`] must agree **bit for bit** on every
+/// controller decision — the control-event log (autoscale steps, steal
+/// events, predictive shifts with their timestamps), the replica-seconds
+/// integral, the control counters, and everything the base contract already
+/// covers (batch schedule, transitions, handoffs, quantiles, logits) — for
+/// every replica count, host thread count, and GEMM backend.
+#[test]
+fn controlled_lockstep_is_identical_across_replicas_threads_and_backends() {
+    let fixture = fixture(103);
+    let n = 72u64;
+    let model = TrafficModel::Mmpp {
+        calm_mrps: 8_000_000,
+        burst_mrps: 60_000_000,
+        mean_calm_ns: 600_000,
+        mean_burst_ns: 300_000,
+    };
+    let arrival_seed = 404;
+    let service = ServiceModel {
+        size: SizeModel::BoundedPareto {
+            seed: 606,
+            alpha_x1024: 1_536,
+            min_x1024: 1_024,
+            max_x1024: 8_192,
+        },
+        ..ServiceModel::default()
+    };
+    let arrivals = ArrivalProcess::Generated {
+        model,
+        seed: arrival_seed,
+        n,
+    };
+    for replicas in [1usize, 2, 4] {
+        let config = pool_config(replicas, RoutePolicy::Hashed);
+        let control = ControlConfig {
+            alpha_x1024: 512,
+            window_ns: 100_000,
+            predictive: Some(PredictiveConfig {
+                util_high_x1024: 900,
+                util_low_x1024: 300,
+            }),
+            autoscale: Some(AutoscaleConfig {
+                min_replicas: 1,
+                max_replicas: replicas,
+                util_high_x1024: 700,
+                util_low_x1024: 200,
+            }),
+            steal: Some(StealConfig {
+                imbalance_threshold: 2,
+                max_steal: 2,
+            }),
+        };
+
+        // Virtual-clock reference with the controller in the loop.
+        let sim = simulate_pool_controlled(
+            &ladder(&fixture),
+            &ExecContext::sequential(),
+            &fixture.inputs,
+            &arrivals,
+            config,
+            service,
+            control,
+            None,
+            None,
+        )
+        .expect("controlled pool simulation succeeds");
+        assert!(sim.metrics.completed > 0);
+        assert!(
+            !sim.control_events.is_empty(),
+            "the burst trace must exercise the controller ({replicas} replicas)"
+        );
+
+        for exec in [
+            ExecConfig {
+                threads: 1,
+                backend: GemmBackendKind::Naive,
+                ..ExecConfig::default()
+            },
+            ExecConfig {
+                threads: 8,
+                backend: GemmBackendKind::Naive,
+                ..ExecConfig::default()
+            },
+            ExecConfig {
+                threads: 4,
+                backend: GemmBackendKind::Blocked,
+                ..ExecConfig::default()
+            },
+        ] {
+            let mut pool = ReplicaPool::start_lockstep_controlled(
+                ladder(&fixture),
+                config,
+                exec,
+                true,
+                service,
+                &FaultPlan::none(),
+                control,
+            )
+            .expect("controlled lockstep pool starts");
+            let handles: Vec<_> = model
+                .generate(arrival_seed, n)
+                .enumerate()
+                .map(|(i, arrival)| {
+                    let input = fixture.inputs[i % fixture.inputs.len()].clone();
+                    (
+                        arrival.key,
+                        pool.submit_virtual(arrival.time_ns, arrival.key, input)
+                            .expect("timed submissions are monotone pre-resume"),
+                    )
+                })
+                .collect();
+            pool.resume();
+            let mut completed = Vec::new();
+            for (key, handle) in handles {
+                if let Ok(result) = handle.wait() {
+                    let inference = result.expect("no model error");
+                    let bits = inference.logits.iter().map(|v| v.to_bits()).collect();
+                    completed.push((key, bits));
+                }
+            }
+            let snapshot = pool.shutdown();
+            let label = format!(
+                "controlled lockstep, {replicas} replicas, {} {}t",
+                exec.backend, exec.threads
+            );
+            assert_lockstep_matches_sim(&label, &snapshot, &completed, &sim);
+            // The controller-specific observables: every decision, bit for
+            // bit, in decision order, plus the replica-seconds integral and
+            // the pool-level control counters.
+            assert_eq!(
+                snapshot.control_events, sim.control_events,
+                "{label}: control events"
+            );
+            assert_eq!(
+                snapshot.dropped_control_events, sim.dropped_control_events,
+                "{label}: dropped control events"
+            );
+            assert_eq!(snapshot.replica_ns, sim.replica_ns, "{label}: replica-ns");
+            assert_eq!(
+                (
+                    snapshot.total.predictive_shifts,
+                    snapshot.total.scale_ups,
+                    snapshot.total.scale_downs,
+                    snapshot.total.steals,
+                    snapshot.total.stolen_requests,
+                ),
+                (
+                    sim.metrics.predictive_shifts,
+                    sim.metrics.scale_ups,
+                    sim.metrics.scale_downs,
+                    sim.metrics.steals,
+                    sim.metrics.stolen_requests,
+                ),
+                "{label}: control counters"
+            );
         }
     }
 }

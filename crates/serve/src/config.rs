@@ -175,6 +175,40 @@ pub enum ConfigError {
         /// The offending ×1024-scaled factor.
         factor_x1024: u64,
     },
+    /// `ControlConfig::window_ns` is zero — the rate estimator needs a
+    /// window to count arrivals over.
+    ZeroControlWindow,
+    /// `ControlConfig::alpha_x1024` is outside `1..=1024` — the EWMA weight
+    /// must be a positive fraction of unity.
+    ControlAlphaOutOfRange {
+        /// The offending ×1024-scaled smoothing weight.
+        alpha_x1024: u64,
+    },
+    /// A controller utilization band has `low > high` — the hysteresis band
+    /// is inverted and the controller would thrash every window.
+    InvertedUtilBand {
+        /// The configured de-escalation threshold (×1024).
+        low_x1024: u64,
+        /// The configured escalation threshold (×1024).
+        high_x1024: u64,
+    },
+    /// `AutoscaleConfig::min_replicas` is zero — a pool cannot scale below
+    /// one live replica.
+    ZeroMinReplicas,
+    /// `AutoscaleConfig::min_replicas` exceeds `max_replicas` — the scaling
+    /// range is empty.
+    InvertedReplicaBounds {
+        /// The configured floor.
+        min: usize,
+        /// The configured ceiling.
+        max: usize,
+    },
+    /// `StealConfig::imbalance_threshold` is zero — every launch would
+    /// trigger a steal.
+    ZeroStealThreshold,
+    /// `StealConfig::max_steal` is zero — a steal must move at least one
+    /// request.
+    ZeroStealMax,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -224,6 +258,34 @@ impl std::fmt::Display for ConfigError {
                 "fault config: straggle_factor_x1024 {factor_x1024} is below \
                  1024 (a straggler cannot run faster than 1x)"
             ),
+            ConfigError::ZeroControlWindow => {
+                write!(f, "control config: window_ns must be at least 1")
+            }
+            ConfigError::ControlAlphaOutOfRange { alpha_x1024 } => write!(
+                f,
+                "control config: alpha_x1024 {alpha_x1024} is outside 1..=1024"
+            ),
+            ConfigError::InvertedUtilBand {
+                low_x1024,
+                high_x1024,
+            } => write!(
+                f,
+                "control config: util_low_x1024 {low_x1024} exceeds \
+                 util_high_x1024 {high_x1024} (inverted hysteresis band)"
+            ),
+            ConfigError::ZeroMinReplicas => {
+                write!(f, "control config: min_replicas must be at least 1")
+            }
+            ConfigError::InvertedReplicaBounds { min, max } => write!(
+                f,
+                "control config: min_replicas {min} exceeds max_replicas {max}"
+            ),
+            ConfigError::ZeroStealThreshold => {
+                write!(f, "control config: imbalance_threshold must be at least 1")
+            }
+            ConfigError::ZeroStealMax => {
+                write!(f, "control config: max_steal must be at least 1")
+            }
         }
     }
 }
@@ -303,15 +365,29 @@ pub enum RoutePolicy {
     /// A stable integer hash of the request key — the affinity policy: the
     /// same key always lands on the same replica.
     Hashed,
+    /// Power-of-two-choices: two seeded hash probes of the eligible set
+    /// (both pure functions of the key), pick the one with the shallower
+    /// queue; ties break to the lower replica index. Balances like
+    /// [`RoutePolicy::LeastOutstanding`] without scanning every queue, and
+    /// stays a pure function of (key, queue depths), so it replays.
+    PowerOfTwo,
 }
 
+/// The documented salt for [`RoutePolicy::PowerOfTwo`]'s second hash probe:
+/// the splitmix64 increment, so the two probes are independent mixes of the
+/// same key. Changing it would silently re-route every key — it is part of
+/// the determinism contract.
+pub const P2C_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
 impl RoutePolicy {
-    /// Short label used in record names and CLI flags (`rr`, `lo`, `hash`).
+    /// Short label used in record names and CLI flags (`rr`, `lo`, `hash`,
+    /// `p2c`).
     pub fn label(&self) -> &'static str {
         match self {
             RoutePolicy::RoundRobin => "rr",
             RoutePolicy::LeastOutstanding => "lo",
             RoutePolicy::Hashed => "hash",
+            RoutePolicy::PowerOfTwo => "p2c",
         }
     }
 
@@ -321,6 +397,7 @@ impl RoutePolicy {
             "rr" | "roundrobin" => Some(RoutePolicy::RoundRobin),
             "lo" | "leastoutstanding" => Some(RoutePolicy::LeastOutstanding),
             "hash" | "hashed" => Some(RoutePolicy::Hashed),
+            "p2c" | "poweroftwo" => Some(RoutePolicy::PowerOfTwo),
             _ => None,
         }
     }
@@ -449,6 +526,12 @@ pub const RESPONSE_LOG_CAP: usize = 65_536;
 /// only the retained id list is bounded, with the overflow counted in a
 /// `dropped_rejections` counter.
 pub const REJECTION_LOG_CAP: usize = 65_536;
+
+/// Capacity cap on the controller's [`crate::control::ControlEvent`] log.
+/// Decisions past the cap still *apply* (the live set, predictive floor, and
+/// queues all change) — only the retained event history is bounded, with the
+/// overflow counted in a `dropped_control_events` counter.
+pub const CONTROL_LOG_CAP: usize = 16_384;
 
 /// One adaptive mode switch, recorded identically by the threaded pool and
 /// the simulator.
@@ -758,6 +841,7 @@ mod tests {
             RoutePolicy::RoundRobin,
             RoutePolicy::LeastOutstanding,
             RoutePolicy::Hashed,
+            RoutePolicy::PowerOfTwo,
         ] {
             assert_eq!(RoutePolicy::parse(policy.label()), Some(policy));
         }

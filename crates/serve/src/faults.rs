@@ -371,6 +371,18 @@ pub fn pick_replica(
             .min_by_key(|(_, &(index, len))| (len, index))
             .map(|(slot, _)| slot)
             .expect("eligible is non-empty"),
+        RoutePolicy::PowerOfTwo => {
+            // Two independent seeded probes of the eligible set; the
+            // shallower queue wins, ties break to the lower slot (hence the
+            // lower replica index — eligible is in ascending index order).
+            let a = (crate::config::route_hash(key) % n) as usize;
+            let b = (crate::config::route_hash(key ^ crate::config::P2C_SALT) % n) as usize;
+            if (eligible[b].1, b) < (eligible[a].1, a) {
+                b
+            } else {
+                a
+            }
+        }
     };
     Some(eligible[slot].0)
 }
@@ -827,6 +839,17 @@ mod tests {
             pick_replica(RoutePolicy::LeastOutstanding, 0, 0, &all),
             Some(1)
         );
+        // Power of two: the shallower of the two seeded probes, ties to the
+        // lower slot.
+        for key in 0..16u64 {
+            let a = (crate::config::route_hash(key) % 4) as usize;
+            let b = (crate::config::route_hash(key ^ crate::config::P2C_SALT) % 4) as usize;
+            let want = if (all[b].1, b) < (all[a].1, a) { b } else { a };
+            assert_eq!(
+                pick_replica(RoutePolicy::PowerOfTwo, key, 0, &all),
+                Some(want)
+            );
+        }
         // Restricting eligibility re-indexes the slot arithmetic.
         let survivors = vec![(1, 2), (3, 9)];
         assert_eq!(

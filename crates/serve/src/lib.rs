@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod control;
 pub mod faults;
 pub mod metrics;
 pub mod pool;
@@ -79,7 +80,11 @@ pub mod traffic;
 pub use config::{
     AdaptivePolicy, AdaptiveState, BatchPolicy, ConfigError, ModeTransition, PoolConfig,
     RoutePolicy, SchedulerConfig, ServeError, SmtConfig, SubmitError, BATCH_LOG_CAP,
-    REJECTION_LOG_CAP, RESPONSE_LOG_CAP, TRANSITION_LOG_CAP,
+    CONTROL_LOG_CAP, P2C_SALT, REJECTION_LOG_CAP, RESPONSE_LOG_CAP, TRANSITION_LOG_CAP,
+};
+pub use control::{
+    AutoscaleConfig, ControlConfig, ControlEvent, ControlEventKind, PoolController,
+    PredictiveConfig, RateEstimator, StealConfig,
 };
 pub use faults::{
     FaultClient, FaultClientStats, FaultConfig, FaultEvent, FaultKind, FaultPlan, HandoffRecord,
@@ -105,6 +110,10 @@ pub mod prelude {
         AdaptivePolicy, BatchPolicy, ConfigError, PoolConfig, RoutePolicy, SchedulerConfig,
         ServeError, SmtConfig, SubmitError,
     };
+    pub use crate::control::{
+        AutoscaleConfig, ControlConfig, ControlEvent, ControlEventKind, PoolController,
+        PredictiveConfig, RateEstimator, StealConfig,
+    };
     pub use crate::faults::{
         chaos_corpus, FaultClient, FaultConfig, FaultPlan, HedgePolicy, RetryPolicy,
     };
@@ -114,8 +123,9 @@ pub mod prelude {
     pub use crate::server::Server;
     pub use crate::session::{Inference, Session};
     pub use crate::sim::{
-        simulate, simulate_pool, simulate_pool_faulted, simulate_pool_stats, simulate_pool_traced,
-        ArrivalProcess, PoolSimOutcome, ServiceModel, SimOutcome,
+        simulate, simulate_pool, simulate_pool_controlled, simulate_pool_controlled_stats,
+        simulate_pool_faulted, simulate_pool_stats, simulate_pool_traced, ArrivalProcess,
+        PoolSimOutcome, ServiceModel, SimOutcome,
     };
     pub use crate::trace::{Clock, TraceRecorder, TraceSnapshot, TraceStage};
     pub use crate::traffic::{GeneratedArrival, SizeModel, TrafficModel};

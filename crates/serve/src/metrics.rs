@@ -111,6 +111,16 @@ pub struct ServeMetrics {
     pub handoff_shed: u64,
     /// Injected stalls observed.
     pub stalls: u64,
+    /// Controller scale-up decisions (one replica activated each).
+    pub scale_ups: u64,
+    /// Controller scale-down decisions (one replica deactivated each).
+    pub scale_downs: u64,
+    /// Predictive ladder-floor shifts (either direction).
+    pub predictive_shifts: u64,
+    /// Work-stealing transfers executed by the controller.
+    pub steals: u64,
+    /// Queued requests moved across replicas by work stealing.
+    pub stolen_requests: u64,
     /// Sum of queue depths sampled at batch-formation time (for the mean).
     depth_sum: u64,
 }
@@ -183,6 +193,27 @@ impl ServeMetrics {
         self.stalls += 1;
     }
 
+    /// Records one controller scale-up decision.
+    pub fn record_scale_up(&mut self) {
+        self.scale_ups += 1;
+    }
+
+    /// Records one controller scale-down decision.
+    pub fn record_scale_down(&mut self) {
+        self.scale_downs += 1;
+    }
+
+    /// Records one predictive ladder-floor shift.
+    pub fn record_predictive_shift(&mut self) {
+        self.predictive_shifts += 1;
+    }
+
+    /// Records one work-stealing transfer of `moved` queued requests.
+    pub fn record_steal(&mut self, moved: usize) {
+        self.steals += 1;
+        self.stolen_requests += moved as u64;
+    }
+
     /// Folds another replica's metrics into this one: histograms and
     /// counters add, extrema take the max — the pool-level aggregate over
     /// per-replica schedulers.
@@ -210,6 +241,11 @@ impl ServeMetrics {
         self.handoffs += other.handoffs;
         self.handoff_shed += other.handoff_shed;
         self.stalls += other.stalls;
+        self.scale_ups += other.scale_ups;
+        self.scale_downs += other.scale_downs;
+        self.predictive_shifts += other.predictive_shifts;
+        self.steals += other.steals;
+        self.stolen_requests += other.stolen_requests;
         self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
         self.depth_sum += other.depth_sum;
     }
@@ -249,6 +285,11 @@ impl ServeMetrics {
             handoffs: self.handoffs,
             handoff_shed: self.handoff_shed,
             stalls: self.stalls,
+            scale_ups: self.scale_ups,
+            scale_downs: self.scale_downs,
+            predictive_shifts: self.predictive_shifts,
+            steals: self.steals,
+            stolen_requests: self.stolen_requests,
             p50_ns: self.latency.quantile(0.50),
             p95_ns: self.latency.quantile(0.95),
             p99_ns: self.latency.quantile(0.99),
@@ -294,6 +335,16 @@ pub struct MetricsSnapshot {
     pub handoff_shed: u64,
     /// Injected stalls.
     pub stalls: u64,
+    /// Controller scale-up decisions.
+    pub scale_ups: u64,
+    /// Controller scale-down decisions.
+    pub scale_downs: u64,
+    /// Predictive ladder-floor shifts.
+    pub predictive_shifts: u64,
+    /// Work-stealing transfers.
+    pub steals: u64,
+    /// Queued requests moved by work stealing.
+    pub stolen_requests: u64,
     /// Median latency estimate [ns].
     pub p50_ns: u64,
     /// 95th-percentile latency estimate [ns].
@@ -456,6 +507,14 @@ mod tests {
         whole.record_handoff_shed();
         b.record_stall();
         whole.record_stall();
+        a.record_scale_up();
+        whole.record_scale_up();
+        b.record_scale_down();
+        whole.record_scale_down();
+        a.record_predictive_shift();
+        whole.record_predictive_shift();
+        b.record_steal(5);
+        whole.record_steal(5);
 
         let mut merged = a.clone();
         merged.merge(&b);
@@ -468,6 +527,11 @@ mod tests {
             (snap.crashes, snap.handoffs, snap.handoff_shed, snap.stalls),
             (1, 1, 1, 1)
         );
+        assert_eq!(
+            (snap.scale_ups, snap.scale_downs, snap.predictive_shifts),
+            (1, 1, 1)
+        );
+        assert_eq!((snap.steals, snap.stolen_requests), (1, 5));
     }
 
     #[test]

@@ -51,6 +51,7 @@ use crate::config::ServeError;
 use crate::config::{
     AdaptiveState, ModeTransition, PoolConfig, RoutePolicy, SubmitError, BATCH_LOG_CAP,
 };
+use crate::control::{ControlConfig, ControlEvent, ControlEventKind, PoolController};
 use crate::faults::{pick_handoff_target, pick_replica, FaultPlan, HandoffRecord, ReplicaFaults};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::queue::{response_channel, BoundedQueue, ResponseHandle, ResponseSlot};
@@ -106,6 +107,19 @@ pub struct PoolSnapshot {
     /// Mode transitions applied but not retained past
     /// [`crate::config::TRANSITION_LOG_CAP`], summed over replicas.
     pub dropped_transitions: u64,
+    /// Every pool-controller decision in decision order — empty unless the
+    /// pool was started with [`ReplicaPool::start_lockstep_controlled`].
+    /// Part of the extended lockstep contract (mirrors
+    /// [`crate::sim::PoolSimOutcome::control_events`]).
+    pub control_events: Vec<ControlEvent>,
+    /// Controller decisions applied but not retained past
+    /// [`crate::config::CONTROL_LOG_CAP`].
+    pub dropped_control_events: u64,
+    /// Total live-replica nanoseconds: `replicas × wall elapsed` for
+    /// free-running pools, virtual (`replicas × makespan`, or the
+    /// controller's event-log integral) in lockstep mode — mirrors
+    /// [`crate::sim::PoolSimOutcome::replica_ns`].
+    pub replica_ns: u64,
 }
 
 struct RouterCore {
@@ -403,6 +417,7 @@ impl ReplicaPool {
                 dropped_batches: 0,
                 handoffs: Vec::new(),
                 recorder: None,
+                controller: None,
             }),
             cv: Condvar::new(),
             max_batch: pool.config.scheduler.batch.max_batch,
@@ -415,6 +430,37 @@ impl ReplicaPool {
         pool.mode = FaultMode::Lockstep {
             gate: Arc::new(gate),
         };
+        Ok(pool)
+    }
+
+    /// [`Self::start_lockstep`] plus a pool-level [`PoolController`]: the
+    /// gate calls the controller at the simulator's exact lifecycle points
+    /// (arrival admission, batch launch, post-batch steal check), so
+    /// autoscale events, steal events, and predictive mode transitions
+    /// replay bit-identically against
+    /// [`crate::sim::simulate_pool_controlled`] on the same timed trace.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::start_lockstep`], plus [`ServeError::Config`] when
+    /// `control` is invalid or its replica bounds exceed `config.replicas`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_lockstep_controlled(
+        sessions: Vec<Arc<Session>>,
+        config: PoolConfig,
+        exec: ExecConfig,
+        record_log: bool,
+        service: ServiceModel,
+        plan: &FaultPlan,
+        control: ControlConfig,
+    ) -> Result<ReplicaPool, ServeError> {
+        let pool = Self::start_lockstep(sessions, config, exec, record_log, service, plan)?;
+        let rung_work_ns: Vec<u64> = pool.sessions.iter().map(|s| service.single_ns(s)).collect();
+        let controller = PoolController::new(control, rung_work_ns, pool.replicas.len())?;
+        let FaultMode::Lockstep { gate } = &pool.mode else {
+            unreachable!("start_lockstep always yields a lockstep pool");
+        };
+        gate.state.lock().expect("gate lock").controller = Some(controller);
         Ok(pool)
     }
 
@@ -605,6 +651,9 @@ impl ReplicaPool {
         let mut handoffs = Vec::new();
         let mut dropped_batches = 0u64;
         let mut dropped_transitions = 0u64;
+        let mut control_events = Vec::new();
+        let mut dropped_control_events = 0u64;
+        let mut replica_ns = (self.replicas.len() as u64).saturating_mul(elapsed);
         let mut outcomes = Vec::new();
         for replica in self.replicas.iter_mut() {
             outcomes.push(
@@ -639,6 +688,22 @@ impl ReplicaPool {
             batch_log = std::mem::take(&mut state.log);
             dropped_batches += state.dropped_batches;
             handoffs = std::mem::take(&mut state.handoffs);
+            // Lockstep accounting is virtual: replica-seconds integrate over
+            // the virtual makespan (max finish time), exactly as the
+            // simulator's outcome does — the controller refines that with
+            // its scale-event log.
+            let makespan = state.t_free.iter().copied().max().unwrap_or(0);
+            match state.controller.take() {
+                Some(mut ctrl) => {
+                    replica_ns = ctrl.finalize_replica_ns(makespan);
+                    let (events, dropped) = ctrl.into_events();
+                    control_events = events;
+                    dropped_control_events = dropped;
+                }
+                None => {
+                    replica_ns = (self.replicas.len() as u64).saturating_mul(makespan);
+                }
+            }
         }
         for (index, mut outcome) in outcomes.into_iter().enumerate() {
             outcome.metrics.rejected += self.router.rejected[index].load(Ordering::Relaxed);
@@ -658,6 +723,9 @@ impl ReplicaPool {
             handoffs,
             dropped_batches,
             dropped_transitions,
+            control_events,
+            dropped_control_events,
+            replica_ns,
         }
     }
 }
@@ -917,6 +985,10 @@ struct GateState {
     dropped_batches: u64,
     handoffs: Vec<HandoffRecord>,
     recorder: Option<Arc<TraceRecorder>>,
+    /// Pool-level controller (autoscaling, stealing, predictive mode) —
+    /// present only for [`ReplicaPool::start_lockstep_controlled`], hooked
+    /// at the same lifecycle points as the simulator's.
+    controller: Option<PoolController>,
 }
 
 /// Everything a lockstep worker needs after its batch was committed: the
@@ -988,8 +1060,26 @@ impl LockstepGate {
             if let Some(front_t) = state.pending.front().map(|p| p.at_ns) {
                 if best.is_none_or(|(launch, _)| front_t <= launch) {
                     let sub = state.pending.pop_front().expect("front checked");
+                    // The controller observes every admitted arrival before
+                    // routing — the simulator's exact hook point — and its
+                    // decisions (scale up/down, predictive shifts) apply to
+                    // this very arrival's eligible set.
+                    let (events, live_after) = match state.controller.as_mut() {
+                        Some(ctrl) => {
+                            let events = ctrl.on_arrival(sub.at_ns);
+                            (events, ctrl.live())
+                        }
+                        None => (Vec::new(), 0),
+                    };
+                    for event in events {
+                        gate_apply_scale_event(&mut state, event, live_after, self.capacity);
+                    }
+                    let live = state
+                        .controller
+                        .as_ref()
+                        .map_or(state.queues.len(), PoolController::live);
                     let eligible: Vec<(usize, usize)> = (0..state.queues.len())
-                        .filter(|&i| !state.crashed[i] && !state.closed[i])
+                        .filter(|&i| i < live && !state.crashed[i] && !state.closed[i])
                         .map(|i| (i, state.queues[i].len()))
                         .collect();
                     let tick = state.rr;
@@ -1058,7 +1148,11 @@ impl LockstepGate {
         let batch_index = state.batches[r] + 1;
         let take = state.queues[r].len().min(self.max_batch);
         let batch: Vec<GateRequest> = state.queues[r].drain(..take).collect();
-        let mode = state.adaptive[r].mode();
+        let reactive_mode = state.adaptive[r].mode();
+        let mode = state
+            .controller
+            .as_ref()
+            .map_or(reactive_mode, |c| c.effective_mode(reactive_mode));
         let factor = state.faults[r].service_factor_x1024(batch_index);
         // Size-aware virtual cost, recomputed from the submitted keys — the
         // same pure function of (size seed, key) the simulator evaluates, so
@@ -1144,12 +1238,16 @@ impl LockstepGate {
             let crash_time = state.t_free[r];
             let orphans: Vec<GateRequest> = state.queues[r].drain(..).collect();
             let mut cursor = (r + 1) % state.queues.len();
+            let live = state
+                .controller
+                .as_ref()
+                .map_or(state.queues.len(), PoolController::live);
             for orphan in orphans {
                 let states: Vec<(bool, usize)> = state
                     .queues
                     .iter()
                     .enumerate()
-                    .map(|(i, q)| (!state.crashed[i] && !state.closed[i], q.len()))
+                    .map(|(i, q)| (i < live && !state.crashed[i] && !state.closed[i], q.len()))
                     .collect();
                 let target = pick_handoff_target(r, &mut cursor, &states, self.capacity);
                 state.handoffs.push(HandoffRecord {
@@ -1173,6 +1271,37 @@ impl LockstepGate {
                 }
             }
         }
+        // Work stealing runs strictly after post-batch fault effects — the
+        // simulator's exact hook point at the end of its launch arm.
+        if state.controller.is_some() {
+            let live = state
+                .controller
+                .as_ref()
+                .map_or(state.queues.len(), PoolController::live);
+            let depths: Vec<(usize, usize)> = (0..state.queues.len())
+                .take(live)
+                .filter(|&i| !state.crashed[i] && !state.closed[i])
+                .map(|i| (i, state.queues[i].len()))
+                .collect();
+            let event = state
+                .controller
+                .as_mut()
+                .and_then(|ctrl| ctrl.steal_check(launch, &depths, self.capacity));
+            if let Some(event) = event {
+                if let ControlEventKind::Steal { from, to, moved } = event.kind {
+                    let split = state.queues[from].len() - moved;
+                    let stolen: Vec<GateRequest> = state.queues[from].split_off(split).into();
+                    for item in stolen {
+                        let ready_v = item.ready_v.max(event.at_ns);
+                        state.queues[to].push_back(GateRequest { ready_v, ..item });
+                    }
+                    state.metrics[0].record_steal(moved);
+                    if let Some(rec) = state.recorder.clone() {
+                        rec.record(TraceEvent::new(TraceStage::Control, 0, event.at_ns, 0));
+                    }
+                }
+            }
+        }
         GrantedBatch {
             batch,
             mode,
@@ -1180,6 +1309,64 @@ impl LockstepGate {
             launch,
             service_ns,
         }
+    }
+}
+
+/// Applies one controller decision to the gate — the mirror, statement for
+/// statement, of the simulator's `apply_scale_event`: an instant `Control`
+/// trace mark, the pool-level counter on replica 0, and for a scale-down
+/// the deactivated replica's queue drained through the shared
+/// [`pick_handoff_target`] rule onto the surviving live set (or shed — the
+/// dropped slot cancels the request).
+fn gate_apply_scale_event(
+    state: &mut GateState,
+    event: ControlEvent,
+    live_after: usize,
+    capacity: usize,
+) {
+    if let Some(rec) = state.recorder.clone() {
+        rec.record(TraceEvent::new(TraceStage::Control, 0, event.at_ns, 0));
+    }
+    match event.kind {
+        ControlEventKind::PredictiveShift { .. } => state.metrics[0].record_predictive_shift(),
+        ControlEventKind::ScaleUp { .. } => state.metrics[0].record_scale_up(),
+        ControlEventKind::ScaleDown { to: deact, .. } => {
+            state.metrics[0].record_scale_down();
+            let at_batch = state.batches[deact];
+            let orphans: Vec<GateRequest> = state.queues[deact].drain(..).collect();
+            let mut cursor = (deact + 1) % state.queues.len();
+            for orphan in orphans {
+                let states: Vec<(bool, usize)> = state
+                    .queues
+                    .iter()
+                    .enumerate()
+                    .map(|(i, q)| {
+                        (
+                            i < live_after && !state.crashed[i] && !state.closed[i],
+                            q.len(),
+                        )
+                    })
+                    .collect();
+                let target = pick_handoff_target(deact, &mut cursor, &states, capacity);
+                state.handoffs.push(HandoffRecord {
+                    from_replica: deact,
+                    at_batch,
+                    key: orphan.req.key,
+                    to_replica: target,
+                });
+                match target {
+                    Some(t) => {
+                        let ready_v = orphan.ready_v.max(event.at_ns);
+                        state.queues[t].push_back(GateRequest { ready_v, ..orphan });
+                        state.metrics[deact].record_handoff();
+                    }
+                    None => state.metrics[deact].record_handoff_shed(),
+                }
+            }
+        }
+        // Steals are emitted only by the post-batch steal check, never by
+        // the arrival hook.
+        ControlEventKind::Steal { .. } => {}
     }
 }
 

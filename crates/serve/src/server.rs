@@ -22,9 +22,11 @@ use nbsmt_tensor::tensor::Tensor;
 use nbsmt_tensor::validate::Validate;
 
 use crate::config::{SchedulerConfig, ServeError, SubmitError};
+use crate::faults::{FaultPlan, ReplicaFaults};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::queue::{response_channel, BoundedQueue, ResponseHandle, ResponseSlot};
 use crate::session::{Inference, Session};
+use crate::sim::ServiceModel;
 use crate::trace::{layer_intervals, BatchTraceCtx, TraceEvent, TraceRecorder, TraceStage};
 
 /// Result delivered to each request's [`ResponseHandle`].
@@ -147,6 +149,45 @@ impl Server {
         Server::start_with_recorder(session, config, ctx, Some(recorder))
     }
 
+    /// [`Server::start`] with `plan`'s replica-0 schedule injected for real
+    /// — the single-session counterpart of
+    /// [`crate::pool::ReplicaPool::start_with_faults`]. Straggle windows
+    /// sleep out the extra service time the factor implies over `service`'s
+    /// size-aware nominal cost, stalls sleep, a queue close half-closes
+    /// admissions (queued work still drains), and a crash kills the
+    /// scheduler: with no surviving replica to hand off to, every queued
+    /// orphan sheds (its dropped slot cancels the client's handle, so no
+    /// caller ever hangs on a dead server).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Server::start`].
+    pub fn start_with_faults(
+        session: Arc<Session>,
+        config: SchedulerConfig,
+        ctx: ExecContext,
+        plan: &FaultPlan,
+        service: ServiceModel,
+    ) -> Result<Server, ServeError> {
+        config.validate()?;
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let worker_queue = Arc::clone(&queue);
+        let faults = plan.for_replica(0);
+        let worker = std::thread::Builder::new()
+            .name(format!("nbsmt-serve-{}", session.name()))
+            .spawn(move || {
+                scheduler_loop_faulted(&worker_queue, &session, &config, &ctx, &faults, service)
+            })
+            .expect("spawning the scheduler thread succeeds");
+        Ok(Server {
+            queue,
+            rejected: Arc::new(AtomicU64::new(0)),
+            seq: Arc::new(AtomicU64::new(0)),
+            worker: Some(worker),
+            started: Instant::now(),
+        })
+    }
+
     fn start_with_recorder(
         session: Arc<Session>,
         config: SchedulerConfig,
@@ -236,6 +277,61 @@ fn scheduler_loop(
             mode: 0,
         });
         execute_batch(session, ctx, batch, &mut metrics, trace.as_ref());
+    }
+    metrics
+}
+
+/// [`scheduler_loop`] with a [`ReplicaFaults`] schedule applied for real:
+/// the same batch loop plus the 1-based batch clock the fault cursor
+/// consumes — identical semantics to the replica pool's live faulted
+/// worker, minus the handoff (a lone server shes every orphan on crash).
+fn scheduler_loop_faulted(
+    queue: &BoundedQueue<QueuedRequest>,
+    session: &Session,
+    config: &SchedulerConfig,
+    ctx: &ExecContext,
+    faults: &ReplicaFaults,
+    service: ServiceModel,
+) -> ServeMetrics {
+    let mut metrics = ServeMetrics::new();
+    let max_batch = config.batch.max_batch;
+    let max_wait = Duration::from_nanos(config.batch.max_wait_ns);
+    let mut batch_index = 0u64;
+    while let Some(first) = queue.pop_blocking() {
+        batch_index += 1;
+        let deadline = first.submitted + max_wait;
+        let batch = queue.collect_batch(first, max_batch, deadline);
+        let batch_keys: Vec<u64> = batch.iter().map(|r| r.key).collect();
+        metrics.record_batch(batch.len(), queue.len());
+        execute_batch(session, ctx, batch, &mut metrics, None);
+        let factor = faults.service_factor_x1024(batch_index);
+        if factor > 1024 {
+            // The straggler pads the batch with the *extra* time the factor
+            // implies over the service model's size-aware nominal cost.
+            let extra = (service.batch_ns(session, batch_keys.iter().copied()) as u128
+                * (factor - 1024) as u128
+                / 1024)
+                .min(u128::from(u64::MAX)) as u64;
+            std::thread::sleep(Duration::from_nanos(extra));
+        }
+        let post = faults.after_batch(batch_index);
+        if post.stall_ns > 0 {
+            metrics.record_stall();
+            std::thread::sleep(Duration::from_nanos(post.stall_ns));
+        }
+        if post.close_queue {
+            queue.close_admissions();
+        }
+        if post.crashed {
+            queue.close_admissions();
+            metrics.record_crash();
+            for _orphan in queue.drain_up_to(usize::MAX) {
+                // No survivor exists: the orphan sheds, and dropping its
+                // slot cancels the client's handle.
+                metrics.record_handoff_shed();
+            }
+            break;
+        }
     }
     metrics
 }
@@ -460,6 +556,59 @@ mod tests {
             result.map(|_| ()),
             Err(ServeError::Config(crate::config::ConfigError::ZeroBatch))
         ));
+    }
+
+    #[test]
+    fn crash_plan_sheds_orphans_and_cancels_handles() {
+        use crate::faults::{FaultEvent, FaultKind, FaultPlan};
+
+        let (session, inputs) = test_session();
+        // The server dies after its second batch; everything still queued at
+        // that instant must shed by cancelling its handle — no caller hangs.
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            replica: 0,
+            at_batch: 2,
+            kind: FaultKind::Crash,
+        }]);
+        let server = Server::start_with_faults(
+            session,
+            SchedulerConfig {
+                batch: BatchPolicy {
+                    max_batch: 2,
+                    max_wait_ns: 1_000_000,
+                },
+                queue_capacity: 32,
+            },
+            ExecContext::sequential(),
+            &plan,
+            ServiceModel::default(),
+        )
+        .expect("config is valid");
+        let client = server.client();
+        let handles: Vec<_> = inputs
+            .iter()
+            .map(|i| client.submit(i.clone()).expect("queue has room"))
+            .collect();
+        let mut completed = 0u64;
+        let mut cancelled = 0u64;
+        for handle in handles {
+            match handle.wait() {
+                Ok(result) => {
+                    result.expect("no model error");
+                    completed += 1;
+                }
+                Err(_) => cancelled += 1,
+            }
+        }
+        let snapshot = server.shutdown();
+        assert_eq!(snapshot.crashes, 1, "the planned crash fires exactly once");
+        assert_eq!(snapshot.completed, completed);
+        assert_eq!(snapshot.handoff_shed, cancelled, "every orphan sheds");
+        assert_eq!(completed + cancelled, 16, "no request is lost track of");
+        assert!(
+            completed >= 2,
+            "both pre-crash batches complete (got {completed})"
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::config::{
     AdaptivePolicy, AdaptiveState, ModeTransition, PoolConfig, RoutePolicy, SchedulerConfig,
     ServeError, BATCH_LOG_CAP, REJECTION_LOG_CAP, RESPONSE_LOG_CAP,
 };
+use crate::control::{ControlConfig, ControlEvent, ControlEventKind, PoolController};
 use crate::faults::{pick_handoff_target, pick_replica, FaultPlan, HandoffRecord, ReplicaFaults};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::session::{Inference, Session};
@@ -439,6 +440,18 @@ pub struct PoolSimOutcome {
     /// Sheds not retained in `rejected_ids` past [`REJECTION_LOG_CAP`] —
     /// `metrics.rejected` still counts every one.
     pub dropped_rejections: u64,
+    /// Every pool-controller decision (predictive shift, scale, steal) in
+    /// decision order — empty without a controller. Part of the extended
+    /// lockstep contract (mirrors
+    /// [`crate::pool::PoolSnapshot::control_events`]).
+    pub control_events: Vec<ControlEvent>,
+    /// Controller decisions applied but not retained past
+    /// [`crate::config::CONTROL_LOG_CAP`].
+    pub dropped_control_events: u64,
+    /// Total live-replica nanoseconds over the run: `replicas × makespan`
+    /// without autoscaling, the exact event-log integral with it — the cost
+    /// axis autoscaling trades against sheds.
+    pub replica_ns: u64,
     /// Virtual time at which the last batch finished [ns].
     pub makespan_ns: u64,
 }
@@ -537,7 +550,81 @@ pub fn simulate_pool_traced<S: Borrow<Session>>(
     recorder: Option<&TraceRecorder>,
 ) -> Result<PoolSimOutcome, ServeError> {
     simulate_pool_inner(
-        sessions, ctx, inputs, arrivals, pool, service, faults, recorder, true,
+        sessions, ctx, inputs, arrivals, pool, service, None, faults, recorder, true,
+    )
+}
+
+/// [`simulate_pool_traced`] with a [`PoolController`] in the loop: the
+/// controller observes every admitted arrival (rolling its EWMA windows and
+/// emitting predictive-shift / autoscale events at window boundaries) and
+/// evaluates work stealing after every batch launch. Scale-down drains the
+/// deactivated replica's queue through the crash-handoff rule, the router
+/// only considers live replicas, and every batch executes at
+/// `max(reactive mode, predictive floor)`. All decisions are pure functions
+/// of (arrival trace, config), so the event stream in
+/// [`PoolSimOutcome::control_events`] is bit-identical to the threaded
+/// lockstep pool's on the same seeded burst.
+///
+/// # Errors
+///
+/// Same as [`simulate_pool`], plus any [`ControlConfig`] validation error.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_pool_controlled<S: Borrow<Session>>(
+    sessions: &[S],
+    ctx: &ExecContext,
+    inputs: &[Tensor<f32>],
+    arrivals: &ArrivalProcess,
+    pool: PoolConfig,
+    service: ServiceModel,
+    control: ControlConfig,
+    faults: Option<&FaultPlan>,
+    recorder: Option<&TraceRecorder>,
+) -> Result<PoolSimOutcome, ServeError> {
+    simulate_pool_inner(
+        sessions,
+        ctx,
+        inputs,
+        arrivals,
+        pool,
+        service,
+        Some(control),
+        faults,
+        recorder,
+        true,
+    )
+}
+
+/// The constant-memory statistics variant of [`simulate_pool_controlled`]:
+/// identical controller, scheduling, and fault semantics, but model outputs
+/// are not computed — the controlled counterpart of
+/// [`simulate_pool_stats`], for million-request control-plane sweeps.
+///
+/// # Errors
+///
+/// Same as [`simulate_pool_controlled`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_pool_controlled_stats<S: Borrow<Session>>(
+    sessions: &[S],
+    inputs: &[Tensor<f32>],
+    arrivals: &ArrivalProcess,
+    pool: PoolConfig,
+    service: ServiceModel,
+    control: ControlConfig,
+    faults: Option<&FaultPlan>,
+    recorder: Option<&TraceRecorder>,
+) -> Result<PoolSimOutcome, ServeError> {
+    let ctx = ExecContext::sequential();
+    simulate_pool_inner(
+        sessions,
+        &ctx,
+        inputs,
+        arrivals,
+        pool,
+        service,
+        Some(control),
+        faults,
+        recorder,
+        false,
     )
 }
 
@@ -566,7 +653,7 @@ pub fn simulate_pool_stats<S: Borrow<Session>>(
 ) -> Result<PoolSimOutcome, ServeError> {
     let ctx = ExecContext::sequential();
     simulate_pool_inner(
-        sessions, &ctx, inputs, arrivals, pool, service, faults, recorder, false,
+        sessions, &ctx, inputs, arrivals, pool, service, None, faults, recorder, false,
     )
 }
 
@@ -578,6 +665,7 @@ fn simulate_pool_inner<S: Borrow<Session>>(
     arrivals: &ArrivalProcess,
     pool: PoolConfig,
     service: ServiceModel,
+    control: Option<ControlConfig>,
     faults: Option<&FaultPlan>,
     recorder: Option<&TraceRecorder>,
     compute_outputs: bool,
@@ -591,6 +679,17 @@ fn simulate_pool_inner<S: Borrow<Session>>(
         return Err(ServeError::BadRequest("empty request-input pool".into()));
     }
     pool.validate()?;
+    // The controller's utilization forecast is denominated in the same
+    // virtual per-rung request cost the clock runs on.
+    let mut controller = control
+        .map(|cfg| {
+            let rung_work_ns = sessions
+                .iter()
+                .map(|s| service.single_ns(s.borrow()))
+                .collect();
+            PoolController::new(cfg, rung_work_ns, pool.replicas)
+        })
+        .transpose()?;
     let max_batch = pool.scheduler.batch.max_batch;
     let max_wait = pool.scheduler.batch.max_wait_ns;
     // Same closed-loop floor as the single-replica simulator, per replica:
@@ -684,10 +783,31 @@ fn simulate_pool_inner<S: Borrow<Session>>(
         if let Some(arrival) = pending.front().copied() {
             if next_launch.is_none_or(|(launch, _)| arrival.time_ns <= launch) {
                 pending.pop_front();
+                // The controller observes every admitted arrival before it
+                // is routed: estimator windows roll here, and any
+                // predictive-shift / autoscale decisions apply before the
+                // routing decision — the threaded lockstep gate calls the
+                // controller at the identical point.
+                if let Some(ctrl) = controller.as_mut() {
+                    for event in ctrl.on_arrival(arrival.time_ns) {
+                        let live_after = ctrl.live();
+                        apply_scale_event(
+                            event,
+                            live_after,
+                            &mut replicas,
+                            &mut handoffs,
+                            recorder,
+                            capacity,
+                        );
+                    }
+                }
+                let live = controller
+                    .as_ref()
+                    .map_or(replicas.len(), PoolController::live);
                 let eligible: Vec<(usize, usize)> = replicas
                     .iter()
                     .enumerate()
-                    .filter(|(_, rep)| !rep.crashed && !rep.closed)
+                    .filter(|(i, rep)| *i < live && !rep.crashed && !rep.closed)
                     .map(|(i, rep)| (i, rep.queue.len()))
                     .collect();
                 let tick = rr_counter;
@@ -732,7 +852,12 @@ fn simulate_pool_inner<S: Borrow<Session>>(
         let batch_index = replicas[r].batches + 1;
         let take = replicas[r].queue.len().min(max_batch);
         let batch: Vec<PendingArrival> = replicas[r].queue.drain(..take).collect();
-        let mode = replicas[r].state.mode();
+        // The predictive floor raises the reactive rung; the reactive state
+        // machine itself keeps observing unmodified, staying the fallback.
+        let reactive_mode = replicas[r].state.mode();
+        let mode = controller
+            .as_ref()
+            .map_or(reactive_mode, |c| c.effective_mode(reactive_mode));
         let session: &Session = sessions[mode].borrow();
         let (outputs, kernels): (Option<Vec<Inference>>, Vec<LayerKernel>) = if compute_outputs {
             let batch_inputs: Vec<&Tensor<f32>> =
@@ -873,10 +998,14 @@ fn simulate_pool_inner<S: Borrow<Session>>(
             let crash_time = replica.t_free;
             let orphans: Vec<PendingArrival> = replica.queue.drain(..).collect();
             let mut cursor = (r + 1) % replicas.len();
+            let live = controller
+                .as_ref()
+                .map_or(replicas.len(), PoolController::live);
             for orphan in orphans {
                 let states: Vec<(bool, usize)> = replicas
                     .iter()
-                    .map(|rep| (!rep.crashed && !rep.closed, rep.queue.len()))
+                    .enumerate()
+                    .map(|(i, rep)| (i < live && !rep.crashed && !rep.closed, rep.queue.len()))
                     .collect();
                 let target = pick_handoff_target(r, &mut cursor, &states, capacity);
                 handoffs.push(HandoffRecord {
@@ -897,9 +1026,54 @@ fn simulate_pool_inner<S: Borrow<Session>>(
                 }
             }
         }
+
+        // Controller steal pass, strictly after the batch's fault effects:
+        // up to `max_steal` not-yet-batched requests move from the deepest
+        // to the shallowest live queue (the lockstep gate runs the identical
+        // pass at the identical point).
+        if let Some(ctrl) = controller.as_mut() {
+            let depths: Vec<(usize, usize)> = replicas
+                .iter()
+                .enumerate()
+                .take(ctrl.live())
+                .filter(|(_, rep)| !rep.crashed && !rep.closed)
+                .map(|(i, rep)| (i, rep.queue.len()))
+                .collect();
+            if let Some(event) = ctrl.steal_check(launch, &depths, capacity) {
+                if let ControlEventKind::Steal { from, to, moved } = event.kind {
+                    let split = replicas[from].queue.len() - moved;
+                    let stolen = replicas[from].queue.split_off(split);
+                    for request in stolen {
+                        // A stolen request cannot launch on the thief before
+                        // the steal instant; latency stays anchored at its
+                        // arrival.
+                        replicas[to].queue.push_back(PendingArrival {
+                            ready_ns: request.ready_ns.max(event.at_ns),
+                            ..request
+                        });
+                    }
+                    replicas[0].metrics.record_steal(moved);
+                    if let Some(rec) = recorder {
+                        rec.record(TraceEvent::new(TraceStage::Control, 0, event.at_ns, 0));
+                    }
+                }
+            }
+        }
     }
 
     let makespan_ns = replicas.iter().map(|r| r.t_free).max().unwrap_or(0);
+    let (control_events, dropped_control_events, replica_ns) = match controller {
+        Some(mut ctrl) => {
+            let replica_ns = ctrl.finalize_replica_ns(makespan_ns);
+            let (events, dropped) = ctrl.into_events();
+            (events, dropped, replica_ns)
+        }
+        None => (
+            Vec::new(),
+            0,
+            (pool.replicas as u64).saturating_mul(makespan_ns),
+        ),
+    };
     let mut total = ServeMetrics::new();
     let mut per_replica = Vec::new();
     let mut transitions = Vec::new();
@@ -922,8 +1096,76 @@ fn simulate_pool_inner<S: Borrow<Session>>(
         dropped_transitions,
         dropped_responses,
         dropped_rejections,
+        control_events,
+        dropped_control_events,
+        replica_ns,
         makespan_ns,
     })
+}
+
+/// Applies one predictive-shift or scale decision inside the event loop:
+/// counters land on replica 0 (the pool-level aggregate is what control
+/// benches read), an instant [`TraceStage::Control`] span marks the
+/// decision, and a scale-down drains the deactivated replica's queue
+/// through the crash-handoff rule — each orphan re-enqueues on the first
+/// eligible live survivor with its `ready` time at the decision instant, or
+/// is shed when none qualifies, so permits reconcile exactly as they do for
+/// crashes. Steal events never reach here; they are applied at the launch
+/// site where the queue depths were sampled.
+fn apply_scale_event(
+    event: ControlEvent,
+    live_after: usize,
+    replicas: &mut [ReplicaSim],
+    handoffs: &mut Vec<HandoffRecord>,
+    recorder: Option<&TraceRecorder>,
+    capacity: usize,
+) {
+    if let Some(rec) = recorder {
+        rec.record(TraceEvent::new(TraceStage::Control, 0, event.at_ns, 0));
+    }
+    match event.kind {
+        ControlEventKind::PredictiveShift { .. } => {
+            replicas[0].metrics.record_predictive_shift();
+        }
+        ControlEventKind::ScaleUp { .. } => replicas[0].metrics.record_scale_up(),
+        ControlEventKind::ScaleDown { to: deact, .. } => {
+            replicas[0].metrics.record_scale_down();
+            let at_batch = replicas[deact].batches;
+            let orphans: Vec<PendingArrival> = replicas[deact].queue.drain(..).collect();
+            let mut cursor = (deact + 1) % replicas.len();
+            for orphan in orphans {
+                let states: Vec<(bool, usize)> = replicas
+                    .iter()
+                    .enumerate()
+                    .map(|(i, rep)| {
+                        (
+                            i < live_after && !rep.crashed && !rep.closed,
+                            rep.queue.len(),
+                        )
+                    })
+                    .collect();
+                let target = pick_handoff_target(deact, &mut cursor, &states, capacity);
+                handoffs.push(HandoffRecord {
+                    from_replica: deact,
+                    at_batch,
+                    key: orphan.key,
+                    to_replica: target,
+                });
+                match target {
+                    Some(t) => {
+                        replicas[t].queue.push_back(PendingArrival {
+                            ready_ns: orphan.ready_ns.max(event.at_ns),
+                            ..orphan
+                        });
+                        replicas[deact].metrics.record_handoff();
+                    }
+                    None => replicas[deact].metrics.record_handoff_shed(),
+                }
+            }
+        }
+        // `on_arrival` only emits shift and scale decisions.
+        ControlEventKind::Steal { .. } => {}
+    }
 }
 
 #[cfg(test)]

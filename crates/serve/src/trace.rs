@@ -107,6 +107,10 @@ pub enum TraceStage {
     Service,
     /// Instant: the request's response completed.
     Respond,
+    /// Instant: a pool-controller decision (scale, steal, or predictive
+    /// shift) was applied; see [`crate::control::ControlEvent`] for the
+    /// structured record.
+    Control,
 }
 
 impl TraceStage {
@@ -119,6 +123,7 @@ impl TraceStage {
             TraceStage::Kernel => "kernel",
             TraceStage::Service => "service",
             TraceStage::Respond => "respond",
+            TraceStage::Control => "control",
         }
     }
 
@@ -131,12 +136,17 @@ impl TraceStage {
             TraceStage::Kernel => 3,
             TraceStage::Service => 4,
             TraceStage::Respond => 5,
+            TraceStage::Control => 6,
         }
     }
 
-    /// True for zero-duration instant events (submit/respond markers).
+    /// True for zero-duration instant events (submit/respond/control
+    /// markers).
     pub fn is_instant(&self) -> bool {
-        matches!(self, TraceStage::Submit | TraceStage::Respond)
+        matches!(
+            self,
+            TraceStage::Submit | TraceStage::Respond | TraceStage::Control
+        )
     }
 }
 

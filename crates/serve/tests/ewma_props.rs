@@ -1,0 +1,149 @@
+//! Property tests for the pool controller's [`RateEstimator`] — the integer
+//! EWMA forecaster behind predictive mode switching and autoscaling.
+//!
+//! The properties: convergence to the true per-window arrival count,
+//! monotone step response (no over/undershoot oscillation on a load step),
+//! bit-stability (identical inputs ⇒ `==` states, and a `Copy` snapshot
+//! replayed forward matches the original), and O(1) idle-gap fast-forward.
+
+use nbsmt_serve::{RateEstimator, SplitMix64};
+
+const WINDOW: u64 = 1_000_000;
+
+/// Feeds `per_window` evenly spaced arrivals into each of `windows`
+/// consecutive windows starting at window index `start_win`.
+fn feed_uniform(est: &mut RateEstimator, start_win: u64, windows: u64, per_window: u64) {
+    for w in 0..windows {
+        for i in 0..per_window {
+            est.observe_arrival((start_win + w) * WINDOW + i * (WINDOW / per_window));
+        }
+    }
+}
+
+/// Reads the rate the estimator would forecast at time `t` without
+/// disturbing the original: the estimator is `Copy`, so a probe arrival
+/// (which rolls every window boundary up to `t`) runs on a throwaway clone.
+fn probed_rate(est: &RateEstimator, t: u64) -> u64 {
+    let mut probe = *est;
+    probe.observe_arrival(t);
+    probe.rate_x1024()
+}
+
+#[test]
+fn converges_to_the_stationary_arrival_count() {
+    let mut est = RateEstimator::new(512, WINDOW);
+    feed_uniform(&mut est, 0, 64, 8);
+    let rate = probed_rate(&est, 64 * WINDOW);
+    // Fixed-point: 8 arrivals/window → 8 × 1024. Integer floor may park the
+    // EWMA a hair under the target; it must never overshoot.
+    assert!(rate <= 8 * 1024, "no overshoot: {rate}");
+    assert!(
+        rate >= 8 * 1024 - 16,
+        "converged within noise floor: {rate}"
+    );
+}
+
+#[test]
+fn alpha_one_tracks_the_last_window_exactly() {
+    let mut est = RateEstimator::new(1024, WINDOW);
+    feed_uniform(&mut est, 0, 1, 5);
+    // α = 1024/1024 forgets all history: one rolled window of 5 arrivals
+    // forecasts exactly 5 × 1024.
+    assert_eq!(probed_rate(&est, WINDOW), 5 * 1024);
+    feed_uniform(&mut est, 1, 1, 11);
+    assert_eq!(probed_rate(&est, 2 * WINDOW), 11 * 1024);
+}
+
+#[test]
+fn step_response_is_monotone_in_both_directions() {
+    let mut est = RateEstimator::new(256, WINDOW);
+    feed_uniform(&mut est, 0, 32, 2);
+    let settled_low = probed_rate(&est, 32 * WINDOW);
+
+    // Step up 2 → 16 arrivals/window: the forecast climbs every window,
+    // never past the new level.
+    let mut prev = settled_low;
+    for w in 0..32 {
+        feed_uniform(&mut est, 32 + w, 1, 16);
+        let rate = probed_rate(&est, (33 + w) * WINDOW);
+        assert!(rate >= prev, "window {w}: {rate} < {prev}");
+        assert!(rate <= 16 * 1024, "window {w}: overshoot {rate}");
+        prev = rate;
+    }
+    assert!(prev > 15 * 1024, "settled near the new level: {prev}");
+
+    // Step back down 16 → 2: symmetric monotone decay.
+    for w in 0..32 {
+        feed_uniform(&mut est, 64 + w, 1, 2);
+        let rate = probed_rate(&est, (65 + w) * WINDOW);
+        assert!(rate <= prev, "window {w}: {rate} > {prev}");
+        prev = rate;
+    }
+    assert!(prev < 3 * 1024, "settled near the low level: {prev}");
+}
+
+#[test]
+fn identical_streams_produce_bit_identical_states() {
+    let mut rng = SplitMix64::new(2024);
+    let mut t = 0u64;
+    let stream: Vec<u64> = (0..4096)
+        .map(|_| {
+            t += rng.next_u64() % (WINDOW / 2);
+            t
+        })
+        .collect();
+
+    let mut a = RateEstimator::new(512, WINDOW);
+    let mut b = RateEstimator::new(512, WINDOW);
+    let mut snapshot = None;
+    for (i, &arrival) in stream.iter().enumerate() {
+        a.observe_arrival(arrival);
+        b.observe_arrival(arrival);
+        assert_eq!(a, b, "divergence at arrival {i}");
+        if i == 2048 {
+            // A Copy snapshot replayed over the tail must land on the same
+            // bits as the estimator that never stopped.
+            snapshot = Some(a);
+        }
+    }
+    let mut replay = snapshot.expect("snapshot taken");
+    for &arrival in &stream[2049..] {
+        replay.observe_arrival(arrival);
+    }
+    assert_eq!(replay, a);
+}
+
+#[test]
+fn clamped_constructor_parameters_are_canonical() {
+    // α clamps into 1..=1024 and the window floor is 1 ns: out-of-range
+    // requests build bit-identical estimators to the clamped values.
+    assert_eq!(RateEstimator::new(0, WINDOW), RateEstimator::new(1, WINDOW));
+    assert_eq!(
+        RateEstimator::new(4096, WINDOW),
+        RateEstimator::new(1024, WINDOW)
+    );
+    assert_eq!(RateEstimator::new(512, 0), RateEstimator::new(512, 1));
+}
+
+#[test]
+fn idle_gap_decays_to_zero_and_fast_forwards_in_constant_time() {
+    let mut est = RateEstimator::new(512, WINDOW);
+    feed_uniform(&mut est, 0, 16, 8);
+    assert!(probed_rate(&est, 16 * WINDOW) > 0);
+
+    // A long idle gap decays the forecast to zero, one halving per empty
+    // window (α = ½), so 64 empty windows are plenty.
+    est.observe_arrival(80 * WINDOW);
+    assert_eq!(est.rate_x1024(), 0);
+
+    // Once the rate hits zero the estimator fast-forwards idle spans in
+    // O(1): an astronomically distant arrival must return immediately (a
+    // per-window loop over ~9×10^12 windows would hang the test) and land
+    // on a window boundary at or before the arrival.
+    let far = u64::MAX / 2;
+    est.observe_arrival(far);
+    assert_eq!(est.rate_x1024(), 0);
+    assert!(est.window_start_ns() <= far);
+    assert!(far - est.window_start_ns() < WINDOW);
+    assert_eq!((est.window_start_ns() - 80 * WINDOW) % WINDOW, 0);
+}
